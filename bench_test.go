@@ -1,0 +1,429 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (see DESIGN.md §5 for the index). Each benchmark regenerates
+// its artifact and prints the rows the paper reports, once, alongside the
+// usual timing output. The heavyweight 864-point sweep dataset is built
+// once and shared across the figure benchmarks.
+//
+// Absolute numbers are not expected to match the paper (our substrate is a
+// synthetic-workload simulator, not the BSC toolchain); the comparisons to
+// check are the shapes recorded in EXPERIMENTS.md.
+package musa
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"musa/internal/apps"
+	"musa/internal/cache"
+	"musa/internal/core"
+	"musa/internal/cpu"
+	"musa/internal/dram"
+	"musa/internal/dse"
+	"musa/internal/isa"
+	"musa/internal/net"
+	"musa/internal/node"
+	"musa/internal/report"
+	"musa/internal/rts"
+)
+
+// Reduced-but-meaningful sample sizes for the shared benchmark sweep; the
+// cmd/musa-dse tool uses the full defaults.
+const (
+	benchSample = 120000
+	benchWarmup = 700000
+)
+
+var (
+	benchOnce sync.Once
+	benchData *Sweep
+)
+
+func benchDataset(b *testing.B) *Sweep {
+	b.Helper()
+	benchOnce.Do(func() {
+		fmt.Fprintln(os.Stderr, "building shared 864-configuration sweep dataset (once)...")
+		var err error
+		benchData, err = RunSweep(SweepOptions{
+			SampleInstrs: benchSample,
+			WarmupInstrs: benchWarmup,
+			Seed:         1,
+		})
+		if err != nil {
+			panic(err)
+		}
+	})
+	return benchData
+}
+
+var printed sync.Map
+
+// printOnce renders a table to stdout the first time name is seen, so
+// repeated benchmark iterations do not spam the output.
+func printOnce(name string, render func() *report.Table) {
+	if _, loaded := printed.LoadOrStore(name, true); loaded {
+		return
+	}
+	t := render()
+	fmt.Println()
+	_ = t.Write(os.Stdout)
+}
+
+// BenchmarkTable1DesignSpace regenerates Table I: the 864-point grid.
+func BenchmarkTable1DesignSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := dse.Enumerate()
+		if len(pts) != 864 {
+			b.Fatalf("%d points", len(pts))
+		}
+	}
+	printOnce("table1", func() *report.Table {
+		t := report.NewTable("Table I: swept parameters", "feature", "values")
+		t.AddRow("cores", "1, 32, 64")
+		t.AddRow("core OoO", "lowend, medium, high, aggressive")
+		t.AddRow("frequency GHz", "1.5, 2.0, 2.5, 3.0")
+		t.AddRow("vector bits", "128, 256, 512")
+		t.AddRow("cache L3:L2", "32M:256K, 64M:512K, 96M:1M")
+		t.AddRow("DDR4 channels", "4, 8")
+		t.AddRow("total", fmt.Sprintf("%d configurations", len(dse.Enumerate())))
+		return t
+	})
+}
+
+// BenchmarkFigure1MPKI regenerates Fig. 1: per-application cache MPKIs and
+// DRAM request rates at the reference configuration.
+func BenchmarkFigure1MPKI(b *testing.B) {
+	d := benchDataset(b)
+	b.ResetTimer()
+	var rows []CharacterizationRow
+	for i := 0; i < b.N; i++ {
+		rows = Characterization(d)
+	}
+	printOnce("fig1", func() *report.Table {
+		t := report.NewTable("Figure 1: runtime statistics (paper: hydro 5.98/1.78/0.19/0.02 ... lulesh 13.5/4.6/5.3/0.51)",
+			"app", "cores", "L1 MPKI", "L2 MPKI", "L3 MPKI", "GReq/s")
+		for _, r := range rows {
+			t.AddRow(r.App, r.Cores, r.L1MPKI, r.L2MPKI, r.L3MPKI, r.GMemReqPerSec/1e9)
+		}
+		return t
+	})
+}
+
+// BenchmarkFigure2aScaling regenerates Fig. 2a: hardware-agnostic scaling of
+// one compute region per application.
+func BenchmarkFigure2aScaling(b *testing.B) {
+	var last map[string][]float64
+	for i := 0; i < b.N; i++ {
+		last = map[string][]float64{}
+		for _, app := range Applications() {
+			last[app.Name] = RegionScaling(app, []int{1, 32, 64})
+		}
+	}
+	printOnce("fig2a", func() *report.Table {
+		t := report.NewTable("Figure 2a: compute-region speedup (paper: ~70% efficiency @32, ~50% @64; only hydro > 75% @64)",
+			"app", "speedup@32", "speedup@64", "eff@64")
+		for _, app := range Applications() {
+			sp := last[app.Name]
+			t.AddRow(app.Name, sp[1], sp[2], sp[2]/64)
+		}
+		return t
+	})
+}
+
+// BenchmarkFigure2bScaling regenerates Fig. 2b: whole-application scaling
+// with MPI replay across 256 ranks.
+func BenchmarkFigure2bScaling(b *testing.B) {
+	model := MareNostrumNetwork()
+	var last map[string][]FullAppScalingResult
+	for i := 0; i < b.N; i++ {
+		last = map[string][]FullAppScalingResult{}
+		for _, app := range Applications() {
+			last[app.Name] = FullAppScaling(app, 256, []int{32, 64}, model)
+		}
+	}
+	printOnce("fig2b", func() *report.Table {
+		t := report.NewTable("Figure 2b: full-app speedup incl. MPI, 256 ranks (paper: avg eff 49% @32, 28% @64)",
+			"app", "speedup@32", "speedup@64", "eff@32", "eff@64", "MPI frac@64")
+		for _, app := range Applications() {
+			r := last[app.Name]
+			t.AddRow(app.Name, r[0].Speedup, r[1].Speedup, r[0].Efficiency, r[1].Efficiency, r[1].MPIFraction)
+		}
+		return t
+	})
+}
+
+// BenchmarkFigure3Timeline regenerates the Fig. 3 view: Specfem3D thread
+// occupancy showing idle threads.
+func BenchmarkFigure3Timeline(b *testing.B) {
+	app, _ := App("spec3d")
+	g := app.RegionGraph(0, 1)
+	var s rts.Schedule
+	for i := 0; i < b.N; i++ {
+		s = rts.Simulate(g, rts.Options{Threads: 64, DispatchNs: 100, Policy: rts.FIFOCentral})
+	}
+	if _, loaded := printed.LoadOrStore("fig3", true); !loaded {
+		fmt.Println("\n== Figure 3: Specfem3D task timeline on 64 threads (busy '#', idle '.') ==")
+		_ = report.WriteScheduleTimeline(os.Stdout, g, s, 64)
+	}
+}
+
+// BenchmarkFigure4Timeline regenerates the Fig. 4 view: LULESH rank timeline
+// with MPI barrier waiting.
+func BenchmarkFigure4Timeline(b *testing.B) {
+	app, _ := App("lulesh")
+	tr := core.SampleBurst(app, 64, 1)
+	model := net.MareNostrum4()
+	var res net.Result
+	for i := 0; i < b.N; i++ {
+		res = net.Replay(tr, model, nil)
+	}
+	if _, loaded := printed.LoadOrStore("fig4", true); !loaded {
+		fmt.Println("\n== Figure 4: LULESH rank timeline, 64 ranks (compute '#', MPI wait 'w') ==")
+		_ = report.WriteReplayTimeline(os.Stdout, res)
+	}
+}
+
+// figureBench regenerates one b-panel figure from the shared dataset.
+func figureBench(b *testing.B, name string, feat Feature, paperNote string) {
+	d := benchDataset(b)
+	b.ResetTimer()
+	var perf, pow, energy []Bar
+	for i := 0; i < b.N; i++ {
+		perf = SpeedupBars(d, feat, 64)
+		pow = PowerBars(d, feat, 64)
+		energy = EnergyBars(d, feat, 64)
+	}
+	printOnce(name, func() *report.Table {
+		t := report.NewTable(fmt.Sprintf("%s (64 cores; %s)", name, paperNote),
+			"app", "value", "speedup", "sd", "power", "energy")
+		for i := range perf {
+			t.AddRow(perf[i].App, perf[i].Value, perf[i].Mean, perf[i].Std, pow[i].Mean, energy[i].Mean)
+		}
+		return t
+	})
+}
+
+// BenchmarkFigure5VectorWidth regenerates Fig. 5 (SIMD width sweep).
+func BenchmarkFigure5VectorWidth(b *testing.B) {
+	figureBench(b, "Figure 5: FPU vector width", FeatVector,
+		"paper: +20% hydro ... +75% spmz at 512-bit, lulesh flat; core power ~+60%")
+}
+
+// BenchmarkFigure6CacheSize regenerates Fig. 6 (cache configuration sweep).
+func BenchmarkFigure6CacheSize(b *testing.B) {
+	figureBench(b, "Figure 6: cache sizes", FeatCache,
+		"paper: hydro +21%, btmz +9%, lulesh +12%, spec3d ~0")
+}
+
+// BenchmarkFigure7OoO regenerates Fig. 7 (out-of-order capability sweep).
+func BenchmarkFigure7OoO(b *testing.B) {
+	figureBench(b, "Figure 7: core OoO capabilities", FeatOoO,
+		"paper: lowend ~35% slower (spec3d 60%); medium/high close to aggressive at ~80% power")
+}
+
+// BenchmarkFigure8MemChannels regenerates Fig. 8 (memory channel sweep).
+func BenchmarkFigure8MemChannels(b *testing.B) {
+	figureBench(b, "Figure 8: memory channels", FeatChannels,
+		"paper: only lulesh speeds up (+60%); DRAM power ~2x, node power +10-20%")
+}
+
+// BenchmarkFigure9Frequency regenerates Fig. 9 (frequency sweep).
+func BenchmarkFigure9Frequency(b *testing.B) {
+	figureBench(b, "Figure 9: CPU frequency", FeatFreq,
+		"paper: ~linear speedup except hydro beyond 2.5 GHz; ~2.5x power at 2x clock")
+}
+
+// BenchmarkFigure10PCA regenerates Fig. 10 (principal component analysis).
+func BenchmarkFigure10PCA(b *testing.B) {
+	d := benchDataset(b)
+	b.ResetTimer()
+	results := map[string]*PCAResult{}
+	for i := 0; i < b.N; i++ {
+		for _, app := range []string{"hydro", "lulesh"} {
+			res, err := PCA(d, app)
+			if err != nil {
+				b.Fatal(err)
+			}
+			results[app] = res
+		}
+	}
+	printOnce("fig10", func() *report.Table {
+		t := report.NewTable("Figure 10: PCA loadings (paper: hydro PC0 = OoO vs time; lulesh PC0 = mem BW & cache vs time)",
+			"app", "component", "OoO", "MemBW", "FPU", "Cache", "Time", "explained")
+		for _, app := range []string{"hydro", "lulesh"} {
+			r := results[app]
+			for c := 0; c < 2; c++ {
+				t.AddRow(app, fmt.Sprintf("PC%d", c),
+					r.Loadings[c][0], r.Loadings[c][1], r.Loadings[c][2], r.Loadings[c][3], r.Loadings[c][4],
+					fmt.Sprintf("%.1f%%", r.Explained[c]*100))
+			}
+		}
+		return t
+	})
+}
+
+var (
+	unconvOnce sync.Once
+	unconvRows []UnconventionalRow
+)
+
+// BenchmarkTable2Unconventional regenerates Table II's configurations.
+func BenchmarkTable2Unconventional(b *testing.B) {
+	unconvOnce.Do(func() {
+		unconvRows = Unconventional(SimOptions{SampleInstrs: benchSample, WarmupInstrs: benchWarmup, Seed: 1})
+	})
+	var labels int
+	for i := 0; i < b.N; i++ {
+		labels = len(unconvRows)
+	}
+	if labels != 6 {
+		b.Fatalf("%d rows", labels)
+	}
+	printOnce("table2", func() *report.Table {
+		t := report.NewTable("Table II: application-specific configurations", "app", "label", "arch")
+		for _, r := range unconvRows {
+			t.AddRow(r.App, r.Label, r.Arch.Label())
+		}
+		return t
+	})
+}
+
+// BenchmarkFigure11Unconventional regenerates Fig. 11: the unconventional
+// configurations' relative performance/power/energy.
+func BenchmarkFigure11Unconventional(b *testing.B) {
+	unconvOnce.Do(func() {
+		unconvRows = Unconventional(SimOptions{SampleInstrs: benchSample, WarmupInstrs: benchWarmup, Seed: 1})
+	})
+	var sum float64
+	for i := 0; i < b.N; i++ {
+		for _, r := range unconvRows {
+			sum += r.RelPerf
+		}
+	}
+	_ = sum
+	printOnce("fig11", func() *report.Table {
+		t := report.NewTable("Figure 11 (paper: Vector+ 1.13x, Vector++ 1.43x perf / 3.14x power; MEM+ -47% energy; MEM++ 1.30x perf)",
+			"app", "config", "perf", "power", "energy")
+		for _, r := range unconvRows {
+			energy := fmt.Sprintf("%.3f", r.RelEnergy)
+			if !r.EnergyKnown {
+				energy = "n/a"
+			}
+			t.AddRow(r.App, r.Label, r.RelPerf, r.RelPower, energy)
+		}
+		return t
+	})
+}
+
+// --- Ablation benchmarks (DESIGN.md §7) ---
+
+// BenchmarkAblationDRAMSched compares FR-FCFS and FCFS DRAM scheduling on
+// mixed traffic.
+func BenchmarkAblationDRAMSched(b *testing.B) {
+	app, _ := App("lulesh")
+	for _, policy := range []dram.SchedPolicy{dram.FRFCFS, dram.FCFS} {
+		b.Run(policy.String(), func(b *testing.B) {
+			var bw float64
+			for i := 0; i < b.N; i++ {
+				m := node.BuildLatencyModel(app, dram.Config{Spec: dram.DDR4_2333(), Channels: 4}, policy, 1)
+				bw = m.SustainableBW()
+			}
+			b.ReportMetric(bw/1e9, "GB/s-sustained")
+		})
+	}
+}
+
+// BenchmarkAblationScheduler compares the central FIFO queue against work
+// stealing on a fine-grained task graph.
+func BenchmarkAblationScheduler(b *testing.B) {
+	app, _ := App("hydro")
+	g := app.RegionGraph(0, 1)
+	for _, policy := range []rts.Policy{rts.FIFOCentral, rts.WorkSteal} {
+		b.Run(policy.String(), func(b *testing.B) {
+			var mk float64
+			for i := 0; i < b.N; i++ {
+				s := rts.Simulate(g, rts.Options{Threads: 64, DispatchNs: 100, Policy: policy})
+				mk = s.MakespanNs
+			}
+			b.ReportMetric(mk/1e3, "makespan-us")
+		})
+	}
+}
+
+// BenchmarkAblationContention measures the bandwidth-contention fixed point
+// on versus off for the bandwidth-bound application.
+func BenchmarkAblationContention(b *testing.B) {
+	app, _ := App("lulesh")
+	for _, disable := range []bool{false, true} {
+		name := "fixedpoint"
+		if disable {
+			name = "flat-latency"
+		}
+		b.Run(name, func(b *testing.B) {
+			point := dse.ArchPoint{
+				Cores: 64, Core: cpu.Medium(), FreqGHz: 2.0, VectorBits: 128,
+				Cache: dse.CacheConfigs()[1], Channels: 4, Mem: dse.DDR4,
+			}
+			cfg := point.NodeConfig(60000, 200000, 1)
+			cfg.DisableContention = disable
+			var t float64
+			for i := 0; i < b.N; i++ {
+				res := node.Simulate(app, cfg)
+				t = res.ComputeNs
+			}
+			b.ReportMetric(t/1e6, "compute-ms")
+		})
+	}
+}
+
+// BenchmarkAblationFusionWindow sweeps the vector model's MinRun threshold:
+// how many consecutive loop iterations a block needs before wide fusion.
+func BenchmarkAblationFusionWindow(b *testing.B) {
+	app, _ := App("spmz")
+	for _, minRun := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("minrun-%d", minRun), func(b *testing.B) {
+			var fused int64
+			for i := 0; i < b.N; i++ {
+				src := &isa.LimitStream{S: apps.NewDetailedStream(app, 1), N: 60000}
+				fu := isa.NewFuser(src, isa.FuserConfig{WidthBits: 512, MinRun: minRun, MaxBlock: 4096})
+				for {
+					if _, ok := fu.Next(); !ok {
+						break
+					}
+				}
+				fused = fu.Stats().Fused
+			}
+			b.ReportMetric(float64(fused), "lanes-fused")
+		})
+	}
+}
+
+// BenchmarkAblationPrefetcher measures the stream prefetcher's effect on
+// the bandwidth-bound code.
+func BenchmarkAblationPrefetcher(b *testing.B) {
+	app, _ := App("lulesh")
+	for _, deg := range []int{-1, 4} {
+		name := "prefetch-on"
+		if deg < 0 {
+			name = "prefetch-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			var ipc float64
+			for i := 0; i < b.N; i++ {
+				hier := cache.NewHierarchy(cache.HierarchyConfig{
+					L1:              cache.Config{Name: "L1", SizeBytes: 32 * 1024, Assoc: 8, LatencyCycle: 4},
+					L2:              cache.Config{Name: "L2", SizeBytes: 512 * 1024, Assoc: 16, LatencyCycle: 11},
+					L3:              cache.Config{Name: "L3", SizeBytes: 1 << 20, Assoc: 16, LatencyCycle: 70},
+					MemLatencyCycle: 120,
+					PrefetchDegree:  deg,
+				})
+				c := cpu.New(cpu.Medium(), hier, 1)
+				src := &isa.LimitStream{S: apps.NewDetailedStream(app, 1), N: 60000}
+				fu := isa.NewFuser(src, isa.DefaultFuserConfig(128))
+				ipc = c.Run(fu).IPC()
+			}
+			b.ReportMetric(ipc, "ipc")
+		})
+	}
+}

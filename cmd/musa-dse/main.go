@@ -1,0 +1,159 @@
+// musa-dse runs the paper's 864-configuration design space exploration and
+// regenerates the evaluation figures (Figs. 1, 5-11, Tables I-II).
+//
+// Usage:
+//
+//	musa-dse -list                 # print the Table I design space
+//	musa-dse -fig 5                # run the sweep, print one figure
+//	musa-dse -all                  # run the sweep, print every figure
+//	musa-dse -all -csv -sample 100000 -apps hydro,lulesh
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"musa"
+	"musa/internal/dse"
+	"musa/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("musa-dse: ")
+
+	list := flag.Bool("list", false, "list the design space and exit")
+	figure := flag.Int("fig", 0, "figure to regenerate (1, 5, 6, 7, 8, 9, 10, 11)")
+	all := flag.Bool("all", false, "regenerate every figure")
+	appsFlag := flag.String("apps", "", "comma-separated applications (default all)")
+	sample := flag.Int64("sample", 0, "detailed sample micro-ops (0 = default)")
+	warmup := flag.Int64("warmup", 0, "warmup micro-ops (0 = 2x sample)")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	seed := flag.Uint64("seed", 1, "seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	flag.Parse()
+
+	if *list {
+		tbl := report.NewTable("Table I design space (864 configurations)", "#", "configuration")
+		for i, p := range dse.Enumerate() {
+			tbl.AddRow(i, p.Label())
+		}
+		must(tbl.Write(os.Stdout))
+		return
+	}
+	if *figure == 0 && !*all {
+		log.Fatal("nothing to do: pass -list, -fig N or -all")
+	}
+
+	opts := musa.SweepOptions{
+		SampleInstrs: *sample,
+		WarmupInstrs: *warmup,
+		Workers:      *workers,
+		Seed:         *seed,
+	}
+	if *appsFlag != "" {
+		opts.AppNames = strings.Split(*appsFlag, ",")
+	}
+	if !*quiet {
+		opts.Progress = func(done, total int) {
+			if done%200 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "\rsweep: %d/%d", done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+	}
+	d, err := musa.RunSweep(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	emit := func(t *report.Table) {
+		if *csv {
+			must(t.WriteCSV(os.Stdout))
+		} else {
+			must(t.Write(os.Stdout))
+		}
+		fmt.Println()
+	}
+
+	want := func(n int) bool { return *all || *figure == n }
+
+	if want(1) {
+		t := report.NewTable("Figure 1: application runtime statistics",
+			"app", "cores", "L1 MPKI", "L2 MPKI", "L3 MPKI", "GReq/s")
+		for _, r := range musa.Characterization(d) {
+			t.AddRow(r.App, r.Cores, r.L1MPKI, r.L2MPKI, r.L3MPKI, r.GMemReqPerSec/1e9)
+		}
+		emit(t)
+	}
+	figs := []struct {
+		n    int
+		name string
+		feat musa.Feature
+	}{
+		{5, "FPU vector width", musa.FeatVector},
+		{6, "cache sizes", musa.FeatCache},
+		{7, "core OoO capabilities", musa.FeatOoO},
+		{8, "memory channels", musa.FeatChannels},
+		{9, "CPU frequency", musa.FeatFreq},
+	}
+	for _, f := range figs {
+		if !want(f.n) {
+			continue
+		}
+		for _, cores := range []int{32, 64} {
+			t := report.NewTable(fmt.Sprintf("Figure %d: %s (%d cores x 256 ranks)", f.n, f.name, cores),
+				"app", "value", "speedup", "sd", "power", "coreL1 W", "L2L3 W", "mem W", "energy")
+			perf := musa.SpeedupBars(d, f.feat, cores)
+			pow := musa.PowerBars(d, f.feat, cores)
+			c1, c2, c3 := musa.PowerComponentBars(d, f.feat, cores)
+			en := musa.EnergyBars(d, f.feat, cores)
+			for i := range perf {
+				t.AddRow(perf[i].App, perf[i].Value, perf[i].Mean, perf[i].Std,
+					pow[i].Mean, c1[i].Mean, c2[i].Mean, c3[i].Mean, en[i].Mean)
+			}
+			emit(t)
+		}
+	}
+	if want(10) {
+		for _, app := range []string{"hydro", "lulesh"} {
+			res, err := musa.PCA(d, app)
+			if err != nil {
+				log.Fatal(err)
+			}
+			t := report.NewTable(fmt.Sprintf("Figure 10: PCA for %s (PC0 %.1f%%, PC1 %.1f%% of variance)",
+				app, res.Explained[0]*100, res.Explained[1]*100),
+				"variable", "PC0", "PC1")
+			for v, l := range res.Labels {
+				t.AddRow(l, res.Loadings[0][v], res.Loadings[1][v])
+			}
+			emit(t)
+		}
+	}
+	if want(11) {
+		t := report.NewTable("Table II / Figure 11: unconventional configurations",
+			"app", "config", "perf", "power", "energy")
+		for _, r := range musa.Unconventional(musa.SimOptions{
+			SampleInstrs: *sample, WarmupInstrs: *warmup, Seed: *seed,
+		}) {
+			energy := fmt.Sprintf("%.3f", r.RelEnergy)
+			if !r.EnergyKnown {
+				energy = "n/a (no HBM power data)"
+			}
+			t.AddRow(r.App, r.Label, r.RelPerf, r.RelPower, energy)
+		}
+		emit(t)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,56 @@
+// musa-pca reproduces the paper's principal component analysis (§V-C,
+// Fig. 10): the correlation structure between architectural parameters and
+// execution time over the 64-core, 2 GHz slice of the design space.
+//
+// Usage:
+//
+//	musa-pca [-apps hydro,lulesh] [-sample 100000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"musa"
+	"musa/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("musa-pca: ")
+
+	appsFlag := flag.String("apps", "hydro,lulesh", "applications to analyze")
+	sample := flag.Int64("sample", 0, "detailed sample micro-ops (0 = default)")
+	seed := flag.Uint64("seed", 1, "seed")
+	flag.Parse()
+
+	names := strings.Split(*appsFlag, ",")
+	d, err := musa.RunSweep(musa.SweepOptions{
+		AppNames:     names,
+		SampleInstrs: *sample,
+		Seed:         *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, app := range names {
+		res, err := musa.PCA(d, app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := report.NewTable(
+			fmt.Sprintf("PCA %s — PC0 explains %.2f%%, PC1 %.2f%% of variance",
+				app, res.Explained[0]*100, res.Explained[1]*100),
+			"variable", "PC0", "PC1")
+		for v, l := range res.Labels {
+			t.AddRow(l, res.Loadings[0][v], res.Loadings[1][v])
+		}
+		if err := t.Write(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+}

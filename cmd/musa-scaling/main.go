@@ -1,0 +1,59 @@
+// musa-scaling runs the burst-mode (hardware-agnostic) scaling analysis of
+// the paper's §V-A: Fig. 2a (single compute region) and Fig. 2b (whole
+// parallel region including MPI overheads).
+//
+// Usage:
+//
+//	musa-scaling -mode region            # Fig. 2a
+//	musa-scaling -mode full -ranks 256   # Fig. 2b
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"musa"
+	"musa/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("musa-scaling: ")
+
+	mode := flag.String("mode", "region", "region (Fig. 2a) or full (Fig. 2b)")
+	ranks := flag.Int("ranks", 256, "MPI ranks for full mode")
+	flag.Parse()
+
+	cores := []int{1, 32, 64}
+	switch *mode {
+	case "region":
+		t := report.NewTable("Figure 2a: single compute region scaling (hardware agnostic)",
+			"app", "1 core", "32 cores", "64 cores", "eff@32", "eff@64")
+		for _, app := range musa.Applications() {
+			sp := musa.RegionScaling(app, cores)
+			t.AddRow(app.Name, sp[0], sp[1], sp[2], sp[1]/32, sp[2]/64)
+		}
+		must(t.Write(os.Stdout))
+	case "full":
+		t := report.NewTable(
+			fmt.Sprintf("Figure 2b: full application scaling incl. MPI (%d ranks)", *ranks),
+			"app", "speedup@32", "speedup@64", "eff@32", "eff@64", "MPI frac@64")
+		model := musa.MareNostrumNetwork()
+		for _, app := range musa.Applications() {
+			res := musa.FullAppScaling(app, *ranks, []int{32, 64}, model)
+			t.AddRow(app.Name, res[0].Speedup, res[1].Speedup,
+				res[0].Efficiency, res[1].Efficiency, res[1].MPIFraction)
+		}
+		must(t.Write(os.Stdout))
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

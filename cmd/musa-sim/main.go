@@ -1,0 +1,88 @@
+// musa-sim runs a single detailed node simulation of one application on one
+// architectural configuration and prints the performance, cache and power
+// results.
+//
+// Usage:
+//
+//	musa-sim -app lulesh -cores 64 -core medium -freq 2.0 -vector 128 \
+//	         -cache 64M:512K -channels 4 [-hbm] [-sample 300000] [-ranks 0]
+//
+// With -ranks N > 0 the full-application replay across N MPI ranks is run
+// as well (detailed mode end to end).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"musa"
+	"musa/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("musa-sim: ")
+
+	appName := flag.String("app", "hydro", "application: hydro, spmz, btmz, spec3d, lulesh")
+	cores := flag.Int("cores", 64, "cores per socket (1, 32, 64)")
+	coreType := flag.String("core", "medium", "core type: lowend, medium, high, aggressive")
+	freq := flag.Float64("freq", 2.0, "clock frequency in GHz")
+	vector := flag.Int("vector", 128, "FPU vector width in bits")
+	cacheLabel := flag.String("cache", "64M:512K", "cache config: 32M:256K, 64M:512K, 96M:1M")
+	channels := flag.Int("channels", 4, "DDR channels")
+	hbm := flag.Bool("hbm", false, "use HBM2 instead of DDR4-2333")
+	sample := flag.Int64("sample", 0, "detailed sample length in micro-ops (0 = default)")
+	warmup := flag.Int64("warmup", 0, "cache warmup length (0 = 2x sample)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	ranks := flag.Int("ranks", 0, "also replay a full run across N MPI ranks")
+	flag.Parse()
+
+	app, err := musa.App(*appName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	arch := musa.Arch{
+		Cores: *cores, CoreType: *coreType, FreqGHz: *freq,
+		VectorBits: *vector, CacheLabel: *cacheLabel, Channels: *channels, HBM: *hbm,
+	}
+	opts := musa.SimOptions{SampleInstrs: *sample, WarmupInstrs: *warmup, Seed: *seed}
+
+	res := musa.SimulateNodeOpts(app, arch, opts)
+	l1, l2, l3 := res.MPKI()
+
+	tbl := report.NewTable(fmt.Sprintf("%s on %dx %s @ %.1f GHz, %d-bit SIMD, %s, %dch",
+		app.Name, *cores, *coreType, *freq, *vector, *cacheLabel, *channels),
+		"metric", "value")
+	tbl.AddRow("compute time (ms)", res.ComputeNs/1e6)
+	tbl.AddRow("IPC (sample core)", res.CoreRes.IPC())
+	tbl.AddRow("avg active cores", res.AvgActiveCores)
+	tbl.AddRow("L1 MPKI", l1)
+	tbl.AddRow("L2 MPKI", l2)
+	tbl.AddRow("L3 MPKI", l3)
+	tbl.AddRow("DRAM GReq/s", res.GMemReqPerSec/1e9)
+	tbl.AddRow("mem latency (ns)", res.MemLatencyNs)
+	tbl.AddRow("offered BW (GB/s)", res.OfferedBW/1e9)
+	tbl.AddRow("power core+L1 (W)", res.Power.CoreL1)
+	tbl.AddRow("power L2+L3 (W)", res.Power.L2L3)
+	tbl.AddRow("power memory (W)", res.Power.Memory)
+	tbl.AddRow("power total (W)", res.Power.Total())
+	tbl.AddRow("energy (J)", res.EnergyJ)
+	if err := tbl.Write(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	if *ranks > 0 {
+		full := musa.SimulateFullApp(app, arch, *ranks, musa.MareNostrumNetwork(), opts)
+		t2 := report.NewTable(fmt.Sprintf("full application, %d ranks", *ranks), "metric", "value")
+		t2.AddRow("makespan (ms)", full.MakespanNs/1e6)
+		t2.AddRow("parallel efficiency", full.Replay.AvgParallelEfficiency())
+		t2.AddRow("MPI fraction", full.Replay.MPIFraction())
+		t2.AddRow("avg node power (W)", full.NodeAvgPowerW)
+		t2.AddRow("system energy (J)", full.SystemEnergyJ)
+		if err := t2.Write(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// musa-trace synthesizes, inspects and visualizes MUSA traces: burst traces
+// (JSON), detailed instruction traces (binary) and the text timelines that
+// substitute for the paper's Paraver screenshots (Figs. 3 and 4).
+//
+// Usage:
+//
+//	musa-trace -app spec3d -timeline threads -cores 64   # Fig. 3
+//	musa-trace -app lulesh -timeline ranks -ranks 64     # Fig. 4
+//	musa-trace -app hydro -dump-burst trace.json
+//	musa-trace -app hydro -dump-detailed trace.bin -n 100000
+//	musa-trace -summarize trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"musa"
+	"musa/internal/apps"
+	"musa/internal/core"
+	"musa/internal/isa"
+	"musa/internal/net"
+	"musa/internal/report"
+	"musa/internal/rts"
+	"musa/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("musa-trace: ")
+
+	appName := flag.String("app", "hydro", "application")
+	timeline := flag.String("timeline", "", "render a timeline: 'threads' (Fig. 3) or 'ranks' (Fig. 4)")
+	cores := flag.Int("cores", 64, "threads for the Fig. 3 timeline")
+	ranks := flag.Int("ranks", 64, "ranks for the Fig. 4 timeline / burst dump")
+	dumpBurst := flag.String("dump-burst", "", "write the JSON burst trace to this file")
+	dumpDetailed := flag.String("dump-detailed", "", "write a binary detailed trace to this file")
+	n := flag.Int64("n", 100000, "detailed trace length (micro-ops)")
+	summarize := flag.String("summarize", "", "summarize a JSON burst trace file")
+	seed := flag.Uint64("seed", 1, "seed")
+	flag.Parse()
+
+	if *summarize != "" {
+		f, err := os.Open(*summarize)
+		must(err)
+		defer f.Close()
+		b, err := trace.ReadBurst(f)
+		must(err)
+		s := b.Summarize()
+		fmt.Printf("app=%s ranks=%d regions=%d events=%d compute=%.3fms p2p=%d msgs/%d bytes collectives=%d\n",
+			b.App, s.Ranks, s.Regions, s.Events, s.ComputeNs/1e6, s.P2PMessages, s.P2PBytes, s.Collectives)
+		return
+	}
+
+	app, err := musa.App(*appName)
+	must(err)
+
+	switch *timeline {
+	case "threads":
+		g := app.RegionGraph(0, *seed)
+		s := rts.Simulate(g, rts.Options{Threads: *cores, DispatchNs: 100, Policy: rts.FIFOCentral})
+		fmt.Printf("%s compute region on %d threads (busy '#', idle '.'); Fig. 3 view\n", app.Name, *cores)
+		must(report.WriteScheduleTimeline(os.Stdout, g, s, *cores))
+		return
+	case "ranks":
+		b := core.SampleBurst(app, *ranks, *seed)
+		res := net.Replay(b, net.MareNostrum4(), nil)
+		fmt.Printf("%s across %d ranks (compute '#', MPI wait 'w'); Fig. 4 view\n", app.Name, *ranks)
+		must(report.WriteReplayTimeline(os.Stdout, res))
+		return
+	case "":
+	default:
+		log.Fatalf("unknown timeline %q", *timeline)
+	}
+
+	if *dumpBurst != "" {
+		b := core.SampleBurst(app, *ranks, *seed)
+		f, err := os.Create(*dumpBurst)
+		must(err)
+		defer f.Close()
+		must(trace.WriteBurst(f, b))
+		fmt.Printf("wrote burst trace (%d ranks) to %s\n", *ranks, *dumpBurst)
+		return
+	}
+	if *dumpDetailed != "" {
+		src := &isa.LimitStream{S: apps.NewDetailedStream(app, *seed), N: *n}
+		d := &trace.Detailed{App: app.Name, Region: app.Regions[0].Name, Instrs: isa.Collect(src)}
+		f, err := os.Create(*dumpDetailed)
+		must(err)
+		defer f.Close()
+		must(trace.WriteDetailed(f, d))
+		fmt.Printf("wrote detailed trace (%d micro-ops) to %s\n", len(d.Instrs), *dumpDetailed)
+		return
+	}
+	log.Fatal("nothing to do: pass -timeline, -dump-burst, -dump-detailed or -summarize")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

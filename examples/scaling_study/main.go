@@ -1,0 +1,57 @@
+// scaling_study: the paper's §V-A analysis for one application — burst-mode
+// region scaling, whole-application scaling with MPI, and the two trace
+// timelines (thread occupancy and rank barrier waiting).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"musa"
+	"musa/internal/core"
+	"musa/internal/net"
+	"musa/internal/report"
+	"musa/internal/rts"
+)
+
+func main() {
+	app, err := musa.App("spec3d")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cores := []int{1, 2, 4, 8, 16, 32, 64}
+	sp := musa.RegionScaling(app, cores)
+	fmt.Printf("%s compute-region scaling (hardware agnostic):\n", app.Name)
+	for i, c := range cores {
+		bar := ""
+		for j := 0; j < int(sp[i]); j++ {
+			bar += "*"
+		}
+		fmt.Printf("  %3d cores: %6.2fx  %s\n", c, sp[i], bar)
+	}
+
+	full := musa.FullAppScaling(app, 64, []int{32, 64}, musa.MareNostrumNetwork())
+	fmt.Printf("\nfull application over 64 ranks:\n")
+	for i, c := range []int{32, 64} {
+		fmt.Printf("  %d cores/node: speedup %.1fx, efficiency %.0f%%, MPI %.0f%%\n",
+			c, full[i].Speedup, 100*full[i].Efficiency, 100*full[i].MPIFraction)
+	}
+
+	// Fig. 3 view: why efficiency is poor — most threads sit idle.
+	fmt.Printf("\nthread occupancy on 64 cores (busy '#', idle '.'):\n")
+	g := app.RegionGraph(0, 1)
+	s := rts.Simulate(g, rts.Options{Threads: 64, DispatchNs: 100, Policy: rts.FIFOCentral})
+	if err := report.WriteScheduleTimeline(os.Stdout, g, s, 64); err != nil {
+		log.Fatal(err)
+	}
+
+	// Fig. 4 view: barrier waiting across ranks.
+	fmt.Printf("\nrank timeline over 32 ranks (compute '#', MPI wait 'w'):\n")
+	b := core.SampleBurst(app, 32, 1)
+	res := net.Replay(b, net.MareNostrum4(), nil)
+	if err := report.WriteReplayTimeline(os.Stdout, res); err != nil {
+		log.Fatal(err)
+	}
+}

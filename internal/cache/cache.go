@@ -1,0 +1,256 @@
+// Package cache implements the node's cache hierarchy: set-associative
+// write-back caches with LRU replacement, a three-level hierarchy (private
+// L1/L2, shared L3 modeled as a per-core partition, matching MUSA's
+// single-rank detailed sampling), and the miss statistics (MPKI) reported in
+// Figure 1 of the paper.
+package cache
+
+import "fmt"
+
+// LineBytes is the cache line size used throughout the evaluation.
+const LineBytes = 64
+
+const lineShift = 6 // log2(LineBytes)
+
+// Config describes one cache level.
+type Config struct {
+	Name         string
+	SizeBytes    int
+	Assoc        int
+	LatencyCycle int // access latency in core cycles (hit time)
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.SizeBytes%LineBytes != 0 {
+		return fmt.Errorf("cache %s: size %d not a positive multiple of %d", c.Name, c.SizeBytes, LineBytes)
+	}
+	if c.Assoc <= 0 {
+		return fmt.Errorf("cache %s: associativity %d", c.Name, c.Assoc)
+	}
+	lines := c.SizeBytes / LineBytes
+	if lines%c.Assoc != 0 {
+		return fmt.Errorf("cache %s: %d lines not divisible by assoc %d", c.Name, lines, c.Assoc)
+	}
+	sets := lines / c.Assoc
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: %d sets not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// Stats accumulates access counters for one cache.
+type Stats struct {
+	Accesses   int64
+	Misses     int64
+	Evictions  int64
+	Writebacks int64
+}
+
+// MissRate returns misses/accesses, or 0 for an untouched cache.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// MPKI returns misses per kilo-instruction given an instruction count.
+func (s Stats) MPKI(instructions int64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(instructions) * 1000
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Accesses += other.Accesses
+	s.Misses += other.Misses
+	s.Evictions += other.Evictions
+	s.Writebacks += other.Writebacks
+}
+
+type line struct {
+	tag   uint64
+	age   uint64
+	valid bool
+	dirty bool
+}
+
+// Cache is a single set-associative write-back, write-allocate cache with
+// true LRU replacement. It is not safe for concurrent use.
+type Cache struct {
+	cfg     Config
+	sets    [][]line
+	setMask uint64
+	setBits uint
+	tick    uint64
+	Stats   Stats
+}
+
+// New builds a cache; it panics on invalid configuration (configurations are
+// produced by the DSE enumerator, so an invalid one is a programming error).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nSets := cfg.SizeBytes / LineBytes / cfg.Assoc
+	bits := uint(0)
+	for s := nSets; s > 1; s >>= 1 {
+		bits++
+	}
+	c := &Cache{
+		cfg:     cfg,
+		sets:    make([][]line, nSets),
+		setMask: uint64(nSets - 1),
+		setBits: bits,
+	}
+	store := make([]line, nSets*cfg.Assoc)
+	for i := range c.sets {
+		c.sets[i] = store[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// AccessResult describes the outcome of a single-level access.
+type AccessResult struct {
+	EvictedAddr  uint64 // byte address of the victim line, if Evicted
+	Hit          bool
+	Evicted      bool
+	EvictedDirty bool // the victim was dirty (a write-back is required)
+}
+
+// Access looks up the line containing addr, allocating it on a miss and
+// marking it dirty when write is set. It returns the outcome.
+func (c *Cache) Access(addr uint64, write bool) AccessResult {
+	c.tick++
+	c.Stats.Accesses++
+	lineAddr := addr >> lineShift
+	set := c.sets[lineAddr&c.setMask]
+	tag := lineAddr >> c.setBits
+
+	victim, empty := -1, -1
+	for i := range set {
+		if !set[i].valid {
+			if empty < 0 {
+				empty = i
+			}
+			continue
+		}
+		if set[i].tag == tag {
+			set[i].age = c.tick
+			if write {
+				set[i].dirty = true
+			}
+			return AccessResult{Hit: true}
+		}
+		if victim < 0 || set[i].age < set[victim].age {
+			victim = i
+		}
+	}
+	if empty >= 0 {
+		victim = empty
+	}
+
+	c.Stats.Misses++
+	res := AccessResult{}
+	if set[victim].valid {
+		c.Stats.Evictions++
+		res.Evicted = true
+		res.EvictedAddr = ((set[victim].tag << c.setBits) | (lineAddr & c.setMask)) << lineShift
+		if set[victim].dirty {
+			c.Stats.Writebacks++
+			res.EvictedDirty = true
+		}
+	}
+	set[victim] = line{tag: tag, age: c.tick, valid: true, dirty: write}
+	return res
+}
+
+// Insert fills the line holding addr without touching demand statistics
+// (prefetch fills). It reports whether the line was actually inserted (false
+// when already present) and the eviction outcome.
+func (c *Cache) Insert(addr uint64) (AccessResult, bool) {
+	lineAddr := addr >> lineShift
+	set := c.sets[lineAddr&c.setMask]
+	tag := lineAddr >> c.setBits
+	victim, empty := -1, -1
+	for i := range set {
+		if !set[i].valid {
+			if empty < 0 {
+				empty = i
+			}
+			continue
+		}
+		if set[i].tag == tag {
+			return AccessResult{Hit: true}, false
+		}
+		if victim < 0 || set[i].age < set[victim].age {
+			victim = i
+		}
+	}
+	if empty >= 0 {
+		victim = empty
+	}
+	res := AccessResult{}
+	if set[victim].valid {
+		res.Evicted = true
+		res.EvictedAddr = ((set[victim].tag << c.setBits) | (lineAddr & c.setMask)) << lineShift
+		res.EvictedDirty = set[victim].dirty
+	}
+	c.tick++
+	set[victim] = line{tag: tag, age: c.tick, valid: true}
+	return res, true
+}
+
+// MarkDirty sets the dirty bit on the line holding addr if present, without
+// touching LRU state or demand statistics (used for write-backs arriving
+// from the level above). It reports whether the line was found.
+func (c *Cache) MarkDirty(addr uint64) bool {
+	lineAddr := addr >> lineShift
+	set := c.sets[lineAddr&c.setMask]
+	tag := lineAddr >> c.setBits
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].dirty = true
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether the line holding addr is present (test helper; it
+// does not update LRU state or statistics).
+func (c *Cache) Contains(addr uint64) bool {
+	lineAddr := addr >> lineShift
+	set := c.sets[lineAddr&c.setMask]
+	tag := lineAddr >> c.setBits
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// ResetStats zeroes the statistics counters without touching cache contents
+// (used to separate warmup from the measured window).
+func (c *Cache) ResetStats() { c.Stats = Stats{} }
+
+// Flush invalidates all lines and returns the number of dirty lines dropped.
+func (c *Cache) Flush() int {
+	dirty := 0
+	for si := range c.sets {
+		for li := range c.sets[si] {
+			if c.sets[si][li].valid && c.sets[si][li].dirty {
+				dirty++
+			}
+			c.sets[si][li] = line{}
+		}
+	}
+	return dirty
+}

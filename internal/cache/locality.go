@@ -1,0 +1,193 @@
+package cache
+
+import (
+	"fmt"
+
+	"musa/internal/xrand"
+)
+
+// AccessPattern selects how a Region is traversed by the synthetic address
+// generator.
+type AccessPattern uint8
+
+const (
+	// Sequential walks the region with a fixed stride, wrapping around.
+	// Reuse distance equals the region footprint, producing the classic
+	// working-set knee: the region hits in every cache at least as large as
+	// its footprint and misses in smaller ones (beyond spatial reuse inside
+	// a line).
+	Sequential AccessPattern = iota
+	// RandomLine touches a uniformly random line of the region, producing a
+	// hit rate proportional to cacheSize/footprint when the region does not
+	// fit.
+	RandomLine
+	// RandomBlock picks a uniformly random BlockBytes-aligned block and
+	// walks it sequentially before picking the next. Cache behavior is
+	// random-like at capacities below the footprint, while the DRAM row
+	// buffer sees good locality — the access shape of blocked/tiled HPC
+	// kernels.
+	RandomBlock
+)
+
+func (p AccessPattern) String() string {
+	switch p {
+	case Sequential:
+		return "seq"
+	case RandomBlock:
+		return "randblock"
+	}
+	return "rand"
+}
+
+// Region is one logical data structure of an application's working set.
+type Region struct {
+	Name    string
+	Bytes   int64   // footprint
+	Weight  float64 // fraction of memory accesses that land here
+	Pattern AccessPattern
+	Stride  int64 // element stride for Sequential/RandomBlock (bytes); 0 means 8
+	// BlockBytes is the block size for RandomBlock; 0 means 4096.
+	BlockBytes int64
+	WriteFrac  float64 // fraction of accesses to this region that are stores
+}
+
+// LocalityProfile is the memory-locality model of an application: a weighted
+// mixture of regions. It substitutes for the address streams that the paper
+// collects with DynamoRIO (see DESIGN.md §2).
+type LocalityProfile struct {
+	Regions []Region
+}
+
+// Validate reports profile errors.
+func (p LocalityProfile) Validate() error {
+	if len(p.Regions) == 0 {
+		return fmt.Errorf("locality: no regions")
+	}
+	var w float64
+	for i, r := range p.Regions {
+		if r.Bytes <= 0 {
+			return fmt.Errorf("locality: region %d (%s) has footprint %d", i, r.Name, r.Bytes)
+		}
+		if r.Weight < 0 {
+			return fmt.Errorf("locality: region %d (%s) has negative weight", i, r.Name)
+		}
+		w += r.Weight
+	}
+	if w <= 0 {
+		return fmt.Errorf("locality: weights sum to zero")
+	}
+	return nil
+}
+
+// AddressGen produces a synthetic address stream following a profile. Each
+// region lives in its own segment of the address space so distinct regions
+// never alias.
+type AddressGen struct {
+	profile LocalityProfile
+	pick    *xrand.Discrete
+	rng     *xrand.RNG
+	bases   []uint64
+	cursors []uint64
+	blocks  []uint64 // current block base offset for RandomBlock regions
+}
+
+// regionSegment spaces region base addresses 1 GiB apart.
+const regionSegment = 1 << 30
+
+// NewAddressGen builds a generator; it panics on an invalid profile.
+func NewAddressGen(p LocalityProfile, rng *xrand.RNG) *AddressGen {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	weights := make([]float64, len(p.Regions))
+	bases := make([]uint64, len(p.Regions))
+	for i, r := range p.Regions {
+		weights[i] = r.Weight
+		bases[i] = uint64(i+1) * regionSegment
+	}
+	return &AddressGen{
+		profile: p,
+		pick:    xrand.NewDiscrete(weights),
+		rng:     rng,
+		bases:   bases,
+		cursors: make([]uint64, len(p.Regions)),
+		blocks:  make([]uint64, len(p.Regions)),
+	}
+}
+
+// Next returns the next access: its byte address and whether it is a store.
+func (g *AddressGen) Next() (addr uint64, write bool) {
+	i := g.pick.Sample(g.rng)
+	r := &g.profile.Regions[i]
+	switch r.Pattern {
+	case Sequential:
+		stride := r.Stride
+		if stride <= 0 {
+			stride = 8
+		}
+		addr = g.bases[i] + g.cursors[i]
+		g.cursors[i] = (g.cursors[i] + uint64(stride)) % uint64(r.Bytes)
+	case RandomLine:
+		lines := r.Bytes / LineBytes
+		if lines < 1 {
+			lines = 1
+		}
+		addr = g.bases[i] + uint64(g.rng.Int63n(lines))*LineBytes + uint64(g.rng.Intn(LineBytes/8))*8
+	case RandomBlock:
+		block := r.BlockBytes
+		if block <= 0 {
+			block = 4096
+		}
+		if block > r.Bytes {
+			block = r.Bytes
+		}
+		stride := r.Stride
+		if stride <= 0 {
+			stride = 8
+		}
+		if g.cursors[i] == 0 {
+			// Pick a new random block, aligned to the block size.
+			nBlocks := r.Bytes / block
+			if nBlocks < 1 {
+				nBlocks = 1
+			}
+			g.blocks[i] = uint64(g.rng.Int63n(nBlocks)) * uint64(block)
+		}
+		addr = g.bases[i] + g.blocks[i] + g.cursors[i]
+		g.cursors[i] = (g.cursors[i] + uint64(stride)) % uint64(block)
+	}
+	write = g.rng.Bernoulli(r.WriteFrac)
+	return addr, write
+}
+
+// NextIn draws a uniformly random line address from region i, regardless of
+// the region's configured pattern. The workload synthesizer uses it for
+// pointer-chase loops, which dereference random locations of a specific
+// data structure.
+func (g *AddressGen) NextIn(i int) uint64 {
+	r := &g.profile.Regions[i]
+	lines := r.Bytes / LineBytes
+	if lines < 1 {
+		lines = 1
+	}
+	return g.bases[i] + uint64(g.rng.Int63n(lines))*LineBytes
+}
+
+// RegionIndex returns the index of the named region, or -1.
+func (p LocalityProfile) RegionIndex(name string) int {
+	for i, r := range p.Regions {
+		if r.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// FootprintBytes returns the total footprint of the profile.
+func (p LocalityProfile) FootprintBytes() int64 {
+	var t int64
+	for _, r := range p.Regions {
+		t += r.Bytes
+	}
+	return t
+}

@@ -1,0 +1,118 @@
+package cpu
+
+import (
+	"musa/internal/cache"
+	"musa/internal/isa"
+	"musa/internal/xrand"
+)
+
+// Annotated is one instruction with its cache behavior resolved. Cache
+// behavior is independent of core timing and memory latency, so an annotated
+// trace can be replayed through the timing model many times — across the
+// bandwidth-contention fixed point and across core/frequency configurations
+// that share the same cache configuration — without re-simulating the cache
+// hierarchy. This mirrors MUSA's split between trace generation and timing
+// simulation and is what makes the 864-point sweep cheap.
+type Annotated struct {
+	Dep1, Dep2 int32
+	Class      isa.Class
+	Lanes      uint8
+	Level      uint8 // cache.Level for memory ops; 0 otherwise
+	Flags      uint8 // bit 0: branch mispredict
+}
+
+// Flag bits in Annotated.Flags.
+const FlagMispredict = 1
+
+// AnnotateResult bundles the annotated trace with the cache statistics of
+// the measured window.
+type AnnotateResult struct {
+	Instrs              []Annotated
+	L1, L2, L3          cache.Stats
+	MemReads, MemWrites int64
+}
+
+// Annotate resolves the cache level of every memory access in the stream
+// and pre-draws branch misprediction outcomes. The hierarchy should already
+// be warm (see Warm); its statistics are reset at the start of annotation so
+// the returned stats cover exactly the annotated window.
+func Annotate(stream isa.Stream, hier *cache.Hierarchy, mispredictRate float64, seed uint64) AnnotateResult {
+	hier.ResetStats()
+	rng := xrand.New(seed)
+	var out []Annotated
+	for {
+		in, ok := stream.Next()
+		if !ok {
+			break
+		}
+		a := Annotated{
+			Dep1:  in.Dep1,
+			Dep2:  in.Dep2,
+			Class: in.Class,
+			Lanes: in.Lanes,
+		}
+		if in.Class.IsMem() {
+			lvl, _ := hier.Access(in.Addr, int(in.Size), in.Class == isa.Store)
+			a.Level = uint8(lvl)
+		}
+		if in.Class == isa.Branch && mispredictRate > 0 && rng.Bernoulli(mispredictRate) {
+			a.Flags |= FlagMispredict
+		}
+		out = append(out, a)
+	}
+	return AnnotateResult{
+		Instrs:    out,
+		L1:        hier.L1Stats(),
+		L2:        hier.L2Stats(),
+		L3:        hier.L3Stats(),
+		MemReads:  hier.MemReads,
+		MemWrites: hier.MemWrites,
+	}
+}
+
+// Warm streams instructions through the hierarchy to populate cache contents
+// without recording anything.
+func Warm(stream isa.Stream, hier *cache.Hierarchy) {
+	for {
+		in, ok := stream.Next()
+		if !ok {
+			return
+		}
+		if in.Class.IsMem() {
+			hier.Access(in.Addr, int(in.Size), in.Class == isa.Store)
+		}
+	}
+}
+
+// LevelLatencies gives the load-to-use latency in core cycles per hierarchy
+// level. Mem must include the L3 lookup cost.
+type LevelLatencies struct {
+	L1, L2, L3, Mem int64
+}
+
+// Latency returns the latency for a cache.Level value.
+func (l LevelLatencies) Latency(level uint8) int64 {
+	switch cache.Level(level) {
+	case cache.LevelL1:
+		return l.L1
+	case cache.LevelL2:
+		return l.L2
+	case cache.LevelL3:
+		return l.L3
+	case cache.LevelMem:
+		return l.Mem
+	}
+	return l.L1
+}
+
+// LatenciesFor derives the level latencies from a hierarchy configuration
+// and an effective memory latency in nanoseconds at the given clock.
+func LatenciesFor(h cache.HierarchyConfig, memLatNs, freqGHz float64) LevelLatencies {
+	memCycles := int64(memLatNs * freqGHz)
+	return LevelLatencies{
+		L1:  int64(h.L1.LatencyCycle),
+		L2:  int64(h.L2.LatencyCycle),
+		L3:  int64(h.L3.LatencyCycle),
+		Mem: int64(h.L3.LatencyCycle) + memCycles,
+	}
+}

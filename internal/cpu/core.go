@@ -1,0 +1,287 @@
+package cpu
+
+import (
+	"musa/internal/cache"
+	"musa/internal/isa"
+)
+
+// Execution latencies in cycles per instruction class. Loads and stores get
+// their latency from the annotated cache level instead.
+var execLatency = [isa.NumClasses]int64{
+	isa.IntALU: 1,
+	isa.IntMul: 3,
+	isa.FPAdd:  3,
+	isa.FPMul:  4,
+	isa.FPDiv:  20,
+	isa.FPFMA:  5,
+	isa.Load:   0, // from cache
+	isa.Store:  1, // into store buffer; drains in background
+	isa.Branch: 1,
+}
+
+// occupancy is the cycles an instruction blocks its port (1 = pipelined).
+var occupancy = [isa.NumClasses]int64{
+	isa.IntALU: 1,
+	isa.IntMul: 1,
+	isa.FPAdd:  1,
+	isa.FPMul:  1,
+	isa.FPDiv:  16, // unpipelined divider
+	isa.FPFMA:  1,
+	isa.Load:   1,
+	isa.Store:  1,
+	isa.Branch: 1,
+}
+
+// mispredictPenalty is the pipeline refill penalty in cycles.
+const mispredictPenalty = 14
+
+// Result accumulates the outcome of one core simulation.
+type Result struct {
+	Cycles       int64
+	Instructions int64 // dynamic ops executed (after fusion)
+	LaneWork     int64 // total scalar elements (fusion-invariant work)
+	ClassOps     [isa.NumClasses]int64
+	ClassLanes   [isa.NumClasses]int64
+	Mispredicts  int64
+
+	L1, L2, L3          cache.Stats
+	MemReads, MemWrites int64
+
+	// Stall attribution (dispatch-blocked cycles by principal cause).
+	StallROB, StallSB, StallRF int64
+	ROBOccupancySum            int64 // for average occupancy = Sum/Cycles
+}
+
+// IPC returns committed instructions (fused ops) per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// MemRequestsPerCycle returns DRAM line requests per cycle, used by the node
+// model to compute offered bandwidth.
+func (r Result) MemRequestsPerCycle() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.MemReads+r.MemWrites) / float64(r.Cycles)
+}
+
+// depWindow is the history length for producer lookups. Producer distances
+// beyond this are treated as long-resolved.
+const depWindow = 512
+
+// RunTiming replays an annotated trace through the one-pass out-of-order
+// timing model (see the package comment) and returns the result. Cache
+// statistics are copied from the annotation. It panics on an invalid
+// configuration.
+func RunTiming(cfg Config, ann AnnotateResult, lat LevelLatencies) Result {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	var res Result
+
+	// Completion cycles of the last depWindow instructions (ring buffer).
+	var complete [depWindow]int64
+	// Commit cycles ring for ROB-full stalls: commitAt[i % ROB].
+	commitAt := make([]int64, cfg.ROB)
+	// Store-buffer drain cycles ring.
+	sbFree := make([]int64, cfg.StoreBuffer)
+	// Register-file rings: completion cycles of in-flight int/FP producers.
+	intRF := make([]int64, cfg.IntRF)
+	fpRF := make([]int64, cfg.FPRF)
+	var nInt, nFP, nStores int64
+
+	// Port next-free times.
+	aluFree := make([]int64, cfg.ALUs)
+	fpuFree := make([]int64, cfg.FPUs)
+
+	var dispatchCycle int64 // cycle the next instruction dispatches
+	var inCycle int         // instructions already dispatched this cycle
+	var lastCommit int64    // last in-order commit cycle
+	var commitsInCycle int
+
+	for i64, in := range ann.Instrs {
+		i := int64(i64)
+
+		// --- Dispatch: in-order, IssueWidth per cycle. ---
+		if inCycle >= cfg.IssueWidth {
+			dispatchCycle++
+			inCycle = 0
+		}
+		// Structural stalls push the dispatch cycle forward.
+		if i >= int64(cfg.ROB) {
+			if free := commitAt[i%int64(cfg.ROB)]; free > dispatchCycle {
+				res.StallROB += free - dispatchCycle
+				dispatchCycle = free
+				inCycle = 0
+			}
+		}
+		switch {
+		case in.Class == isa.Store:
+			if nStores >= int64(cfg.StoreBuffer) {
+				if free := sbFree[nStores%int64(cfg.StoreBuffer)]; free > dispatchCycle {
+					res.StallSB += free - dispatchCycle
+					dispatchCycle = free
+					inCycle = 0
+				}
+			}
+		case in.Class.IsFP():
+			if nFP >= int64(cfg.FPRF) {
+				if free := fpRF[nFP%int64(cfg.FPRF)]; free > dispatchCycle {
+					res.StallRF += free - dispatchCycle
+					dispatchCycle = free
+					inCycle = 0
+				}
+			}
+		default:
+			if nInt >= int64(cfg.IntRF) {
+				if free := intRF[nInt%int64(cfg.IntRF)]; free > dispatchCycle {
+					res.StallRF += free - dispatchCycle
+					dispatchCycle = free
+					inCycle = 0
+				}
+			}
+		}
+		disp := dispatchCycle
+		inCycle++
+
+		// --- Ready: wait for producers. ---
+		ready := disp
+		if in.Dep1 > 0 && int64(in.Dep1) <= i && int64(in.Dep1) < depWindow {
+			if t := complete[(i-int64(in.Dep1))%depWindow]; t > ready {
+				ready = t
+			}
+		}
+		if in.Dep2 > 0 && int64(in.Dep2) <= i && int64(in.Dep2) < depWindow {
+			if t := complete[(i-int64(in.Dep2))%depWindow]; t > ready {
+				ready = t
+			}
+		}
+
+		// --- Issue to a port. ---
+		var ports []int64
+		if in.Class.IsFP() {
+			ports = fpuFree
+		} else {
+			ports = aluFree
+		}
+		unit := 0
+		for u := 1; u < len(ports); u++ {
+			if ports[u] < ports[unit] {
+				unit = u
+			}
+		}
+		start := ready
+		if ports[unit] > start {
+			start = ports[unit]
+		}
+		ports[unit] = start + occupancy[in.Class]
+
+		// --- Execute. ---
+		latency := execLatency[in.Class]
+		switch in.Class {
+		case isa.Load:
+			latency = lat.Latency(in.Level)
+		case isa.Store:
+			// Stores retire into the store buffer quickly; the drain time
+			// (write latency at the annotated level) holds the SB entry.
+			sbFree[nStores%int64(cfg.StoreBuffer)] = start + lat.Latency(in.Level)
+			nStores++
+		}
+		fin := start + latency
+
+		if in.Flags&FlagMispredict != 0 {
+			res.Mispredicts++
+			// Pipeline flush: dispatch resumes after resolution + refill.
+			if fin+mispredictPenalty > dispatchCycle {
+				dispatchCycle = fin + mispredictPenalty
+				inCycle = 0
+			}
+		}
+
+		// --- Commit: in-order, IssueWidth per cycle. ---
+		if commitsInCycle >= cfg.IssueWidth {
+			lastCommit++
+			commitsInCycle = 0
+		}
+		cm := fin
+		if cm < lastCommit {
+			cm = lastCommit
+		}
+		if cm > lastCommit {
+			commitsInCycle = 0
+		}
+		lastCommit = cm
+		commitsInCycle++
+
+		// --- Bookkeeping. ---
+		complete[i%depWindow] = fin
+		commitAt[i%int64(cfg.ROB)] = cm
+		if in.Class.IsFP() {
+			fpRF[nFP%int64(cfg.FPRF)] = fin
+			nFP++
+		} else if in.Class != isa.Store {
+			intRF[nInt%int64(cfg.IntRF)] = fin
+			nInt++
+		}
+		res.ROBOccupancySum += cm - disp
+		res.Instructions++
+		res.LaneWork += int64(in.Lanes)
+		res.ClassOps[in.Class]++
+		res.ClassLanes[in.Class] += int64(in.Lanes)
+	}
+
+	if res.Instructions > 0 {
+		res.Cycles = lastCommit + 1
+	}
+	res.L1 = ann.L1
+	res.L2 = ann.L2
+	res.L3 = ann.L3
+	res.MemReads = ann.MemReads
+	res.MemWrites = ann.MemWrites
+	return res
+}
+
+// Core bundles a configuration with a cache hierarchy for single-shot
+// stream simulation (annotate + timing in one call). The node simulator
+// uses Annotate/RunTiming directly to reuse annotations across replays.
+type Core struct {
+	cfg  Config
+	hier *cache.Hierarchy
+	seed uint64
+
+	// BranchMispredictRate is the probability a branch flushes the pipeline
+	// (an application property; the paper derives it from the traced
+	// binary).
+	BranchMispredictRate float64
+}
+
+// New builds a core bound to a cache hierarchy; it panics on invalid
+// configuration.
+func New(cfg Config, hier *cache.Hierarchy, seed uint64) *Core {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Core{cfg: cfg, hier: hier, seed: seed}
+}
+
+// Config returns the core configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Run annotates the stream against the core's hierarchy and replays it
+// through the timing model. Memory latency comes from the hierarchy's
+// configured MemLatencyCycle.
+func (c *Core) Run(stream isa.Stream) Result {
+	ann := Annotate(stream, c.hier, c.BranchMispredictRate, c.seed)
+	h := c.hier.Config()
+	lat := LevelLatencies{
+		L1:  int64(h.L1.LatencyCycle),
+		L2:  int64(h.L2.LatencyCycle),
+		L3:  int64(h.L3.LatencyCycle),
+		Mem: int64(h.L3.LatencyCycle + h.MemLatencyCycle),
+	}
+	return RunTiming(c.cfg, ann, lat)
+}

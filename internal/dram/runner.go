@@ -1,0 +1,165 @@
+package dram
+
+import (
+	"musa/internal/sim"
+	"musa/internal/xrand"
+)
+
+// AddrSource produces memory request addresses; cache.AddressGen satisfies
+// it, letting the open-loop runner replay an application's locality profile
+// against the memory system.
+type AddrSource interface {
+	Next() (addr uint64, write bool)
+}
+
+// seqSource is a trivial streaming source used as a default.
+type seqSource struct{ next uint64 }
+
+func (s *seqSource) Next() (uint64, bool) {
+	a := s.next
+	s.next += 64
+	return a, false
+}
+
+// NewStreamSource returns an AddrSource that walks memory sequentially.
+func NewStreamSource() AddrSource { return &seqSource{} }
+
+// OpenLoopResult summarizes an open-loop experiment.
+type OpenLoopResult struct {
+	Stats       Stats
+	AvgLatency  sim.Time
+	P95Latency  sim.Time
+	AchievedBW  float64 // bytes/second
+	OfferedBW   float64 // bytes/second
+	Utilization float64 // achieved / peak
+}
+
+// RunOpenLoop injects n line requests with exponential inter-arrival times
+// targeting the given offered bandwidth (bytes/second), with addresses drawn
+// from src, and returns latency and bandwidth measurements. Arrivals come in
+// small bursts (burst size 4) to mimic the miss clusters an out-of-order
+// core produces, which also gives the FR-FCFS scheduler real choices.
+func RunOpenLoop(cfg Config, policy SchedPolicy, offeredBW float64, src AddrSource, n int, seed uint64) OpenLoopResult {
+	var eng sim.Engine
+	ctl := NewController(&eng, cfg, policy)
+	rng := xrand.New(seed)
+
+	const burst = 4
+	lineBytes := 64.0
+	meanGap := lineBytes * burst / offeredBW // seconds between bursts
+
+	latencies := make([]sim.Time, 0, n)
+	t := sim.Time(0)
+	for i := 0; i < n; i += burst {
+		t += sim.FromSeconds(rng.Exponential(meanGap))
+		for j := 0; j < burst && i+j < n; j++ {
+			addr, write := src.Next()
+			req := &Request{Addr: addr, Write: write, Arrive: t}
+			arrive := t
+			req.Done = func(at sim.Time) { latencies = append(latencies, at-arrive) }
+			eng.At(t, func(sim.Time) { ctl.Submit(req) })
+		}
+	}
+	eng.Run()
+
+	res := OpenLoopResult{
+		Stats:      ctl.Stats,
+		AvgLatency: ctl.Stats.AvgLatency(),
+		AchievedBW: ctl.Stats.AchievedBandwidth(64),
+		OfferedBW:  offeredBW,
+	}
+	if len(latencies) > 0 {
+		// Nth percentile without a stats dependency cycle: simple selection.
+		idx := len(latencies) * 95 / 100
+		res.P95Latency = quickSelect(latencies, idx)
+	}
+	res.Utilization = res.AchievedBW / cfg.PeakBandwidth()
+	return res
+}
+
+// quickSelect returns the k-th smallest element (0-based) of xs, modifying
+// the slice order.
+func quickSelect(xs []sim.Time, k int) sim.Time {
+	lo, hi := 0, len(xs)-1
+	if k > hi {
+		k = hi
+	}
+	rng := xrand.New(uint64(len(xs)))
+	for lo < hi {
+		p := xs[lo+rng.Intn(hi-lo+1)]
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] < p {
+				i++
+			}
+			for xs[j] > p {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return xs[k]
+}
+
+// LatencyModel captures effective memory latency as a function of offered
+// load for one (memory config, locality) pair. The node simulator resolves
+// its bandwidth-contention fixed point against this curve instead of
+// re-running the event-driven model inside every iteration.
+type LatencyModel struct {
+	PeakBW      float64   // bytes/second
+	Points      []float64 // utilization sample points (0..1)
+	LatenciesNs []float64 // measured latency at each point
+	SatBW       float64   // achieved bandwidth at saturation (bytes/second)
+}
+
+// BuildLatencyModel measures the load-latency curve with a handful of
+// open-loop runs. mkSrc must return a fresh address source per run.
+func BuildLatencyModel(cfg Config, policy SchedPolicy, mkSrc func() AddrSource, reqsPerRun int, seed uint64) LatencyModel {
+	points := []float64{0.05, 0.25, 0.5, 0.7, 0.85, 1.0, 1.3}
+	m := LatencyModel{PeakBW: cfg.PeakBandwidth()}
+	for i, u := range points {
+		res := RunOpenLoop(cfg, policy, u*m.PeakBW, mkSrc(), reqsPerRun, seed+uint64(i))
+		m.Points = append(m.Points, u)
+		m.LatenciesNs = append(m.LatenciesNs, res.AvgLatency.Nanoseconds())
+		if res.AchievedBW > m.SatBW {
+			m.SatBW = res.AchievedBW
+		}
+	}
+	return m
+}
+
+// LatencyNs interpolates the effective latency at the given offered
+// bandwidth (bytes/second). Beyond the measured range the last point's
+// latency is scaled by the overload factor, modeling unbounded queueing.
+func (m LatencyModel) LatencyNs(offeredBW float64) float64 {
+	if len(m.Points) == 0 {
+		return 0
+	}
+	u := offeredBW / m.PeakBW
+	if u <= m.Points[0] {
+		return m.LatenciesNs[0]
+	}
+	for i := 1; i < len(m.Points); i++ {
+		if u <= m.Points[i] {
+			f := (u - m.Points[i-1]) / (m.Points[i] - m.Points[i-1])
+			return m.LatenciesNs[i-1] + f*(m.LatenciesNs[i]-m.LatenciesNs[i-1])
+		}
+	}
+	last := m.LatenciesNs[len(m.LatenciesNs)-1]
+	return last * (u / m.Points[len(m.Points)-1])
+}
+
+// SustainableBW returns the bandwidth the device actually sustains, which
+// caps application throughput in the node model.
+func (m LatencyModel) SustainableBW() float64 { return m.SatBW }

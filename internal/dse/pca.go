@@ -1,0 +1,33 @@
+package dse
+
+import (
+	"fmt"
+
+	"musa/internal/stats"
+)
+
+// PCAFor reproduces the paper's principal component analysis (§V-C, Fig. 10)
+// for one application: the 64-core, 2 GHz slice of the design space, with
+// five variables — OoO capacity (ROB entries), number of memory channels,
+// SIMD width, cache size, and the execution time of the simulation.
+func PCAFor(d *Dataset, app string) (*stats.PCAResult, error) {
+	labels := []string{"OoO struct.", "Mem. BW", "FPU", "Cache size", "Exec. time"}
+	var data [][]float64
+	for _, m := range d.ByApp(app) {
+		a := m.Arch
+		if a.Cores != 64 || a.FreqGHz != 2.0 || a.Mem != DDR4 {
+			continue
+		}
+		data = append(data, []float64{
+			float64(a.Core.ROB),
+			float64(a.Channels),
+			float64(a.VectorBits),
+			float64(a.Cache.L3MB),
+			m.TimeNs,
+		})
+	}
+	if len(data) < 8 {
+		return nil, fmt.Errorf("dse: only %d observations for %s PCA (need the 64-core 2 GHz slice)", len(data), app)
+	}
+	return stats.PCA(labels, data)
+}

@@ -1,0 +1,220 @@
+package dse
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"musa/internal/apps"
+	"musa/internal/dram"
+	"musa/internal/node"
+	"musa/internal/power"
+)
+
+// Measurement is one (application, configuration) simulation outcome.
+type Measurement struct {
+	App  string
+	Arch ArchPoint
+
+	// TimeNs is the per-rank compute time of the full traced execution —
+	// the performance metric every figure normalizes.
+	TimeNs float64
+	// Power is the average node power breakdown during compute.
+	Power power.Breakdown
+	// EnergyJ is node energy-to-solution over the compute phase.
+	EnergyJ float64
+
+	L1MPKI, L2MPKI, L3MPKI float64
+	// GMemReqPerSec is the node DRAM request rate (Fig. 1).
+	GMemReqPerSec float64
+	ActiveCores   float64
+	MemLatencyNs  float64
+	OfferedBW     float64
+}
+
+// Options configures a sweep run.
+type Options struct {
+	// Apps to simulate; nil means all five.
+	Apps []*apps.Profile
+	// Points to sweep; nil means the full 864-point Table I grid.
+	Points []ArchPoint
+	// SampleInstrs / WarmupInstrs override the detailed-sample sizes
+	// (zero = package defaults). Tests use small values; the cmd tools and
+	// benches use the defaults.
+	SampleInstrs int64
+	WarmupInstrs int64
+	Workers      int
+	Seed         uint64
+	// Progress, if non-nil, receives completed measurement counts.
+	Progress func(done, total int)
+}
+
+func (o *Options) fill() {
+	if o.Apps == nil {
+		o.Apps = apps.All()
+	}
+	if o.Points == nil {
+		o.Points = Enumerate()
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// Dataset is the collected sweep output.
+type Dataset struct {
+	Measurements []Measurement
+	byApp        map[string][]Measurement
+}
+
+// ByApp returns the measurements for one application.
+func (d *Dataset) ByApp(app string) []Measurement {
+	if d.byApp == nil {
+		d.byApp = map[string][]Measurement{}
+		for _, m := range d.Measurements {
+			d.byApp[m.App] = append(d.byApp[m.App], m)
+		}
+	}
+	return d.byApp[app]
+}
+
+// annGroupKey identifies configurations that share cache behavior and can
+// therefore share one annotation pass: same application, core count (L3
+// partition), vector width (fused footprints) and cache configuration.
+type annGroupKey struct {
+	app   string
+	cores int
+	vec   int
+	cache string
+	mem   MemKind // spec only matters for the latency model, grouped too
+}
+
+// Run executes the sweep in parallel and returns the dataset, sorted
+// deterministically (by app, then arch label).
+func Run(opts Options) *Dataset {
+	opts.fill()
+
+	// Pre-build DRAM latency models per (app, channels, mem kind).
+	type lmKey struct {
+		app string
+		ch  int
+		mem MemKind
+	}
+	lms := map[lmKey]*dram.LatencyModel{}
+	var lmMu sync.Mutex
+	latModel := func(app *apps.Profile, ch int, mem MemKind) *dram.LatencyModel {
+		k := lmKey{app.Name, ch, mem}
+		lmMu.Lock()
+		defer lmMu.Unlock()
+		if m, ok := lms[k]; ok {
+			return m
+		}
+		m := node.BuildLatencyModel(app, dram.Config{Spec: mem.Spec(), Channels: ch}, dram.FRFCFS, opts.Seed)
+		lms[k] = &m
+		return &m
+	}
+
+	// Group points by annotation key.
+	groups := map[annGroupKey][]ArchPoint{}
+	appByName := map[string]*apps.Profile{}
+	for _, a := range opts.Apps {
+		appByName[a.Name] = a
+		for _, p := range opts.Points {
+			k := annGroupKey{a.Name, p.Cores, p.VectorBits, p.Cache.Label, p.Mem}
+			groups[k] = append(groups[k], p)
+		}
+	}
+	keys := make([]annGroupKey, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.app != b.app {
+			return a.app < b.app
+		}
+		if a.cores != b.cores {
+			return a.cores < b.cores
+		}
+		if a.vec != b.vec {
+			return a.vec < b.vec
+		}
+		return a.cache < b.cache
+	})
+
+	total := 0
+	for _, k := range keys {
+		total += len(groups[k])
+	}
+
+	jobs := make(chan annGroupKey)
+	results := make(chan []Measurement)
+	var done int
+	var doneMu sync.Mutex
+
+	worker := func() {
+		for k := range jobs {
+			app := appByName[k.app]
+			points := groups[k]
+			// Build the shared annotation from the first point.
+			cfg0 := points[0].NodeConfig(opts.SampleInstrs, opts.WarmupInstrs, opts.Seed)
+			ann := node.BuildAnnotation(app, cfg0)
+
+			ms := make([]Measurement, 0, len(points))
+			for _, p := range points {
+				cfg := p.NodeConfig(opts.SampleInstrs, opts.WarmupInstrs, opts.Seed)
+				cfg.LatModel = latModel(app, p.Channels, p.Mem)
+				res := node.SimulateAnnotated(app, cfg, ann)
+				l1, l2, l3 := res.MPKI()
+				ms = append(ms, Measurement{
+					App:           app.Name,
+					Arch:          p,
+					TimeNs:        res.ComputeNs,
+					Power:         res.Power,
+					EnergyJ:       res.EnergyJ,
+					L1MPKI:        l1,
+					L2MPKI:        l2,
+					L3MPKI:        l3,
+					GMemReqPerSec: res.GMemReqPerSec,
+					ActiveCores:   res.AvgActiveCores,
+					MemLatencyNs:  res.MemLatencyNs,
+					OfferedBW:     res.OfferedBW,
+				})
+				if opts.Progress != nil {
+					doneMu.Lock()
+					done++
+					d := done
+					doneMu.Unlock()
+					opts.Progress(d, total)
+				}
+			}
+			results <- ms
+		}
+	}
+
+	for w := 0; w < opts.Workers; w++ {
+		go worker()
+	}
+	go func() {
+		for _, k := range keys {
+			jobs <- k
+		}
+		close(jobs)
+	}()
+
+	var all []Measurement
+	for range keys {
+		all = append(all, <-results...)
+	}
+
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].App != all[j].App {
+			return all[i].App < all[j].App
+		}
+		return all[i].Arch.Label() < all[j].Arch.Label()
+	})
+	return &Dataset{Measurements: all}
+}

@@ -1,0 +1,101 @@
+package dse
+
+import (
+	"musa/internal/apps"
+	"musa/internal/cpu"
+	"musa/internal/node"
+)
+
+// UnconventionalRow is one row of Table II / Fig. 11: a named configuration
+// with its performance, power and energy relative to the DSE-Best baseline.
+type UnconventionalRow struct {
+	App       string
+	Label     string
+	Arch      ArchPoint
+	TimeNs    float64
+	PowerW    float64
+	EnergyJ   float64
+	RelPerf   float64 // baseline time / this time
+	RelPower  float64
+	RelEnergy float64
+	// EnergyKnown is false for HBM (the paper cannot report HBM energy
+	// either, for lack of public power data).
+	EnergyKnown bool
+}
+
+// unconvEntry is one Table II configuration.
+type unconvEntry struct {
+	label       string
+	arch        ArchPoint
+	energyKnown bool
+}
+
+// unconvSpec pairs an application with its Table II configurations; the
+// first entry is the DSE-Best baseline.
+type unconvSpec struct {
+	app  *apps.Profile
+	rows []unconvEntry
+}
+
+func tableII() []unconvSpec {
+	cache96 := CacheConfigs()[2]
+	cache64 := CacheConfigs()[1]
+	mk := func(core cpu.Config, vec int, cache CacheCfg, ch int, mem MemKind) ArchPoint {
+		return ArchPoint{Cores: 64, Core: core, FreqGHz: 2.0, VectorBits: vec, Cache: cache, Channels: ch, Mem: mem}
+	}
+	return []unconvSpec{
+		{
+			// SPMZ: push SIMD width beyond the sweep (Vector+ 1024-bit,
+			// Vector++ 2048-bit) while trimming what barely matters for it.
+			app: apps.SPMZ(),
+			rows: []unconvEntry{
+				{"Best-DSE", mk(cpu.Aggressive(), 512, cache96, 8, DDR4), true},
+				{"Vector+", mk(cpu.High(), 1024, cache64, 4, DDR4), true},
+				{"Vector++", mk(cpu.High(), 2048, cache64, 4, DDR4), true},
+			},
+		},
+		{
+			// LULESH: narrow FPUs, moderate cores, double-then-HBM memory.
+			app: apps.LULESH(),
+			rows: []unconvEntry{
+				{"Best-DSE", mk(cpu.High(), 512, cache96, 8, DDR4), true},
+				{"MEM+", mk(cpu.Medium(), 64, cache64, 16, DDR4), true},
+				{"MEM++", mk(cpu.Medium(), 64, cache64, 16, HBM), false},
+			},
+		},
+	}
+}
+
+// Unconventional simulates the Table II application-specific configurations
+// and returns the Fig. 11 rows, normalized to each application's Best-DSE.
+func Unconventional(sampleInstrs, warmupInstrs int64, seed uint64) []UnconventionalRow {
+	var out []UnconventionalRow
+	for _, spec := range tableII() {
+		var baseIdx int
+		for i, r := range spec.rows {
+			cfg := r.arch.NodeConfig(sampleInstrs, warmupInstrs, seed)
+			res := node.Simulate(spec.app, cfg)
+			row := UnconventionalRow{
+				App:         spec.app.Name,
+				Label:       r.label,
+				Arch:        r.arch,
+				TimeNs:      res.ComputeNs,
+				PowerW:      res.Power.Total(),
+				EnergyJ:     res.EnergyJ,
+				EnergyKnown: r.energyKnown,
+			}
+			if i == 0 {
+				row.RelPerf, row.RelPower, row.RelEnergy = 1, 1, 1
+				out = append(out, row)
+				baseIdx = len(out) - 1
+			} else {
+				base := out[baseIdx]
+				row.RelPerf = base.TimeNs / row.TimeNs
+				row.RelPower = row.PowerW / base.PowerW
+				row.RelEnergy = row.EnergyJ / base.EnergyJ
+				out = append(out, row)
+			}
+		}
+	}
+	return out
+}

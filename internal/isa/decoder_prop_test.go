@@ -1,0 +1,101 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+
+	"musa/internal/xrand"
+)
+
+// randomVecTrace builds a random mixed trace of scalar and vector
+// instructions with well-formed lane counts.
+func randomVecTrace(seed uint64, n int) []Instr {
+	rng := xrand.New(seed)
+	classes := []Class{IntALU, FPAdd, FPMul, Load, Store, Branch}
+	out := make([]Instr, 0, n)
+	for i := 0; i < n; i++ {
+		cls := classes[rng.Intn(len(classes))]
+		lanes := uint8(1)
+		vec := false
+		if (cls.IsFP() || cls.IsMem()) && rng.Bernoulli(0.5) {
+			lanes = 2 // traced SSE width
+			vec = true
+		}
+		in := Instr{
+			PC: uint32(rng.Intn(64)), BB: uint32(rng.Intn(8)),
+			Class: cls, Lanes: lanes, Vectorizable: vec,
+		}
+		if cls.IsMem() {
+			in.Addr = uint64(rng.Intn(1 << 20))
+			in.Size = uint16(int(lanes) * 8)
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+func TestDecoderLaneConservationProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		tr := randomVecTrace(seed, 300)
+		var lanesIn int
+		for _, in := range tr {
+			lanesIn += int(in.Lanes)
+		}
+		dec := Collect(NewDecoder(NewSliceStream(tr)))
+		// Every decoded micro-op is scalar, and their count equals the
+		// traced lane total.
+		for _, d := range dec {
+			if d.Lanes != 1 {
+				return false
+			}
+		}
+		return len(dec) == lanesIn
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecoderClassPreservationProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		tr := randomVecTrace(seed^0x55, 200)
+		dec := Collect(NewDecoder(NewSliceStream(tr)))
+		// Per-class lane totals must be preserved.
+		var inLanes, outLanes [NumClasses]int
+		for _, in := range tr {
+			inLanes[in.Class] += int(in.Lanes)
+		}
+		for _, d := range dec {
+			outLanes[d.Class]++
+		}
+		return inLanes == outLanes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFuserNeverExceedsWidthProperty(t *testing.T) {
+	f := func(seed uint64, widthSel uint8) bool {
+		width := []int{64, 128, 256, 512, 1024, 2048}[widthSel%6]
+		tr := randomVecTrace(seed^0xAA, 400)
+		dec := NewDecoder(NewSliceStream(tr))
+		fu := NewFuser(dec, DefaultFuserConfig(width))
+		maxLanes := width / ElemBits
+		for {
+			in, ok := fu.Next()
+			if !ok {
+				return true
+			}
+			if int(in.Lanes) > maxLanes {
+				return false
+			}
+			if in.Class.IsMem() && int(in.Size) != int(in.Lanes)*8 {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,295 @@
+package isa
+
+// Decoder implements the tracing-side half of the paper's vector model: it
+// breaks every vector instruction (Lanes > 1) into scalar micro-ops that
+// share the original PC as a fusion marker. Memory accesses are split into
+// per-lane accesses of ElemBits/8 bytes at consecutive addresses.
+type Decoder struct {
+	S Stream
+
+	pending Instr
+	left    int
+}
+
+// NewDecoder returns a stream of scalarized micro-ops for s.
+func NewDecoder(s Stream) *Decoder { return &Decoder{S: s} }
+
+// Next implements Stream.
+func (d *Decoder) Next() (Instr, bool) {
+	if d.left > 0 {
+		d.left--
+		out := d.pending
+		lane := int(d.pending.Lanes) - d.left - 1
+		if out.Class.IsMem() {
+			out.Addr += uint64(lane * (ElemBits / 8))
+		}
+		out.Lanes = 1
+		return out, true
+	}
+	in, ok := d.S.Next()
+	if !ok {
+		return Instr{}, false
+	}
+	if in.Lanes <= 1 {
+		return in, true
+	}
+	// Scalarize: emit lane 0 now, remember the rest.
+	d.pending = in
+	if in.Class.IsMem() {
+		d.pending.Size = uint16(ElemBits / 8)
+	}
+	d.left = int(in.Lanes) - 1
+	out := d.pending
+	out.Lanes = 1
+	return out, true
+}
+
+// FuserConfig parametrizes the simulation-side fusion model.
+type FuserConfig struct {
+	// WidthBits is the SIMD width to simulate (128, 256, 512, 1024, 2048 or
+	// 64 to force fully scalar FPUs).
+	WidthBits int
+	// MinRun is the number of consecutive executions of the same basic block
+	// required before cross-iteration fusion applies (paper: "we require a
+	// basic block to be executed several times in a row"). Fusion up to the
+	// traced width (within one block execution) is always allowed.
+	MinRun int
+	// MaxBlock bounds the number of micro-ops buffered per basic-block
+	// execution; blocks larger than this are passed through unfused. It
+	// protects the fuser against traces without block markers.
+	MaxBlock int
+}
+
+// DefaultFuserConfig mirrors the settings used throughout the evaluation.
+func DefaultFuserConfig(widthBits int) FuserConfig {
+	return FuserConfig{WidthBits: widthBits, MinRun: 4, MaxBlock: 4096}
+}
+
+// Fuser implements the simulation-side half of the vector model. It consumes
+// a scalarized stream and emits a stream where vectorizable micro-ops that
+// share a static PC are fused into SIMD ops of up to WidthBits/ElemBits
+// lanes. Fused memory ops keep the first lane's address and grow their Size,
+// so the cache and DRAM models observe the widened footprint (the paper
+// doubles request sizes when fusing two memory ops).
+//
+// Fusion happens in two regimes, as in the paper:
+//   - within a single basic-block execution, micro-ops carrying the same PC
+//     (the scalarized lanes of one traced SSE instruction) always fuse;
+//   - across consecutive executions of the same basic block, micro-ops of
+//     the same static instruction fuse only when the block repeats at least
+//     MinRun times in a row, enabling widths beyond the traced 128 bits.
+type Fuser struct {
+	cfg   FuserConfig
+	s     Stream
+	out   []Instr // fused ops ready for delivery
+	opos  int
+	buf   []Instr // lookahead: buffered raw micro-ops
+	eof   bool
+	stats FuserStats
+}
+
+// FuserStats counts the fusion activity, exposed for tests and reports.
+type FuserStats struct {
+	In     int64 // micro-ops consumed
+	Out    int64 // ops emitted
+	Fused  int64 // micro-ops that were folded into a wider op
+	Blocks int64 // basic-block runs processed
+}
+
+// NewFuser returns a fusing stream over s.
+func NewFuser(s Stream, cfg FuserConfig) *Fuser {
+	if cfg.WidthBits < ElemBits {
+		cfg.WidthBits = ElemBits
+	}
+	if cfg.MinRun < 1 {
+		cfg.MinRun = 1
+	}
+	if cfg.MaxBlock <= 0 {
+		cfg.MaxBlock = 4096
+	}
+	return &Fuser{cfg: cfg, s: s}
+}
+
+// Stats returns the fusion counters accumulated so far.
+func (f *Fuser) Stats() FuserStats { return f.stats }
+
+// MaxLanes returns the lane capacity of the configured width.
+func (f *Fuser) MaxLanes() int { return f.cfg.WidthBits / ElemBits }
+
+// Next implements Stream.
+func (f *Fuser) Next() (Instr, bool) {
+	for f.opos >= len(f.out) {
+		if !f.fill() {
+			return Instr{}, false
+		}
+	}
+	in := f.out[f.opos]
+	f.opos++
+	return in, true
+}
+
+// fetch pulls one raw instruction into buf; returns false at EOF.
+func (f *Fuser) fetch() bool {
+	if f.eof {
+		return false
+	}
+	in, ok := f.s.Next()
+	if !ok {
+		f.eof = true
+		return false
+	}
+	f.stats.In++
+	f.buf = append(f.buf, in)
+	return true
+}
+
+// fill processes the next basic-block run from buf into out.
+func (f *Fuser) fill() bool {
+	f.out = f.out[:0]
+	f.opos = 0
+	if len(f.buf) == 0 && !f.fetch() {
+		return false
+	}
+
+	bb := f.buf[0].BB
+	firstPC := f.buf[0].PC
+
+	// Gather whole executions ("bodies") of this basic block while it
+	// repeats back-to-back. bodyStarts[i] is the buf index where body i
+	// begins. A body begins whenever firstPC reappears.
+	bodyStarts := []int{0}
+	i := 1
+	maxNeed := f.MaxLanes() * f.cfg.MinRun * 4 // generous lookahead bound
+	for {
+		if i >= len(f.buf) {
+			if len(f.buf) >= f.cfg.MaxBlock || !f.fetch() {
+				break
+			}
+		}
+		in := f.buf[i]
+		if in.BB != bb {
+			break
+		}
+		if in.PC == firstPC {
+			if len(bodyStarts) >= maxNeed {
+				break
+			}
+			bodyStarts = append(bodyStarts, i)
+		}
+		i++
+	}
+	runEnd := i
+	if runEnd > len(f.buf) {
+		runEnd = len(f.buf)
+	}
+	f.stats.Blocks++
+
+	run := f.buf[:runEnd]
+	nBodies := len(bodyStarts)
+
+	if nBodies >= f.cfg.MinRun {
+		f.fuseRun(run, bodyStarts)
+	} else {
+		f.fuseWithinBodies(run, bodyStarts)
+	}
+
+	// Shift the consumed prefix out of buf.
+	f.buf = append(f.buf[:0], f.buf[runEnd:]...)
+	return len(f.out) > 0
+}
+
+// fuseWithinBodies fuses only adjacent same-PC micro-ops (the scalarized
+// lanes of one traced vector instruction), capped at the traced width. This
+// is the regime for blocks that do not repeat often enough.
+func (f *Fuser) fuseWithinBodies(run []Instr, bodyStarts []int) {
+	cap128 := TracedWidthBits / ElemBits
+	maxLanes := f.MaxLanes()
+	if maxLanes > cap128 {
+		maxLanes = cap128
+	}
+	for i := 0; i < len(run); {
+		in := run[i]
+		if !in.Vectorizable || maxLanes == 1 {
+			f.emit(in, 1)
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(run) && j-i < maxLanes && run[j].PC == in.PC && run[j].Vectorizable {
+			j++
+		}
+		f.emit(in, j-i)
+		i = j
+	}
+}
+
+// fuseRun performs cross-iteration fusion over a run of nBodies executions
+// of one basic block: for each static instruction, dynamic instances from
+// consecutive bodies are folded together up to the configured lane count.
+// Every fused op keeps the address and dependencies of its group's first
+// instance (the lanes are assumed unit-stride from there, as the decoder
+// produced them). Non-vectorizable micro-ops (branches, address arithmetic,
+// pointer chases) are emitted one per instance, preserving their own
+// addresses and producer distances.
+func (f *Fuser) fuseRun(run []Instr, bodyStarts []int) {
+	maxLanes := f.MaxLanes()
+
+	// Slot order = encounter order of static PCs in the first body.
+	end0 := len(run)
+	if len(bodyStarts) > 1 {
+		end0 = bodyStarts[1]
+	}
+	slotOf := map[uint32]int{}
+	var order []uint32
+	for _, in := range run[:end0] {
+		if _, ok := slotOf[in.PC]; !ok {
+			slotOf[in.PC] = len(order)
+			order = append(order, in.PC)
+		}
+	}
+	// Gather instances per slot across the whole run. Instructions whose PC
+	// did not appear in the first body (ragged bodies) get new slots.
+	instances := make([][]Instr, len(order))
+	for _, in := range run {
+		s, ok := slotOf[in.PC]
+		if !ok {
+			s = len(instances)
+			slotOf[in.PC] = s
+			order = append(order, in.PC)
+			instances = append(instances, nil)
+		}
+		instances[s] = append(instances[s], in)
+	}
+
+	for s := range instances {
+		ins := instances[s]
+		if len(ins) == 0 {
+			continue
+		}
+		if !ins[0].Vectorizable {
+			for _, in := range ins {
+				f.emit(in, 1)
+			}
+			continue
+		}
+		for i := 0; i < len(ins); i += maxLanes {
+			lanes := maxLanes
+			if i+lanes > len(ins) {
+				lanes = len(ins) - i
+			}
+			f.emit(ins[i], lanes)
+		}
+	}
+}
+
+// emit writes one (possibly fused) op to the output buffer.
+func (f *Fuser) emit(in Instr, lanes int) {
+	out := in
+	out.Lanes = uint8(lanes)
+	if in.Class.IsMem() {
+		out.Size = uint16(lanes * (ElemBits / 8))
+	}
+	f.out = append(f.out, out)
+	f.stats.Out++
+	f.stats.Fused += int64(lanes - 1)
+}

@@ -1,0 +1,269 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func vecInstr(pc, bb uint32, class Class, lanes uint8, addr uint64) Instr {
+	in := Instr{PC: pc, BB: bb, Class: class, Lanes: lanes, Vectorizable: true}
+	if class.IsMem() {
+		in.Addr = addr
+		in.Size = uint16(int(lanes) * ElemBits / 8)
+	}
+	return in
+}
+
+func TestClassPredicates(t *testing.T) {
+	if !Load.IsMem() || !Store.IsMem() || FPAdd.IsMem() {
+		t.Error("IsMem wrong")
+	}
+	if !FPAdd.IsFP() || !FPFMA.IsFP() || Load.IsFP() || IntALU.IsFP() {
+		t.Error("IsFP wrong")
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		if c.String() == "" {
+			t.Errorf("class %d has empty name", c)
+		}
+	}
+}
+
+func TestSliceStreamAndLimit(t *testing.T) {
+	ins := []Instr{{PC: 1}, {PC: 2}, {PC: 3}}
+	s := NewSliceStream(ins)
+	got := Collect(s)
+	if len(got) != 3 {
+		t.Fatalf("Collect = %d instrs", len(got))
+	}
+	s.Reset()
+	lim := &LimitStream{S: s, N: 2}
+	if got := Collect(lim); len(got) != 2 {
+		t.Fatalf("LimitStream yielded %d", len(got))
+	}
+}
+
+func TestDecoderScalarizes(t *testing.T) {
+	// One 128-bit FP add (2 lanes) and one 128-bit load.
+	in := []Instr{
+		vecInstr(10, 1, FPAdd, 2, 0),
+		vecInstr(11, 1, Load, 2, 0x1000),
+	}
+	got := Collect(NewDecoder(NewSliceStream(in)))
+	if len(got) != 4 {
+		t.Fatalf("decoded %d micro-ops, want 4", len(got))
+	}
+	for _, g := range got {
+		if g.Lanes != 1 {
+			t.Errorf("lane count %d after decode", g.Lanes)
+		}
+	}
+	if got[0].PC != 10 || got[1].PC != 10 {
+		t.Error("fusion markers (PC) not preserved")
+	}
+	// Per-lane load addresses must be consecutive 8-byte elements.
+	if got[2].Addr != 0x1000 || got[3].Addr != 0x1008 {
+		t.Errorf("lane addresses = 0x%x, 0x%x", got[2].Addr, got[3].Addr)
+	}
+	if got[2].Size != 8 || got[3].Size != 8 {
+		t.Errorf("lane sizes = %d, %d", got[2].Size, got[3].Size)
+	}
+}
+
+func TestDecoderPassesScalars(t *testing.T) {
+	in := []Instr{{PC: 5, Class: IntALU, Lanes: 1}, {PC: 6, Class: Branch, Lanes: 1}}
+	got := Collect(NewDecoder(NewSliceStream(in)))
+	if len(got) != 2 || got[0].PC != 5 || got[1].PC != 6 {
+		t.Fatalf("decoder altered scalar stream: %v", got)
+	}
+}
+
+// loopTrace builds a trace of `iters` executions of one basic block whose
+// body is: vectorizable FPAdd(pc=1), vectorizable Load(pc=2), Branch(pc=3).
+func loopTrace(iters int, bb uint32) []Instr {
+	var out []Instr
+	for i := 0; i < iters; i++ {
+		out = append(out,
+			Instr{PC: 1, BB: bb, Class: FPAdd, Lanes: 1, Vectorizable: true},
+			Instr{PC: 2, BB: bb, Class: Load, Lanes: 1, Size: 8, Addr: uint64(i * 8), Vectorizable: true},
+			Instr{PC: 3, BB: bb, Class: Branch, Lanes: 1},
+		)
+	}
+	return out
+}
+
+func countByClass(ins []Instr) map[Class]int {
+	m := map[Class]int{}
+	for _, in := range ins {
+		m[in.Class]++
+	}
+	return m
+}
+
+func TestFuser128FusesAdjacentLanes(t *testing.T) {
+	// Scalarized 128-bit ops: two adjacent micro-ops with same PC.
+	in := []Instr{
+		vecInstr(1, 1, FPAdd, 1, 0), vecInstr(1, 1, FPAdd, 1, 0),
+		vecInstr(2, 1, Load, 1, 0x100), vecInstr(2, 1, Load, 1, 0x108),
+	}
+	f := NewFuser(NewSliceStream(in), FuserConfig{WidthBits: 128, MinRun: 100})
+	got := Collect(f)
+	if len(got) != 2 {
+		t.Fatalf("fused to %d ops, want 2: %v", len(got), got)
+	}
+	if got[0].Lanes != 2 || got[1].Lanes != 2 {
+		t.Errorf("lanes = %d,%d want 2,2", got[0].Lanes, got[1].Lanes)
+	}
+	if got[1].Size != 16 {
+		t.Errorf("fused load size = %d, want 16", got[1].Size)
+	}
+}
+
+func TestFuserWideNeedsRepeats(t *testing.T) {
+	// 512-bit = 8 lanes. A loop body executed 16 times in a row should fuse
+	// each vectorizable PC into 16/8 = 2 wide ops; the branch stays 16x.
+	tr := loopTrace(16, 7)
+	f := NewFuser(NewSliceStream(tr), FuserConfig{WidthBits: 512, MinRun: 4})
+	got := Collect(f)
+	byClass := countByClass(got)
+	if byClass[FPAdd] != 2 {
+		t.Errorf("FPAdd ops = %d, want 2", byClass[FPAdd])
+	}
+	if byClass[Load] != 2 {
+		t.Errorf("Load ops = %d, want 2", byClass[Load])
+	}
+	if byClass[Branch] != 16 {
+		t.Errorf("Branch ops = %d, want 16", byClass[Branch])
+	}
+	for _, g := range got {
+		if g.Class == Load && g.Lanes == 8 && g.Size != 64 {
+			t.Errorf("8-lane load size = %d, want 64", g.Size)
+		}
+	}
+}
+
+func TestFuserShortRunsDoNotFuseWide(t *testing.T) {
+	// Only 2 iterations (< MinRun): wide fusion must not kick in.
+	tr := loopTrace(2, 3)
+	f := NewFuser(NewSliceStream(tr), FuserConfig{WidthBits: 512, MinRun: 4})
+	got := Collect(f)
+	for _, g := range got {
+		if g.Lanes > TracedWidthBits/ElemBits {
+			t.Fatalf("wide fusion on short run: %v", g)
+		}
+	}
+}
+
+func TestFuserScalarWidthPassthrough(t *testing.T) {
+	tr := loopTrace(8, 1)
+	f := NewFuser(NewSliceStream(tr), FuserConfig{WidthBits: 64, MinRun: 4})
+	got := Collect(f)
+	if len(got) != len(tr) {
+		t.Fatalf("scalar width changed op count: %d != %d", len(got), len(tr))
+	}
+	for _, g := range got {
+		if g.Lanes != 1 {
+			t.Errorf("lanes = %d at 64-bit width", g.Lanes)
+		}
+	}
+}
+
+func TestFuserLaneConservation(t *testing.T) {
+	// Property: total lane count (work) is conserved by fusion.
+	f := func(seed uint64) bool {
+		iters := int(seed%32) + 1
+		width := []int{64, 128, 256, 512, 1024, 2048}[seed%6]
+		tr := loopTrace(iters, 9)
+		fu := NewFuser(NewSliceStream(tr), FuserConfig{WidthBits: width, MinRun: 4})
+		got := Collect(fu)
+		var lanes int
+		for _, g := range got {
+			lanes += int(g.Lanes)
+		}
+		return lanes == len(tr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFuserStats(t *testing.T) {
+	tr := loopTrace(8, 2)
+	fu := NewFuser(NewSliceStream(tr), FuserConfig{WidthBits: 256, MinRun: 4})
+	got := Collect(fu)
+	st := fu.Stats()
+	if st.In != int64(len(tr)) {
+		t.Errorf("Stats.In = %d, want %d", st.In, len(tr))
+	}
+	if st.Out != int64(len(got)) {
+		t.Errorf("Stats.Out = %d, want %d", st.Out, len(got))
+	}
+	if st.Fused != st.In-st.Out {
+		t.Errorf("Fused = %d, want In-Out = %d", st.Fused, st.In-st.Out)
+	}
+}
+
+func TestFuserMultipleBlocks(t *testing.T) {
+	// Two different blocks back to back: fusion must not cross block ids.
+	tr := append(loopTrace(8, 1), loopTrace(8, 2)...)
+	fu := NewFuser(NewSliceStream(tr), FuserConfig{WidthBits: 512, MinRun: 4})
+	got := Collect(fu)
+	var lanes int
+	for _, g := range got {
+		lanes += int(g.Lanes)
+		if g.BB != 1 && g.BB != 2 {
+			t.Fatalf("unexpected bb %d", g.BB)
+		}
+	}
+	if lanes != len(tr) {
+		t.Errorf("lane conservation across blocks: %d != %d", lanes, len(tr))
+	}
+}
+
+func TestDecodeFuseRoundTrip(t *testing.T) {
+	// Decoding 128-bit ops and re-fusing at 128 bits should restore the
+	// original op count and sizes.
+	var orig []Instr
+	for i := 0; i < 10; i++ {
+		orig = append(orig,
+			vecInstr(1, 4, FPMul, 2, 0),
+			vecInstr(2, 4, Load, 2, uint64(0x2000+16*i)),
+			Instr{PC: 3, BB: 4, Class: Branch, Lanes: 1},
+		)
+	}
+	dec := NewDecoder(NewSliceStream(orig))
+	fu := NewFuser(dec, FuserConfig{WidthBits: 128, MinRun: 1000})
+	got := Collect(fu)
+	if len(got) != len(orig) {
+		t.Fatalf("round trip: %d ops, want %d", len(got), len(orig))
+	}
+	for i, g := range got {
+		if g.Class != orig[i].Class {
+			t.Errorf("op %d class %v, want %v", i, g.Class, orig[i].Class)
+		}
+		if g.Class.IsMem() && g.Size != orig[i].Size {
+			t.Errorf("op %d size %d, want %d", i, g.Size, orig[i].Size)
+		}
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	in := vecInstr(1, 2, Load, 2, 0x40)
+	if in.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func BenchmarkFuser512(b *testing.B) {
+	tr := loopTrace(1024, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewSliceStream(tr)
+		fu := NewFuser(s, DefaultFuserConfig(512))
+		for {
+			if _, ok := fu.Next(); !ok {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,275 @@
+// Package net implements the Dimemas-like MPI replay engine of MUSA: it
+// replays each rank's burst-trace event sequence — compute bursts (whose
+// durations detailed simulation has already rescaled) interleaved with MPI
+// operations — against a simple network model with per-link bandwidth,
+// end-to-end latency, eager/rendezvous point-to-point semantics and
+// log-tree collectives. The output is the application makespan plus the
+// per-rank time breakdown the paper visualizes in Figure 4.
+package net
+
+import (
+	"fmt"
+
+	"musa/internal/sim"
+	"musa/internal/trace"
+)
+
+// Model is the network performance model (Dimemas' linear model plus a
+// per-node injection constraint).
+type Model struct {
+	// LatencyNs is the end-to-end message latency (software + wire).
+	LatencyNs float64
+	// BandwidthBps is the per-link (per rank pair) bandwidth in bytes/sec.
+	BandwidthBps float64
+	// EagerBytes is the eager/rendezvous threshold: messages up to this
+	// size complete without the receiver being ready.
+	EagerBytes int64
+	// CollectiveLatencyNs is the per-hop software cost of a collective.
+	CollectiveLatencyNs float64
+}
+
+// MareNostrum4 returns a model with bandwidth and latency similar to the
+// Marenostrum IV interconnect the paper simulates (100 Gb/s-class fabric,
+// ~1.3 us MPI latency).
+func MareNostrum4() Model {
+	return Model{
+		LatencyNs:           1300,
+		BandwidthBps:        12.5e9,
+		EagerBytes:          16 * 1024,
+		CollectiveLatencyNs: 900,
+	}
+}
+
+// Validate reports model errors.
+func (m Model) Validate() error {
+	if m.LatencyNs < 0 || m.BandwidthBps <= 0 {
+		return fmt.Errorf("net: bad model %+v", m)
+	}
+	return nil
+}
+
+// transferNs returns the wire time of one message.
+func (m Model) transferNs(bytes int64) float64 {
+	return m.LatencyNs + float64(bytes)/m.BandwidthBps*1e9
+}
+
+// RankStats is the per-rank time breakdown of a replay.
+type RankStats struct {
+	ComputeNs    float64
+	P2PNs        float64 // blocked in sends/recvs (excluding overlap)
+	CollectiveNs float64 // waiting at collectives (load imbalance shows here)
+	FinishNs     float64
+}
+
+// Result is the outcome of a network replay.
+type Result struct {
+	MakespanNs float64
+	Ranks      []RankStats
+}
+
+// AvgParallelEfficiency returns mean(compute) / makespan: the fraction of
+// the run spent computing, averaged over ranks.
+func (r Result) AvgParallelEfficiency() float64 {
+	if r.MakespanNs <= 0 || len(r.Ranks) == 0 {
+		return 0
+	}
+	var c float64
+	for _, rs := range r.Ranks {
+		c += rs.ComputeNs
+	}
+	return c / float64(len(r.Ranks)) / r.MakespanNs
+}
+
+// MPIFraction returns the mean fraction of time spent in MPI (p2p +
+// collectives).
+func (r Result) MPIFraction() float64 {
+	if r.MakespanNs <= 0 || len(r.Ranks) == 0 {
+		return 0
+	}
+	var m float64
+	for _, rs := range r.Ranks {
+		m += rs.P2PNs + rs.CollectiveNs
+	}
+	return m / float64(len(r.Ranks)) / r.MakespanNs
+}
+
+// ComputeScale lets the replay rescale traced compute durations, e.g. with
+// the node-level speedup obtained from detailed simulation. The function
+// receives the rank and the traced duration and returns the replay duration.
+type ComputeScale func(rank int, tracedNs float64) float64
+
+// Replay simulates the burst trace against the network model. scale may be
+// nil, in which case traced compute durations are replayed unchanged (pure
+// burst mode).
+//
+// Semantics, following Dimemas' replay model:
+//   - compute events occupy the rank for their (scaled) duration;
+//   - sends are non-blocking up to EagerBytes, then rendezvous: the sender
+//     blocks until the matching receive has been posted;
+//   - receives block until the message has fully arrived;
+//   - collectives are synchronizing: every rank waits for the last one,
+//     then pays a log2(ranks) tree cost.
+func Replay(b *trace.Burst, m Model, scale ComputeScale) Result {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	if err := b.Validate(); err != nil {
+		panic(err)
+	}
+	n := len(b.Ranks)
+	res := Result{Ranks: make([]RankStats, n)}
+
+	// Replay is performed with a sequential algorithm over per-rank event
+	// cursors (a discrete-event relaxation): point-to-point matching uses
+	// FIFO channels per (src, dst) pair, collectives use generation
+	// barriers. Each rank keeps a local clock.
+	type message struct {
+		sendTime float64 // time the send was posted
+		bytes    int64
+		recvd    bool
+	}
+	channels := map[[2]int][]*message{}
+	clock := make([]float64, n)
+	cursor := make([]int, n)
+	// Collective bookkeeping: per generation, rank -> arrival time. All
+	// collectives are global, so ranks pass generations in lockstep.
+	collArrive := []map[int]float64{}
+	collGen := make([]int, n)
+
+	// Iterate until all cursors are exhausted. Process ranks round-robin;
+	// a rank blocks when it needs a message that has not been sent yet or a
+	// collective that has not gathered everyone — then we move on and come
+	// back. Deterministic because matching is FIFO.
+	remaining := 0
+	for _, rt := range b.Ranks {
+		remaining += len(rt.Events)
+	}
+	for remaining > 0 {
+		progressed := false
+		for r := 0; r < n; r++ {
+			for cursor[r] < len(b.Ranks[r].Events) {
+				ev := b.Ranks[r].Events[cursor[r]]
+				switch ev.Kind {
+				case trace.EvCompute:
+					d := ev.DurationNs
+					if scale != nil {
+						d = scale(r, d)
+					}
+					clock[r] += d
+					res.Ranks[r].ComputeNs += d
+
+				case trace.EvSend:
+					key := [2]int{r, ev.Peer}
+					msg := &message{sendTime: clock[r], bytes: ev.Bytes}
+					channels[key] = append(channels[key], msg)
+					if ev.Bytes > m.EagerBytes {
+						// Rendezvous: cannot complete until matched; we
+						// model it as the send completing at the max of
+						// both clocks plus transfer (resolved lazily by
+						// the receiver; the sender pays latency now and
+						// the receiver repairs ordering via its own wait).
+						clock[r] += m.LatencyNs
+						res.Ranks[r].P2PNs += m.LatencyNs
+					} else {
+						clock[r] += m.LatencyNs / 2 // eager injection cost
+						res.Ranks[r].P2PNs += m.LatencyNs / 2
+					}
+
+				case trace.EvRecv:
+					key := [2]int{ev.Peer, r}
+					q := channels[key]
+					if len(q) == 0 {
+						// Sender has not posted yet: block this rank and
+						// try other ranks first.
+						goto nextRank
+					}
+					msg := q[0]
+					channels[key] = q[1:]
+					arrive := msg.sendTime + m.transferNs(msg.bytes)
+					if arrive > clock[r] {
+						res.Ranks[r].P2PNs += arrive - clock[r]
+						clock[r] = arrive
+					}
+
+				case trace.EvAllReduce, trace.EvBarrier, trace.EvBcast:
+					gen := collGen[r]
+					for len(collArrive) <= gen {
+						collArrive = append(collArrive, map[int]float64{})
+					}
+					if _, ok := collArrive[gen][r]; !ok {
+						collArrive[gen][r] = clock[r]
+					}
+					if len(collArrive[gen]) < n {
+						// Not everyone has arrived; this rank is blocked.
+						goto nextRank
+					}
+					// Everyone arrived: release at max + tree cost.
+					maxT := 0.0
+					for _, t := range collArrive[gen] {
+						if t > maxT {
+							maxT = t
+						}
+					}
+					cost := m.CollectiveLatencyNs * log2ceil(n)
+					if ev.Kind != trace.EvBarrier {
+						cost += m.transferNs(ev.Bytes) * log2ceil(n) / 4
+					}
+					release := maxT + cost
+					// Release every rank still waiting at this generation.
+					for rr := 0; rr < n; rr++ {
+						if collGen[rr] == gen && isAtCollective(b, rr, cursor[rr]) {
+							if release > clock[rr] {
+								res.Ranks[rr].CollectiveNs += release - clock[rr]
+								clock[rr] = release
+							}
+							collGen[rr]++
+							cursor[rr]++
+							remaining--
+							progressed = true
+						}
+					}
+					continue // cursor already advanced for r too
+				}
+				cursor[r]++
+				remaining--
+				progressed = true
+			}
+		nextRank:
+			continue
+		}
+		if !progressed {
+			panic("net: replay deadlock — mismatched sends/recvs or collectives")
+		}
+	}
+
+	for r := 0; r < n; r++ {
+		res.Ranks[r].FinishNs = clock[r]
+		if clock[r] > res.MakespanNs {
+			res.MakespanNs = clock[r]
+		}
+	}
+	return res
+}
+
+// isAtCollective reports whether rank r's event at cursor c is a collective.
+func isAtCollective(b *trace.Burst, r, c int) bool {
+	if c >= len(b.Ranks[r].Events) {
+		return false
+	}
+	return b.Ranks[r].Events[c].Kind.IsCollective()
+}
+
+func log2ceil(n int) float64 {
+	c := 0.0
+	for v := 1; v < n; v <<= 1 {
+		c++
+	}
+	if c == 0 {
+		c = 1
+	}
+	return c
+}
+
+// Stub use of sim to keep the dependency explicit for future event-driven
+// extensions; the relaxation above is equivalent for this event vocabulary.
+var _ = sim.Nanosecond

@@ -1,0 +1,194 @@
+package net
+
+import (
+	"math"
+	"testing"
+
+	"musa/internal/apps"
+	"musa/internal/trace"
+)
+
+func model() Model { return MareNostrum4() }
+
+func computeOnly(ranks int, durNs float64) *trace.Burst {
+	b := &trace.Burst{App: "t", Regions: []trace.RegionInfo{{Name: "r"}}}
+	for r := 0; r < ranks; r++ {
+		b.Ranks = append(b.Ranks, trace.RankTrace{Rank: r, Events: []trace.Event{
+			{Kind: trace.EvCompute, RegionID: 0, DurationNs: durNs},
+		}})
+	}
+	return b
+}
+
+func TestModelValidate(t *testing.T) {
+	if err := model().Validate(); err != nil {
+		t.Error(err)
+	}
+	if (Model{}).Validate() == nil {
+		t.Error("zero model validated")
+	}
+}
+
+func TestComputeOnlyReplay(t *testing.T) {
+	res := Replay(computeOnly(4, 1000), model(), nil)
+	if res.MakespanNs != 1000 {
+		t.Errorf("makespan = %v, want 1000", res.MakespanNs)
+	}
+	if e := res.AvgParallelEfficiency(); math.Abs(e-1) > 1e-9 {
+		t.Errorf("efficiency = %v, want 1", e)
+	}
+	if res.MPIFraction() != 0 {
+		t.Errorf("MPI fraction = %v, want 0", res.MPIFraction())
+	}
+}
+
+func TestComputeScale(t *testing.T) {
+	res := Replay(computeOnly(4, 1000), model(), func(rank int, d float64) float64 { return d / 2 })
+	if res.MakespanNs != 500 {
+		t.Errorf("scaled makespan = %v, want 500", res.MakespanNs)
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	// Rank 0 sends 1 MB to rank 1; rank 1 receives then computes.
+	b := &trace.Burst{App: "pp"}
+	b.Ranks = []trace.RankTrace{
+		{Rank: 0, Events: []trace.Event{{Kind: trace.EvSend, Peer: 1, Bytes: 1 << 20}}},
+		{Rank: 1, Events: []trace.Event{{Kind: trace.EvRecv, Peer: 0, Bytes: 1 << 20}}},
+	}
+	m := model()
+	res := Replay(b, m, nil)
+	wantWire := m.transferNs(1 << 20)
+	if res.MakespanNs < wantWire {
+		t.Errorf("makespan %v below wire time %v", res.MakespanNs, wantWire)
+	}
+	if res.Ranks[1].P2PNs <= 0 {
+		t.Error("receiver recorded no P2P wait")
+	}
+}
+
+func TestRecvBeforeSendBlocks(t *testing.T) {
+	// Rank 1 posts the recv first (rank 0 computes long before sending):
+	// the receiver must wait for compute + transfer.
+	b := &trace.Burst{App: "late", Regions: []trace.RegionInfo{{Name: "r"}}}
+	b.Ranks = []trace.RankTrace{
+		{Rank: 0, Events: []trace.Event{
+			{Kind: trace.EvCompute, RegionID: 0, DurationNs: 50000},
+			{Kind: trace.EvSend, Peer: 1, Bytes: 4096},
+		}},
+		{Rank: 1, Events: []trace.Event{{Kind: trace.EvRecv, Peer: 0, Bytes: 4096}}},
+	}
+	res := Replay(b, model(), nil)
+	if res.Ranks[1].FinishNs < 50000 {
+		t.Errorf("receiver finished at %v, before sender even computed", res.Ranks[1].FinishNs)
+	}
+	if res.Ranks[1].P2PNs < 50000 {
+		t.Errorf("receiver wait %v does not cover sender compute", res.Ranks[1].P2PNs)
+	}
+}
+
+func TestCollectiveSynchronizes(t *testing.T) {
+	// Ranks with unequal compute meeting at a barrier: everyone leaves
+	// together; fast ranks accumulate collective wait (the Fig. 4 effect).
+	b := &trace.Burst{App: "bar", Regions: []trace.RegionInfo{{Name: "r"}}}
+	for r := 0; r < 4; r++ {
+		b.Ranks = append(b.Ranks, trace.RankTrace{Rank: r, Events: []trace.Event{
+			{Kind: trace.EvCompute, RegionID: 0, DurationNs: float64(1000 * (r + 1))},
+			{Kind: trace.EvBarrier},
+			{Kind: trace.EvCompute, RegionID: 0, DurationNs: 100},
+		}})
+	}
+	res := Replay(b, model(), nil)
+	if res.Ranks[0].CollectiveNs < 2900 {
+		t.Errorf("fast rank waited %v, want >= ~3000", res.Ranks[0].CollectiveNs)
+	}
+	if res.Ranks[3].CollectiveNs > res.Ranks[0].CollectiveNs {
+		t.Error("slowest rank waited longer than fastest")
+	}
+	// All ranks finish together (same post-barrier compute).
+	for r := 1; r < 4; r++ {
+		if math.Abs(res.Ranks[r].FinishNs-res.Ranks[0].FinishNs) > 1e-9 {
+			t.Errorf("rank %d finish %v != rank 0 finish %v", r, res.Ranks[r].FinishNs, res.Ranks[0].FinishNs)
+		}
+	}
+}
+
+func TestMultipleCollectiveGenerations(t *testing.T) {
+	b := &trace.Burst{App: "gens", Regions: []trace.RegionInfo{{Name: "r"}}}
+	for r := 0; r < 3; r++ {
+		b.Ranks = append(b.Ranks, trace.RankTrace{Rank: r, Events: []trace.Event{
+			{Kind: trace.EvCompute, RegionID: 0, DurationNs: 100},
+			{Kind: trace.EvAllReduce, Bytes: 8},
+			{Kind: trace.EvCompute, RegionID: 0, DurationNs: 100},
+			{Kind: trace.EvAllReduce, Bytes: 8},
+		}})
+	}
+	res := Replay(b, model(), nil)
+	if res.MakespanNs <= 200 {
+		t.Errorf("makespan = %v, collectives free?", res.MakespanNs)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	// Recv with no matching send must panic, not hang.
+	b := &trace.Burst{App: "dead"}
+	b.Ranks = []trace.RankTrace{
+		{Rank: 0, Events: []trace.Event{{Kind: trace.EvRecv, Peer: 1, Bytes: 64}}},
+		{Rank: 1, Events: []trace.Event{}},
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on unmatched recv")
+		}
+	}()
+	Replay(b, model(), nil)
+}
+
+func TestAppTraceReplays(t *testing.T) {
+	// End-to-end: a synthesized application burst trace replays cleanly and
+	// imbalance shows up as collective waiting.
+	for _, p := range apps.All() {
+		b := apps.BurstTrace(p, 32, 5)
+		res := Replay(b, model(), nil)
+		if res.MakespanNs <= 0 {
+			t.Fatalf("%s: empty replay", p.Name)
+		}
+		eff := res.AvgParallelEfficiency()
+		if eff <= 0 || eff > 1 {
+			t.Errorf("%s: efficiency %v out of range", p.Name, eff)
+		}
+	}
+}
+
+func TestImbalanceCausesBarrierWaitShape(t *testing.T) {
+	// LULESH (high rank imbalance) must lose more time at collectives than
+	// HYDRO (low imbalance) — the Fig. 4 story.
+	lul := Replay(apps.BurstTrace(apps.LULESH(), 64, 7), model(), nil)
+	hyd := Replay(apps.BurstTrace(apps.Hydro(), 64, 7), model(), nil)
+	if lul.MPIFraction() <= hyd.MPIFraction() {
+		t.Errorf("lulesh MPI frac %v <= hydro %v", lul.MPIFraction(), hyd.MPIFraction())
+	}
+	if hyd.AvgParallelEfficiency() <= lul.AvgParallelEfficiency() {
+		t.Errorf("hydro full-app efficiency %v <= lulesh %v",
+			hyd.AvgParallelEfficiency(), lul.AvgParallelEfficiency())
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]float64{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 256: 8}
+	for n, want := range cases {
+		if got := log2ceil(n); got != want {
+			t.Errorf("log2ceil(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func BenchmarkReplay256Ranks(b *testing.B) {
+	tr := apps.BurstTrace(apps.BTMZ(), 256, 1)
+	m := model()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Replay(tr, m, nil)
+	}
+}

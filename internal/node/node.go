@@ -1,0 +1,418 @@
+// Package node is the node-level detailed simulator: it composes the
+// runtime-system scheduler (rts), the out-of-order core model (cpu), the
+// cache hierarchy (cache) and the DRAM model (dram) into MUSA's detailed
+// simulation mode for one compute node.
+//
+// Following the paper's methodology, one representative sample (one rank,
+// one iteration worth of instructions) is simulated at instruction level;
+// its IPC rescales the burst trace's task durations, which are then replayed
+// through the runtime-system simulator at the configured core count. Shared
+// memory bandwidth is resolved by a fixed-point iteration: core throughput
+// determines offered bandwidth, the DRAM load-latency curve determines the
+// effective memory latency, which feeds back into core throughput.
+package node
+
+import (
+	"fmt"
+	"math"
+
+	"musa/internal/apps"
+	"musa/internal/cache"
+	"musa/internal/cpu"
+	"musa/internal/dram"
+	"musa/internal/isa"
+	"musa/internal/power"
+	"musa/internal/rts"
+	"musa/internal/xrand"
+)
+
+// Config is the full architectural configuration of one compute node.
+type Config struct {
+	Cores      int
+	Core       cpu.Config
+	FreqGHz    float64
+	VectorBits int
+
+	L2KBPerCore int // private L2 size
+	L3MBTotal   int // shared L3 size
+
+	Mem        dram.Config
+	DRAMPolicy dram.SchedPolicy
+
+	// Runtime system parameters.
+	DispatchNs float64
+	RTSPolicy  rts.Policy
+
+	// SampleInstrs is the detailed-sample length in scalar micro-ops.
+	SampleInstrs int64
+	// WarmupInstrs streams through the caches before measurement begins;
+	// when zero it defaults to 2x SampleInstrs (enough to cover the largest
+	// cacheable working sets of the five applications at the default
+	// sample size).
+	WarmupInstrs int64
+	Seed         uint64
+
+	// DisableContention turns off the bandwidth fixed point (ablation).
+	DisableContention bool
+
+	// LatModel optionally supplies a prebuilt DRAM load-latency curve for
+	// this (application, memory) pair; the DSE driver caches these across
+	// the sweep. When nil, Simulate builds one.
+	LatModel *dram.LatencyModel
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("node: %d cores", c.Cores)
+	}
+	if err := c.Core.Validate(); err != nil {
+		return err
+	}
+	if c.FreqGHz <= 0 {
+		return fmt.Errorf("node: frequency %v", c.FreqGHz)
+	}
+	if c.VectorBits < 64 {
+		return fmt.Errorf("node: vector width %d", c.VectorBits)
+	}
+	if c.L2KBPerCore <= 0 || c.L3MBTotal <= 0 {
+		return fmt.Errorf("node: cache sizes %dKB/%dMB", c.L2KBPerCore, c.L3MBTotal)
+	}
+	return c.Mem.Validate()
+}
+
+// DIMMs returns the DIMM population (two per channel, as in the paper's
+// 4-channel/64 GB and 8-channel/128 GB setups).
+func (c Config) DIMMs() int { return 2 * c.Mem.Channels }
+
+// l2Params returns associativity and latency for a private L2 size, per
+// Table I (256kB/8w/9cy, 512kB/16w/11cy, 1MB/16w/13cy), extrapolating two
+// cycles per doubling for unconventional sizes.
+func l2Params(kb int) (assoc, latency int) {
+	switch kb {
+	case 256:
+		return 8, 9
+	case 512:
+		return 16, 11
+	case 1024:
+		return 16, 13
+	}
+	lat := 9 + int(math.Round(2*math.Log2(float64(kb)/256)))
+	if lat < 5 {
+		lat = 5
+	}
+	return 16, lat
+}
+
+// l3Params returns associativity and latency for the shared L3 size, per
+// Table I (32MB/68cy, 64MB/70cy, 96MB/72cy).
+func l3Params(mb int) (assoc, latency int) {
+	switch mb {
+	case 32:
+		return 16, 68
+	case 64:
+		return 16, 70
+	case 96:
+		return 16, 72
+	}
+	lat := 68 + int(math.Round(2*math.Log2(float64(mb)/32)))
+	if lat < 40 {
+		lat = 40
+	}
+	return 16, lat
+}
+
+// hierarchy builds one core's cache stack. The shared L3 is modeled as an
+// equal per-core partition (MUSA samples a single rank in detailed mode).
+func (c Config) hierarchy(memLatNs float64) *cache.Hierarchy {
+	l2a, l2l := l2Params(c.L2KBPerCore)
+	l3a, l3l := l3Params(c.L3MBTotal)
+	l3Share := c.L3MBTotal * 1024 * 1024 / c.Cores
+	// Keep the partition a power-of-two set count: round down to one.
+	l3Share = 1 << uint(math.Floor(math.Log2(float64(l3Share))))
+	if l3Share < 256*1024 {
+		l3Share = 256 * 1024
+	}
+	return cache.NewHierarchy(cache.HierarchyConfig{
+		L1:              cache.Config{Name: "L1", SizeBytes: 32 * 1024, Assoc: 8, LatencyCycle: 4},
+		L2:              cache.Config{Name: "L2", SizeBytes: c.L2KBPerCore * 1024, Assoc: l2a, LatencyCycle: l2l},
+		L3:              cache.Config{Name: "L3", SizeBytes: l3Share, Assoc: l3a, LatencyCycle: l3l},
+		MemLatencyCycle: int(math.Round(memLatNs * c.FreqGHz)),
+	})
+}
+
+// Result is the outcome of a node-level detailed simulation.
+type Result struct {
+	// Sample core simulation at the bandwidth fixed point.
+	CoreRes cpu.Result
+	// LaneThroughput is scalar lanes per second per busy core.
+	LaneThroughput float64
+	// MemLatencyNs is the converged effective memory latency.
+	MemLatencyNs float64
+	// OfferedBW is the node's converged DRAM demand (bytes/second).
+	OfferedBW float64
+	// Fixed-point iterations taken.
+	Iterations int
+
+	// Schedules holds one runtime-system schedule per region.
+	Schedules []rts.Schedule
+	// RegionDurNs is each region's makespan on this node.
+	RegionDurNs []float64
+	// IterationNs is the per-timestep compute duration (sum of regions).
+	IterationNs float64
+	// ComputeNs is the full per-rank compute time (all iterations).
+	ComputeNs float64
+	// AvgActiveCores is the schedule-weighted mean busy core count.
+	AvgActiveCores float64
+
+	// GMemReqPerSec is node DRAM line requests per second (Fig. 1 metric).
+	GMemReqPerSec float64
+
+	// Power is the average node power over the compute phase; EnergyJ is
+	// power times compute time.
+	Power   power.Breakdown
+	EnergyJ float64
+}
+
+// MPKI returns L1/L2/L3 misses per kilo-instruction of the sample, with the
+// fused-op instruction count as denominator (Fig. 1).
+func (r Result) MPKI() (l1, l2, l3 float64) {
+	n := r.CoreRes.Instructions
+	return r.CoreRes.L1.MPKI(n), r.CoreRes.L2.MPKI(n), r.CoreRes.L3.MPKI(n)
+}
+
+// Annotation bundles a reusable annotated sample with the hierarchy
+// configuration it was produced under. The DSE runner shares one Annotation
+// across every (OoO, frequency, channel) variant of the same (application,
+// cores, vector width, cache) group — cache behavior does not depend on
+// timing.
+type Annotation struct {
+	Ann     cpu.AnnotateResult
+	HierCfg cache.HierarchyConfig
+}
+
+// BuildAnnotation warms the caches and annotates one detailed sample for
+// the configuration's cache-relevant parameters (cores, vector width, cache
+// sizes, sample sizes, seed).
+func BuildAnnotation(app *apps.Profile, cfg Config) Annotation {
+	if cfg.SampleInstrs <= 0 {
+		cfg.SampleInstrs = apps.SampleSize
+	}
+	if cfg.WarmupInstrs <= 0 {
+		cfg.WarmupInstrs = 2 * cfg.SampleInstrs
+	}
+	return Annotation{
+		Ann:     annotateSample(app, cfg),
+		HierCfg: cfg.hierarchy(0).Config(),
+	}
+}
+
+// Simulate runs the detailed node simulation of app on cfg.
+func Simulate(app *apps.Profile, cfg Config) Result {
+	return SimulateAnnotated(app, cfg, BuildAnnotation(app, cfg))
+}
+
+// SimulateAnnotated runs the node simulation reusing a prebuilt annotation.
+// The annotation must have been built for the same application, core count,
+// vector width, cache configuration and seed.
+func SimulateAnnotated(app *apps.Profile, cfg Config, annotation Annotation) Result {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.SampleInstrs <= 0 {
+		cfg.SampleInstrs = apps.SampleSize
+	}
+
+	latModel := cfg.LatModel
+	if latModel == nil {
+		m := BuildLatencyModel(app, cfg.Mem, cfg.DRAMPolicy, cfg.Seed)
+		latModel = &m
+	}
+
+	ann := annotation.Ann
+	hcfg := annotation.HierCfg
+
+	// --- Bandwidth-contention fixed point. ---
+	memLatNs := latModel.LatencyNs(0) // unloaded latency
+	var res Result
+	var coreRes cpu.Result
+	activeCores := float64(cfg.Cores)
+	for iter := 0; iter < 6; iter++ {
+		res.Iterations = iter + 1
+		coreRes = cpu.RunTiming(cfg.Core, ann, cpu.LatenciesFor(hcfg, memLatNs, cfg.FreqGHz))
+		cyclesPerSec := cfg.FreqGHz * 1e9
+		secs := float64(coreRes.Cycles) / cyclesPerSec
+		perCoreBW := float64(coreRes.MemReads+coreRes.MemWrites) * cache.LineBytes / secs
+
+		// Replay the runtime system to learn how many cores are busy.
+		laneTp := float64(coreRes.LaneWork) / secs
+		scheds, durs := replayRegions(app, cfg, laneTp)
+		activeCores = scheduleActiveCores(scheds, durs)
+
+		offered := perCoreBW * activeCores
+		newLat := latModel.LatencyNs(offered)
+		res.OfferedBW = offered
+		res.Schedules = scheds
+		res.RegionDurNs = durs
+		if cfg.DisableContention {
+			break
+		}
+		if math.Abs(newLat-memLatNs) < 1.0 { // converged within 1 ns
+			memLatNs = newLat
+			break
+		}
+		memLatNs = 0.5*memLatNs + 0.5*newLat
+	}
+	res.CoreRes = coreRes
+	res.MemLatencyNs = memLatNs
+
+	secs := float64(coreRes.Cycles) / (cfg.FreqGHz * 1e9)
+	res.LaneThroughput = float64(coreRes.LaneWork) / secs
+	res.AvgActiveCores = activeCores
+
+	for _, d := range res.RegionDurNs {
+		res.IterationNs += d
+	}
+	res.ComputeNs = res.IterationNs * float64(app.Iterations)
+
+	// Node DRAM request rate (Fig. 1): per-core rate times busy cores.
+	perCoreReqRate := float64(coreRes.MemReads+coreRes.MemWrites) / secs
+	res.GMemReqPerSec = perCoreReqRate * activeCores
+
+	res.Power, res.EnergyJ = estimatePower(app, cfg, coreRes, res)
+	return res
+}
+
+// annotateSample warms the hierarchy and annotates one detailed sample.
+func annotateSample(app *apps.Profile, cfg Config) cpu.AnnotateResult {
+	hier := cfg.hierarchy(0)
+	gen := apps.NewDetailedStream(app, cfg.Seed)
+	warm := &isa.LimitStream{S: gen, N: cfg.WarmupInstrs}
+	cpu.Warm(isa.NewFuser(warm, isa.DefaultFuserConfig(cfg.VectorBits)), hier)
+	src := &isa.LimitStream{S: gen, N: cfg.SampleInstrs}
+	fu := isa.NewFuser(src, isa.DefaultFuserConfig(cfg.VectorBits))
+	return cpu.Annotate(fu, hier, app.MispredictRate, cfg.Seed^0x5eed)
+}
+
+// replayRegions rescales the burst task durations with the measured lane
+// throughput and replays each region's task graph on the node's cores.
+// Runtime dispatch costs stay in wall-clock ns (they come from the trace and
+// do not scale with core frequency), reproducing the scheduling bottleneck
+// HYDRO hits above 2.5 GHz.
+func replayRegions(app *apps.Profile, cfg Config, laneThroughput float64) ([]rts.Schedule, []float64) {
+	scale := apps.RefLaneThroughput / laneThroughput
+	var scheds []rts.Schedule
+	var durs []float64
+	for ri := range app.Regions {
+		g := app.RegionGraph(ri, cfg.Seed)
+		g.SerialNs *= scale
+		for i := range g.Tasks {
+			g.Tasks[i].DurationNs *= scale
+			g.Tasks[i].CriticalNs *= scale
+		}
+		s := rts.Simulate(g, rts.Options{
+			Threads:    cfg.Cores,
+			DispatchNs: cfg.DispatchNs,
+			Policy:     cfg.RTSPolicy,
+		})
+		scheds = append(scheds, s)
+		durs = append(durs, s.MakespanNs)
+	}
+	return scheds, durs
+}
+
+// scheduleActiveCores returns the makespan-weighted average busy core count.
+func scheduleActiveCores(scheds []rts.Schedule, durs []float64) float64 {
+	var busyNs, totalNs float64
+	for i, s := range scheds {
+		busyNs += s.AvgActiveThreads() * durs[i]
+		totalNs += durs[i]
+	}
+	if totalNs == 0 {
+		return 0
+	}
+	return busyNs / totalNs
+}
+
+// HierarchyForTest exposes hierarchy construction for debugging and tests.
+func HierarchyForTest(cfg Config, memLatNs float64) *cache.Hierarchy {
+	return cfg.hierarchy(memLatNs)
+}
+
+// dramVisibleProfile filters an application's locality profile down to the
+// regions whose accesses actually reach DRAM (footprints beyond the on-chip
+// caches), so the load-latency curve reflects the post-cache address mix
+// rather than the raw one. If nothing qualifies, the largest region is kept.
+func dramVisibleProfile(p cache.LocalityProfile) cache.LocalityProfile {
+	const onChip = 2 * 1024 * 1024 // generous per-core L2+L3 share
+	var out cache.LocalityProfile
+	largest := 0
+	for i, r := range p.Regions {
+		if r.Bytes > p.Regions[largest].Bytes {
+			largest = i
+		}
+		if r.Bytes > onChip {
+			out.Regions = append(out.Regions, r)
+		}
+	}
+	if len(out.Regions) == 0 {
+		out.Regions = append(out.Regions, p.Regions[largest])
+	}
+	return out
+}
+
+// BuildLatencyModel measures the DRAM load-latency curve for an application
+// and memory configuration (exported so the DSE driver can cache it).
+func BuildLatencyModel(app *apps.Profile, mem dram.Config, policy dram.SchedPolicy, seed uint64) dram.LatencyModel {
+	visible := dramVisibleProfile(app.Locality)
+	mkSrc := func() dram.AddrSource {
+		return cache.NewAddressGen(visible, xrand.New(seed^0xbeef))
+	}
+	return dram.BuildLatencyModel(mem, policy, mkSrc, 3000, seed)
+}
+
+// estimatePower extrapolates the sampled activity to the full per-rank
+// execution and runs the power model.
+func estimatePower(app *apps.Profile, cfg Config, coreRes cpu.Result, res Result) (power.Breakdown, float64) {
+	var act power.Activity
+	act.AddCoreResult(coreRes)
+
+	// Scale sample counts to the node's full execution: all cores together
+	// execute the rank's total lane work.
+	totalLanes := app.LaneWorkPerRank()
+	k := totalLanes / float64(coreRes.LaneWork)
+	act.Scale(k) // extrapolate core/cache counts; DRAM counts set below
+	act.Duration = res.ComputeNs * 1e-9
+
+	// DRAM command profile: one open-loop run at the converged demand gives
+	// command-per-request ratios; scale to the full request count.
+	totalReqs := float64(coreRes.MemReads+coreRes.MemWrites) * k
+	if totalReqs > 0 && act.Duration > 0 {
+		src := cache.NewAddressGen(app.Locality, xrand.New(cfg.Seed^0xdead))
+		offered := math.Max(res.OfferedBW, 1e6)
+		ol := dram.RunOpenLoop(cfg.Mem, cfg.DRAMPolicy, offered, src, 2000, cfg.Seed)
+		done := float64(ol.Stats.Reads + ol.Stats.Writes)
+		if done > 0 {
+			cs := totalReqs / done
+			act.DRAM.Act = int64(float64(ol.Stats.Commands.Act) * cs)
+			act.DRAM.Pre = int64(float64(ol.Stats.Commands.Pre) * cs)
+			act.DRAM.Rd = int64(float64(ol.Stats.Commands.Rd) * cs)
+			act.DRAM.Wr = int64(float64(ol.Stats.Commands.Wr) * cs)
+		}
+		act.DRAM.Ref = int64(act.Duration / 7.8e-6 * float64(cfg.Mem.Channels))
+	}
+
+	params := power.NodeParams{
+		Cores: cfg.Cores,
+		Core: power.CoreParams{
+			Config:     cfg.Core,
+			VectorBits: cfg.VectorBits,
+			FreqGHz:    cfg.FreqGHz,
+		},
+		L2PerCoreMB: float64(cfg.L2KBPerCore) / 1024,
+		L3TotalMB:   float64(cfg.L3MBTotal),
+		DIMMs:       cfg.DIMMs(),
+	}
+	b := power.NodePower(params, act)
+	return b, power.EnergyJ(b, act.Duration)
+}

@@ -1,0 +1,245 @@
+// Package power models node power: a McPAT-like analytic model for cores and
+// caches (per-structure dynamic energy plus leakage under 22 nm voltage/
+// frequency scaling) and a DRAMPower-like model converting DRAM command
+// counts into DIMM energy. The constants are calibrated so the power ratios
+// the paper reports hold: 512-bit FPUs add ~60% core power over 128-bit,
+// low-end cores consume ~50% of aggressive ones, doubling DDR4 channels
+// roughly doubles DRAM power but only ~10% of node power, and doubling the
+// clock multiplies node power by ~2.5x (Figures 5b, 7b, 8b, 9b).
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"musa/internal/cpu"
+	"musa/internal/dram"
+	"musa/internal/isa"
+)
+
+// VRef is the supply voltage at which the energy constants are specified
+// (the 2.0 GHz operating point of the 22 nm model).
+const VRef = 0.85
+
+// VoltageAt returns the 22 nm supply voltage for a clock frequency, linear
+// between the 1.5 GHz and 3.0 GHz corners (the paper feeds McPAT adequate
+// voltage for each frequency step).
+func VoltageAt(freqGHz float64) float64 {
+	return 0.50 + 0.175*freqGHz
+}
+
+// Per-op base dynamic energies in picojoules at VRef, including the fetch/
+// decode/rename/issue overhead share attributable to one micro-op.
+var opEnergyPJ = [isa.NumClasses]float64{
+	isa.IntALU: 90,
+	isa.IntMul: 210,
+	isa.FPAdd:  250,
+	isa.FPMul:  320,
+	isa.FPDiv:  1400,
+	isa.FPFMA:  400,
+	isa.Load:   290,
+	isa.Store:  290,
+	isa.Branch: 70,
+}
+
+// FP vector energy split: a W-lane FP op costs
+// fpOpBase*base + fpLane*base per lane, so a 2-lane (128-bit) op costs
+// exactly its base energy and wider ops grow sub-linearly per lane.
+const (
+	fpOpBase = 0.3
+	fpLane   = 0.35
+)
+
+// Cache access energies (pJ at VRef) and leakage densities (W/MB at VRef).
+const (
+	l1AccessPJ   = 110
+	l2AccessPJ   = 80
+	l3AccessPJ   = 150
+	cacheLeakWMB = 0.10
+)
+
+// DRAM energy constants (per DIMM or per command, datasheet-flavored).
+const (
+	dimmBackgroundW = 1.5   // precharge/active standby average per DIMM
+	actPreEnergyNJ  = 12.0  // one ACT+PRE pair
+	rdEnergyNJ      = 8.0   // one 64B read burst
+	wrEnergyNJ      = 8.5   // one 64B write burst
+	refEnergyNJ     = 120.0 // one refresh command
+)
+
+// CoreParams describes the physical core configuration being estimated.
+type CoreParams struct {
+	Config     cpu.Config
+	VectorBits int     // FPU datapath width
+	FreqGHz    float64 // core clock
+}
+
+// structEnergyPJ is the per-op structure overhead (rename/ROB/scheduler),
+// growing with ROB depth and machine width.
+func structEnergyPJ(c cpu.Config) float64 {
+	return 210 + 90*math.Log2(float64(c.ROB)) + 65*float64(c.IssueWidth)
+}
+
+// coreLeakageW returns one core's leakage at VRef, dominated by SRAM
+// structures and the (width-scaled) FP datapath.
+func coreLeakageW(c cpu.Config, vectorBits int) float64 {
+	w := float64(vectorBits) / 128
+	return 0.05 +
+		0.0005*float64(c.ROB) +
+		0.0007*float64(c.IntRF+c.FPRF) +
+		0.02*float64(c.ALUs) +
+		0.15*float64(c.FPUs)*w
+}
+
+// dynScale converts dynamic energy at VRef to the operating point: E ~ V^2.
+func dynScale(freqGHz float64) float64 {
+	v := VoltageAt(freqGHz)
+	return (v * v) / (VRef * VRef)
+}
+
+// leakScale converts leakage at VRef to the operating point: P ~ V.
+func leakScale(freqGHz float64) float64 {
+	return VoltageAt(freqGHz) / VRef
+}
+
+// Activity aggregates the simulation activity of one node over Duration.
+type Activity struct {
+	Duration float64 // seconds of simulated execution
+
+	Ops   [isa.NumClasses]int64 // fused ops executed, all cores
+	Lanes [isa.NumClasses]int64 // scalar lanes executed, all cores
+
+	L1Accesses int64
+	L2Accesses int64
+	L3Accesses int64
+
+	DRAM dram.CommandStats
+}
+
+// AddCoreResult accumulates one core's simulation result into the activity.
+func (a *Activity) AddCoreResult(r cpu.Result) {
+	for c := 0; c < int(isa.NumClasses); c++ {
+		a.Ops[c] += r.ClassOps[c]
+		a.Lanes[c] += r.ClassLanes[c]
+	}
+	a.L1Accesses += r.L1.Accesses
+	a.L2Accesses += r.L2.Accesses
+	a.L3Accesses += r.L3.Accesses
+}
+
+// Scale multiplies all event counts by k (used to extrapolate a sampled
+// region to the full execution).
+func (a *Activity) Scale(k float64) {
+	for c := 0; c < int(isa.NumClasses); c++ {
+		a.Ops[c] = int64(float64(a.Ops[c]) * k)
+		a.Lanes[c] = int64(float64(a.Lanes[c]) * k)
+	}
+	a.L1Accesses = int64(float64(a.L1Accesses) * k)
+	a.L2Accesses = int64(float64(a.L2Accesses) * k)
+	a.L3Accesses = int64(float64(a.L3Accesses) * k)
+	a.DRAM.Act = int64(float64(a.DRAM.Act) * k)
+	a.DRAM.Pre = int64(float64(a.DRAM.Pre) * k)
+	a.DRAM.Rd = int64(float64(a.DRAM.Rd) * k)
+	a.DRAM.Wr = int64(float64(a.DRAM.Wr) * k)
+	a.DRAM.Ref = int64(float64(a.DRAM.Ref) * k)
+}
+
+// NodeParams describes the node hardware for power estimation.
+type NodeParams struct {
+	Cores       int
+	Core        CoreParams
+	L2PerCoreMB float64
+	L3TotalMB   float64
+	DIMMs       int
+}
+
+// Validate reports parameter errors.
+func (p NodeParams) Validate() error {
+	if p.Cores <= 0 || p.DIMMs < 0 {
+		return fmt.Errorf("power: cores=%d dimms=%d", p.Cores, p.DIMMs)
+	}
+	if p.Core.FreqGHz <= 0 || p.Core.VectorBits < 64 {
+		return fmt.Errorf("power: freq=%v vector=%d", p.Core.FreqGHz, p.Core.VectorBits)
+	}
+	return nil
+}
+
+// Breakdown is the three-component power split the paper plots (Figures
+// 5b-9b): Core+L1, L2+L3 cache, and Memory, in watts.
+type Breakdown struct {
+	CoreL1 float64
+	L2L3   float64
+	Memory float64
+}
+
+// Total returns the node power in watts.
+func (b Breakdown) Total() float64 { return b.CoreL1 + b.L2L3 + b.Memory }
+
+// Scale returns the breakdown multiplied by k.
+func (b Breakdown) Scale(k float64) Breakdown {
+	return Breakdown{CoreL1: b.CoreL1 * k, L2L3: b.L2L3 * k, Memory: b.Memory * k}
+}
+
+func (b Breakdown) String() string {
+	return fmt.Sprintf("core+L1=%.1fW L2+L3=%.1fW mem=%.1fW total=%.1fW",
+		b.CoreL1, b.L2L3, b.Memory, b.Total())
+}
+
+// NodePower estimates the average node power over the activity window.
+// Leakage is charged for every core for the full duration — idle cores leak,
+// which is exactly the energy-efficiency hazard the paper's scaling analysis
+// highlights — while dynamic power follows the recorded event counts.
+func NodePower(p NodeParams, a Activity) Breakdown {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if a.Duration <= 0 {
+		return Breakdown{}
+	}
+	ds := dynScale(p.Core.FreqGHz)
+	ls := leakScale(p.Core.FreqGHz)
+
+	// --- Core + L1 ---
+	var dynPJ float64
+	structPJ := structEnergyPJ(p.Core.Config)
+	for c := 0; c < int(isa.NumClasses); c++ {
+		ops := float64(a.Ops[c])
+		if ops == 0 {
+			continue
+		}
+		base := opEnergyPJ[c]
+		if isa.Class(c).IsFP() {
+			dynPJ += base * (fpOpBase*ops + fpLane*float64(a.Lanes[c]))
+		} else {
+			dynPJ += base * ops
+		}
+		dynPJ += structPJ * ops
+	}
+	dynPJ += l1AccessPJ * float64(a.L1Accesses)
+	coreDynW := dynPJ * 1e-12 * ds / a.Duration
+	coreLeakW := coreLeakageW(p.Core.Config, p.Core.VectorBits) * ls * float64(p.Cores)
+
+	// --- L2 + L3 ---
+	cacheDynPJ := l2AccessPJ*float64(a.L2Accesses) + l3AccessPJ*float64(a.L3Accesses)
+	cacheMB := p.L2PerCoreMB*float64(p.Cores) + p.L3TotalMB
+	cacheW := cacheDynPJ*1e-12*ds/a.Duration + cacheLeakWMB*cacheMB*ls
+
+	// --- Memory ---
+	dramDynNJ := actPreEnergyNJ*float64(a.DRAM.Act) +
+		rdEnergyNJ*float64(a.DRAM.Rd) +
+		wrEnergyNJ*float64(a.DRAM.Wr) +
+		refEnergyNJ*float64(a.DRAM.Ref)
+	memW := dramDynNJ*1e-9/a.Duration + dimmBackgroundW*float64(p.DIMMs)
+
+	return Breakdown{
+		CoreL1: coreDynW + coreLeakW,
+		L2L3:   cacheW,
+		Memory: memW,
+	}
+}
+
+// EnergyJ returns energy-to-solution in joules for a run of the given
+// duration at the given breakdown.
+func EnergyJ(b Breakdown, durationSeconds float64) float64 {
+	return b.Total() * durationSeconds
+}

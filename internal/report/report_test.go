@@ -1,0 +1,108 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"musa/internal/apps"
+	"musa/internal/net"
+	"musa/internal/rts"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("demo", "app", "speedup")
+	tbl.AddRow("hydro", 1.234567)
+	tbl.AddRow("spmz", "n/a")
+	var buf bytes.Buffer
+	if err := tbl.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "app", "hydro", "1.235", "n/a"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.AddRow("x,y", 1.0)
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if lines[0] != "a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if strings.Count(lines[1], ",") != 1 {
+		t.Errorf("cell commas not sanitized: %q", lines[1])
+	}
+}
+
+func TestTimelineRender(t *testing.T) {
+	tl := &Timeline{
+		Lanes: [][]Interval{
+			{{StartNs: 0, EndNs: 50}},
+			{{StartNs: 50, EndNs: 100, Kind: 1}},
+			nil, // idle lane
+		},
+		SpanNs: 100,
+		Width:  20,
+	}
+	var buf bytes.Buffer
+	if err := tl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "#") || !strings.Contains(out, "w") {
+		t.Errorf("timeline missing glyphs:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // 3 lanes + utilization
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[3], "utilization") {
+		t.Errorf("no utilization summary: %q", lines[3])
+	}
+}
+
+func TestFig3TimelineShowsIdleThreads(t *testing.T) {
+	// Specfem3D on 64 threads: 40 tasks leave many threads idle — the
+	// rendered chart must contain fully idle lanes (the paper's gray area).
+	p := apps.Spec3D()
+	g := p.RegionGraph(0, 1)
+	s := rts.Simulate(g, rts.Options{Threads: 64, DispatchNs: 100})
+	tl := ScheduleTimeline(g, s, 64)
+	var buf bytes.Buffer
+	if err := tl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	idleLanes := 0
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.Contains(line, "|") && !strings.Contains(line, "#") {
+			idleLanes++
+		}
+	}
+	if idleLanes < 20 {
+		t.Errorf("only %d idle lanes; Fig. 3 expects most threads idle", idleLanes)
+	}
+}
+
+func TestFig4TimelineShowsBarrierWaits(t *testing.T) {
+	// LULESH replay: rank imbalance + collectives produce waiting ('w').
+	b := apps.BurstTrace(apps.LULESH(), 16, 3)
+	res := net.Replay(b, net.MareNostrum4(), nil)
+	var buf bytes.Buffer
+	if err := WriteReplayTimeline(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "w") {
+		t.Error("no wait intervals in LULESH replay timeline")
+	}
+}

@@ -1,0 +1,52 @@
+package report
+
+import (
+	"io"
+
+	"musa/internal/net"
+	"musa/internal/rts"
+)
+
+// ScheduleTimeline converts a runtime-system schedule into per-thread lanes
+// (Fig. 3: task execution per thread; idle threads show as empty lanes).
+func ScheduleTimeline(g rts.Region, s rts.Schedule, threads int) *Timeline {
+	lanes := make([][]Interval, threads)
+	for id := range g.Tasks {
+		th := s.TaskThread[id]
+		if th >= 0 && th < threads {
+			lanes[th] = append(lanes[th], Interval{
+				StartNs: s.TaskStartNs[id],
+				EndNs:   s.TaskEndNs[id],
+			})
+		}
+	}
+	if g.SerialNs > 0 && threads > 0 {
+		lanes[0] = append(lanes[0], Interval{StartNs: 0, EndNs: g.SerialNs})
+	}
+	return &Timeline{Lanes: lanes, SpanNs: s.MakespanNs}
+}
+
+// ReplayTimeline converts a network replay into per-rank lanes (Fig. 4):
+// compute is busy ('#'), MPI wait (p2p + collectives) is 'w'. The per-rank
+// interval structure is approximated from the time breakdown: compute first,
+// then waiting until the rank's finish time.
+func ReplayTimeline(res net.Result) *Timeline {
+	lanes := make([][]Interval, len(res.Ranks))
+	for r, rs := range res.Ranks {
+		lanes[r] = []Interval{
+			{StartNs: 0, EndNs: rs.ComputeNs, Kind: 0},
+			{StartNs: rs.ComputeNs, EndNs: rs.FinishNs, Kind: 1},
+		}
+	}
+	return &Timeline{Lanes: lanes, SpanNs: res.MakespanNs}
+}
+
+// WriteScheduleTimeline is a convenience wrapper rendering a region schedule.
+func WriteScheduleTimeline(w io.Writer, g rts.Region, s rts.Schedule, threads int) error {
+	return ScheduleTimeline(g, s, threads).Render(w)
+}
+
+// WriteReplayTimeline is a convenience wrapper rendering a replay.
+func WriteReplayTimeline(w io.Writer, res net.Result) error {
+	return ReplayTimeline(res).Render(w)
+}

@@ -1,0 +1,257 @@
+package rts
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func flat(n int, durNs float64) Region {
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i] = Task{ID: i, DurationNs: durNs}
+	}
+	return Region{Name: "flat", Tasks: tasks}
+}
+
+func TestValidate(t *testing.T) {
+	ok := flat(4, 10)
+	if err := ok.Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := Region{Tasks: []Task{{ID: 1}}}
+	if bad.Validate() == nil {
+		t.Error("non-dense IDs validated")
+	}
+	bad2 := Region{Tasks: []Task{{ID: 0, Deps: []int{5}}}}
+	if bad2.Validate() == nil {
+		t.Error("out-of-range dep validated")
+	}
+	bad3 := Region{Tasks: []Task{{ID: 0, DurationNs: 5, CriticalNs: 10}}}
+	if bad3.Validate() == nil {
+		t.Error("critical > duration validated")
+	}
+}
+
+func TestPerfectScaling(t *testing.T) {
+	// 64 equal tasks on 1 vs 64 threads with no overheads: speedup 64.
+	r := flat(64, 1000)
+	s1 := Simulate(r, Options{Threads: 1})
+	s64 := Simulate(r, Options{Threads: 64})
+	if s1.MakespanNs != 64000 {
+		t.Errorf("serial makespan = %v", s1.MakespanNs)
+	}
+	if s64.MakespanNs != 1000 {
+		t.Errorf("parallel makespan = %v", s64.MakespanNs)
+	}
+	if pe := s64.ParallelEfficiency(); math.Abs(pe-1) > 1e-9 {
+		t.Errorf("efficiency = %v", pe)
+	}
+}
+
+func TestTaskShortageLimitsScaling(t *testing.T) {
+	// 96 tasks on 64 threads: two waves, efficiency 96/128 = 0.75 (the
+	// SP-MZ/Specfem3D mechanism in Fig. 2a).
+	r := flat(96, 1000)
+	s := Simulate(r, Options{Threads: 64})
+	if s.MakespanNs != 2000 {
+		t.Errorf("makespan = %v, want 2000 (two waves)", s.MakespanNs)
+	}
+	if pe := s.ParallelEfficiency(); math.Abs(pe-0.75) > 1e-9 {
+		t.Errorf("efficiency = %v, want 0.75", pe)
+	}
+}
+
+func TestSerialFractionAmdahl(t *testing.T) {
+	r := flat(64, 1000)
+	r.SerialNs = 16000 // 20% serial of 80k total
+	s := Simulate(r, Options{Threads: 64})
+	want := 16000.0 + 1000.0
+	if s.MakespanNs != want {
+		t.Errorf("makespan = %v, want %v", s.MakespanNs, want)
+	}
+	if s.ThreadBusyNs[0] < 16000 {
+		t.Error("serial work not on thread 0")
+	}
+}
+
+func TestDependencyChain(t *testing.T) {
+	tasks := []Task{
+		{ID: 0, DurationNs: 10},
+		{ID: 1, DurationNs: 10, Deps: []int{0}},
+		{ID: 2, DurationNs: 10, Deps: []int{1}},
+	}
+	s := Simulate(Region{Name: "chain", Tasks: tasks}, Options{Threads: 4})
+	if s.MakespanNs != 30 {
+		t.Errorf("chain makespan = %v, want 30", s.MakespanNs)
+	}
+	for i := 1; i < 3; i++ {
+		if s.TaskStartNs[i] < s.TaskEndNs[i-1] {
+			t.Errorf("task %d started before dep finished", i)
+		}
+	}
+}
+
+func TestDiamondDependencies(t *testing.T) {
+	tasks := []Task{
+		{ID: 0, DurationNs: 10},
+		{ID: 1, DurationNs: 20, Deps: []int{0}},
+		{ID: 2, DurationNs: 30, Deps: []int{0}},
+		{ID: 3, DurationNs: 10, Deps: []int{1, 2}},
+	}
+	s := Simulate(Region{Name: "diamond", Tasks: tasks}, Options{Threads: 4})
+	if s.MakespanNs != 50 { // 10 + max(20,30) + 10
+		t.Errorf("diamond makespan = %v, want 50", s.MakespanNs)
+	}
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	tasks := []Task{
+		{ID: 0, DurationNs: 10, Deps: []int{1}},
+		{ID: 1, DurationNs: 10, Deps: []int{0}},
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cycle did not panic")
+		}
+	}()
+	Simulate(Region{Name: "cycle", Tasks: tasks}, Options{Threads: 2})
+}
+
+func TestDispatchSerializationBottleneck(t *testing.T) {
+	// Tiny tasks + central FIFO queue: throughput capped at 1/dispatchNs.
+	// This is the HYDRO high-frequency bottleneck (Fig. 9a).
+	r := flat(1000, 10) // 10ns tasks
+	fifo := Simulate(r, Options{Threads: 64, DispatchNs: 100, Policy: FIFOCentral})
+	// 1000 dispatches serialized at 100ns each dominate: >= 100us.
+	if fifo.MakespanNs < 100*1000 {
+		t.Errorf("fifo makespan = %v, want >= 100000 (dispatch-bound)", fifo.MakespanNs)
+	}
+	steal := Simulate(r, Options{Threads: 64, DispatchNs: 100, Policy: WorkSteal})
+	if steal.MakespanNs >= fifo.MakespanNs {
+		t.Errorf("work stealing (%v) not faster than central FIFO (%v)", steal.MakespanNs, fifo.MakespanNs)
+	}
+}
+
+func TestDispatchIrrelevantForLargeTasks(t *testing.T) {
+	// Large tasks: dispatch overhead should be negligible (<2%).
+	r := flat(128, 1e6)
+	with := Simulate(r, Options{Threads: 64, DispatchNs: 100, Policy: FIFOCentral})
+	without := Simulate(r, Options{Threads: 64})
+	if with.MakespanNs > without.MakespanNs*1.02 {
+		t.Errorf("dispatch overhead visible on coarse tasks: %v vs %v", with.MakespanNs, without.MakespanNs)
+	}
+}
+
+func TestCriticalSectionSerializes(t *testing.T) {
+	// 8 tasks fully critical: must serialize regardless of threads.
+	tasks := make([]Task, 8)
+	for i := range tasks {
+		tasks[i] = Task{ID: i, DurationNs: 100, CriticalNs: 100}
+	}
+	s := Simulate(Region{Name: "crit", Tasks: tasks}, Options{Threads: 8})
+	if s.MakespanNs < 800 {
+		t.Errorf("critical tasks overlapped: makespan = %v", s.MakespanNs)
+	}
+	if s.CriticalWaitNs == 0 {
+		t.Error("no critical wait recorded")
+	}
+}
+
+func TestImbalanceHurtsEfficiency(t *testing.T) {
+	// LULESH mechanism: unbalanced chunks leave threads idle at the barrier.
+	bal := ParallelFor("bal", 6400, 100, 100, 0, 1)
+	imb := ParallelFor("imb", 6400, 100, 100, 0.5, 1)
+	sb := Simulate(bal, Options{Threads: 64})
+	si := Simulate(imb, Options{Threads: 64})
+	if si.ParallelEfficiency() >= sb.ParallelEfficiency() {
+		t.Errorf("imbalance did not hurt: %v vs %v", si.ParallelEfficiency(), sb.ParallelEfficiency())
+	}
+}
+
+func TestParallelForChunking(t *testing.T) {
+	r := ParallelFor("pf", 1000, 10, 128, 0, 1)
+	if len(r.Tasks) != 8 { // ceil(1000/128)
+		t.Errorf("chunks = %d, want 8", len(r.Tasks))
+	}
+	if math.Abs(r.TotalWorkNs()-10000) > 1e-9 {
+		t.Errorf("total work = %v, want 10000", r.TotalWorkNs())
+	}
+	// Last chunk is the remainder.
+	last := r.Tasks[len(r.Tasks)-1]
+	if math.Abs(last.DurationNs-(1000-7*128)*10) > 1e-9 {
+		t.Errorf("last chunk = %v", last.DurationNs)
+	}
+}
+
+func TestParallelForImbalancePreservesMeanWork(t *testing.T) {
+	r := ParallelFor("pf", 64000, 100, 100, 0.3, 7)
+	want := 6400000.0
+	if math.Abs(r.TotalWorkNs()-want)/want > 0.05 {
+		t.Errorf("imbalanced work = %v, want ~%v", r.TotalWorkNs(), want)
+	}
+}
+
+func TestWorkConservation(t *testing.T) {
+	// Property: sum of busy time equals total work plus waits charged.
+	f := func(seed uint64) bool {
+		nTasks := int(seed%50) + 1
+		threads := int(seed%7) + 1
+		r := ParallelFor("p", nTasks*10, 50, 10, 0.4, seed)
+		s := Simulate(r, Options{Threads: threads})
+		var busy float64
+		for _, b := range s.ThreadBusyNs {
+			busy += b
+		}
+		return math.Abs(busy-r.TotalWorkNs()) < 1e-6*math.Max(1, r.TotalWorkNs())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMakespanLowerBounds(t *testing.T) {
+	// Property: makespan >= max(total work / threads, longest task).
+	f := func(seed uint64) bool {
+		nTasks := int(seed%64) + 1
+		threads := int(seed%15) + 1
+		r := ParallelFor("p", nTasks*8, 60, 8, 0.6, seed^0xabc)
+		s := Simulate(r, Options{Threads: threads})
+		var longest float64
+		for _, task := range r.Tasks {
+			if task.DurationNs > longest {
+				longest = task.DurationNs
+			}
+		}
+		lower := math.Max(r.TotalWorkNs()/float64(threads), longest)
+		return s.MakespanNs >= lower-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAvgActiveThreads(t *testing.T) {
+	r := flat(32, 1000)
+	s := Simulate(r, Options{Threads: 64})
+	// 32 tasks on 64 threads in one wave: 32 active threads on average.
+	if math.Abs(s.AvgActiveThreads()-32) > 0.5 {
+		t.Errorf("avg active = %v, want ~32", s.AvgActiveThreads())
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if FIFOCentral.String() == "" || WorkSteal.String() == "" {
+		t.Error("empty policy names")
+	}
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	r := ParallelFor("bench", 64000, 100, 100, 0.3, 1)
+	opts := Options{Threads: 64, DispatchNs: 50, Policy: FIFOCentral}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Simulate(r, opts)
+	}
+}

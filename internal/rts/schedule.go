@@ -1,0 +1,175 @@
+package rts
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Simulate runs the region's task graph on opts.Threads simulated threads
+// and returns the schedule. It panics on an invalid region (regions are
+// produced by the application models, so that is a programming error).
+func Simulate(region Region, opts Options) Schedule {
+	if err := region.Validate(); err != nil {
+		panic(err)
+	}
+	if opts.Threads <= 0 {
+		panic(fmt.Sprintf("rts: %d threads", opts.Threads))
+	}
+
+	n := len(region.Tasks)
+	s := Schedule{
+		ThreadBusyNs: make([]float64, opts.Threads),
+		TaskThread:   make([]int, n),
+		TaskStartNs:  make([]float64, n),
+		TaskEndNs:    make([]float64, n),
+	}
+
+	// Serial preamble runs on thread 0 before any task starts.
+	serialEnd := region.SerialNs
+	s.ThreadBusyNs[0] = region.SerialNs
+	s.MakespanNs = serialEnd
+
+	if n == 0 {
+		return s
+	}
+
+	// Dependency bookkeeping.
+	indeg := make([]int, n)
+	succ := make([][]int, n)
+	readyAt := make([]float64, n) // max completion time of deps
+	for i, t := range region.Tasks {
+		indeg[i] = len(t.Deps)
+		for _, d := range t.Deps {
+			succ[d] = append(succ[d], i)
+		}
+		readyAt[i] = serialEnd
+	}
+
+	// Ready tasks ordered by (readyAt, ID): creation order for ties, which
+	// models a FIFO ready queue.
+	rq := &taskQueue{}
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			heap.Push(rq, qent{at: readyAt[i], id: i})
+		}
+	}
+
+	// Thread availability as a min-heap.
+	tq := &threadQueue{}
+	for th := 0; th < opts.Threads; th++ {
+		at := 0.0
+		if th == 0 {
+			at = serialEnd
+		}
+		heap.Push(tq, qent{at: at, id: th})
+	}
+
+	var dispatchGate float64 // FIFO central queue serialization point
+	var critFree float64     // global critical section availability
+	remaining := n
+
+	for remaining > 0 {
+		if rq.Len() == 0 {
+			panic("rts: deadlock — cyclic dependencies in region " + region.Name)
+		}
+		te := heap.Pop(rq).(qent)
+		task := &region.Tasks[te.id]
+		th := heap.Pop(tq).(qent)
+
+		start := maxf(te.at, th.at)
+		switch opts.Policy {
+		case FIFOCentral:
+			// One dispatch at a time through the queue lock.
+			start = maxf(start, dispatchGate)
+			start += opts.DispatchNs
+			dispatchGate = start
+		case WorkSteal:
+			// Dispatch cost paid locally, no global serialization.
+			start += opts.DispatchNs
+		}
+		s.DispatchNs += opts.DispatchNs
+
+		end := start + task.DurationNs
+		if task.CriticalNs > 0 {
+			// The critical portion executes exclusively at the end of the
+			// task; contention extends the task.
+			earliestCrit := start + task.DurationNs - task.CriticalNs
+			critStart := maxf(earliestCrit, critFree)
+			s.CriticalWaitNs += critStart - earliestCrit
+			end = critStart + task.CriticalNs
+			critFree = end
+		}
+
+		s.TaskThread[te.id] = th.id
+		s.TaskStartNs[te.id] = start
+		s.TaskEndNs[te.id] = end
+		s.ThreadBusyNs[th.id] += end - start
+		if end > s.MakespanNs {
+			s.MakespanNs = end
+		}
+
+		heap.Push(tq, qent{at: end, id: th.id})
+		for _, nx := range succ[te.id] {
+			if readyAt[nx] < end {
+				readyAt[nx] = end
+			}
+			indeg[nx]--
+			if indeg[nx] == 0 {
+				heap.Push(rq, qent{at: readyAt[nx], id: nx})
+			}
+		}
+		remaining--
+	}
+	return s
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// qent is a (time, id) pair for the scheduling heaps.
+type qent struct {
+	at float64
+	id int
+}
+
+type taskQueue []qent
+
+func (q taskQueue) Len() int { return len(q) }
+func (q taskQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].id < q[j].id
+}
+func (q taskQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *taskQueue) Push(x any)   { *q = append(*q, x.(qent)) }
+func (q *taskQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+type threadQueue []qent
+
+func (q threadQueue) Len() int { return len(q) }
+func (q threadQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].id < q[j].id
+}
+func (q threadQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *threadQueue) Push(x any)   { *q = append(*q, x.(qent)) }
+func (q *threadQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}

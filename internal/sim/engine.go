@@ -1,0 +1,146 @@
+// Package sim implements a small discrete-event simulation kernel shared by
+// the DRAM model and the network replay engine: a time-ordered event queue
+// with stable FIFO ordering for simultaneous events, and a simulation clock.
+//
+// Times are int64 picoseconds. Picosecond resolution lets the DRAM model
+// express exact DDR4-2333 bus cycles (857.6 ps) and the core models express
+// sub-nanosecond cycle times without rounding drift across frequencies.
+package sim
+
+import "container/heap"
+
+// Time is a simulation timestamp in picoseconds.
+type Time int64
+
+// Common time unit helpers.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Nanoseconds converts t to floating-point nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// FromSeconds converts floating-point seconds to a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// FromNanos converts floating-point nanoseconds to a Time.
+func FromNanos(ns float64) Time { return Time(ns * float64(Nanosecond)) }
+
+// Event is a scheduled callback.
+type Event struct {
+	when Time
+	seq  uint64
+	fn   func(now Time)
+	idx  int // heap index, -1 once popped or cancelled
+}
+
+// When returns the time the event is scheduled for.
+func (e *Event) When() Time { return e.when }
+
+// Engine is the event-driven simulation core. The zero value is ready to use.
+type Engine struct {
+	now    Time
+	nextSq uint64
+	queue  eventHeap
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a model bug, and silently reordering time would corrupt
+// every downstream statistic.
+func (e *Engine) At(t Time, fn func(now Time)) *Event {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	ev := &Event{when: t, seq: e.nextSq, fn: fn}
+	e.nextSq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn func(now Time)) *Event {
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes ev from the queue if it has not fired yet and reports
+// whether it was cancelled.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.idx < 0 {
+		return false
+	}
+	heap.Remove(&e.queue, ev.idx)
+	ev.idx = -1
+	return true
+}
+
+// Step fires the next event and reports whether one was available.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	ev.idx = -1
+	e.now = ev.when
+	ev.fn(e.now)
+	return true
+}
+
+// Run fires events until the queue is empty and returns the final time.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil fires events with timestamps <= deadline and advances the clock to
+// deadline if the queue drains earlier.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.queue) > 0 && e.queue[0].when <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// eventHeap orders by (when, seq) so same-time events fire FIFO.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"musa/internal/xrand"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if Second.Seconds() != 1 {
+		t.Error("Second != 1s")
+	}
+	if Nanosecond.Nanoseconds() != 1 {
+		t.Error("Nanosecond != 1ns")
+	}
+	if FromSeconds(2.5) != 2500*Millisecond {
+		t.Errorf("FromSeconds(2.5) = %v", FromSeconds(2.5))
+	}
+	if FromNanos(3) != 3*Nanosecond {
+		t.Errorf("FromNanos(3) = %v", FromNanos(3))
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	var e Engine
+	var order []int
+	e.At(30, func(Time) { order = append(order, 3) })
+	e.At(10, func(Time) { order = append(order, 1) })
+	e.At(20, func(Time) { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if e.Now() != 30 {
+		t.Errorf("final time = %v", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func(Time) { order = append(order, i) })
+	}
+	e.Run()
+	if !sort.IntsAreSorted(order) {
+		t.Errorf("same-time events not FIFO: %v", order)
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	var e Engine
+	var fired []Time
+	e.At(10, func(now Time) {
+		fired = append(fired, now)
+		e.After(5, func(now Time) { fired = append(fired, now) })
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Errorf("fired = %v", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var e Engine
+	ran := false
+	ev := e.At(10, func(Time) { ran = true })
+	if !e.Cancel(ev) {
+		t.Error("Cancel returned false for pending event")
+	}
+	if e.Cancel(ev) {
+		t.Error("double Cancel returned true")
+	}
+	e.Run()
+	if ran {
+		t.Error("cancelled event ran")
+	}
+	if e.Cancel(nil) {
+		t.Error("Cancel(nil) returned true")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	var e Engine
+	var order []int
+	e.At(10, func(Time) { order = append(order, 1) })
+	mid := e.At(20, func(Time) { order = append(order, 2) })
+	e.At(30, func(Time) { order = append(order, 3) })
+	e.Cancel(mid)
+	e.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 3 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	var e Engine
+	e.At(100, func(Time) {})
+	e.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	e.At(50, func(Time) {})
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	var fired []Time
+	for _, tm := range []Time{10, 20, 30, 40} {
+		tm := tm
+		e.At(tm, func(now Time) { fired = append(fired, now) })
+	}
+	e.RunUntil(25)
+	if len(fired) != 2 {
+		t.Errorf("fired %d events by t=25, want 2", len(fired))
+	}
+	if e.Now() != 25 {
+		t.Errorf("Now = %v, want 25", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", e.Pending())
+	}
+	e.RunUntil(100)
+	if len(fired) != 4 || e.Now() != 100 {
+		t.Errorf("fired=%v now=%v", fired, e.Now())
+	}
+}
+
+func TestMonotonicClockProperty(t *testing.T) {
+	// Property: regardless of insertion order, events fire in non-decreasing
+	// time order and the clock never goes backwards.
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		var e Engine
+		var times []Time
+		n := 50 + r.Intn(50)
+		for i := 0; i < n; i++ {
+			e.At(Time(r.Intn(1000)), func(now Time) { times = append(times, now) })
+		}
+		e.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEngineThroughput(b *testing.B) {
+	var e Engine
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%64), func(Time) {})
+		if e.Pending() > 1024 {
+			for e.Pending() > 0 {
+				e.Step()
+			}
+		}
+	}
+	e.Run()
+}

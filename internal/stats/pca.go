@@ -1,0 +1,199 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PCAResult holds the outcome of a principal component analysis: the
+// components (rows of Loadings, one per principal component, sorted by
+// decreasing eigenvalue), the eigenvalues themselves, and the fraction of
+// total variance each component explains. Labels carries the variable names
+// in column order.
+type PCAResult struct {
+	Labels    []string
+	Loadings  [][]float64 // Loadings[c][v]: loading of variable v on component c
+	Eigen     []float64
+	Explained []float64 // fraction of variance explained, per component
+}
+
+// PCA performs principal component analysis on the given data matrix, where
+// data[i] is an observation and data[i][j] the value of variable j (labelled
+// labels[j]). Variables are standardized before the covariance (hence
+// correlation) matrix is decomposed, matching the paper's methodology of
+// mixing categorical architecture levels with cycle counts.
+func PCA(labels []string, data [][]float64) (*PCAResult, error) {
+	n := len(data)
+	if n < 2 {
+		return nil, fmt.Errorf("stats: PCA needs at least 2 observations, got %d", n)
+	}
+	p := len(labels)
+	for i, row := range data {
+		if len(row) != p {
+			return nil, fmt.Errorf("stats: PCA row %d has %d values, want %d", i, len(row), p)
+		}
+	}
+
+	// Standardize each column.
+	cols := make([][]float64, p)
+	for j := 0; j < p; j++ {
+		col := make([]float64, n)
+		for i := 0; i < n; i++ {
+			col[i] = data[i][j]
+		}
+		cols[j] = Standardize(col)
+	}
+
+	// Correlation matrix.
+	cov := make([][]float64, p)
+	for j := range cov {
+		cov[j] = make([]float64, p)
+		for k := 0; k <= j; k++ {
+			c := Covariance(cols[j], cols[k])
+			cov[j][k] = c
+		}
+	}
+	for j := 0; j < p; j++ {
+		for k := j + 1; k < p; k++ {
+			cov[j][k] = cov[k][j]
+		}
+	}
+
+	eig, vecs := JacobiEigen(cov)
+
+	// Sort by decreasing eigenvalue.
+	idx := make([]int, p)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return eig[idx[a]] > eig[idx[b]] })
+
+	var total float64
+	for _, e := range eig {
+		if e > 0 {
+			total += e
+		}
+	}
+	res := &PCAResult{Labels: append([]string(nil), labels...)}
+	for _, i := range idx {
+		load := make([]float64, p)
+		for v := 0; v < p; v++ {
+			load[v] = vecs[v][i]
+		}
+		// Fix sign convention: make the largest-magnitude loading positive so
+		// results are stable across platforms.
+		maxAbs, sign := 0.0, 1.0
+		for _, l := range load {
+			if math.Abs(l) > maxAbs {
+				maxAbs = math.Abs(l)
+				if l < 0 {
+					sign = -1
+				} else {
+					sign = 1
+				}
+			}
+		}
+		for v := range load {
+			load[v] *= sign
+		}
+		res.Loadings = append(res.Loadings, load)
+		res.Eigen = append(res.Eigen, eig[i])
+		if total > 0 {
+			res.Explained = append(res.Explained, math.Max(eig[i], 0)/total)
+		} else {
+			res.Explained = append(res.Explained, 0)
+		}
+	}
+	return res, nil
+}
+
+// JacobiEigen computes all eigenvalues and eigenvectors of the symmetric
+// matrix a using the cyclic Jacobi rotation method. It returns the
+// eigenvalues and a matrix whose COLUMNS are the corresponding eigenvectors
+// (vecs[row][col]). The input matrix is not modified.
+func JacobiEigen(a [][]float64) (eigenvalues []float64, vecs [][]float64) {
+	n := len(a)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+		if len(m[i]) != n {
+			panic("stats: JacobiEigen needs a square matrix")
+		}
+	}
+	v := identity(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(m)
+		if off < 1e-14 {
+			break
+		}
+		for pIdx := 0; pIdx < n-1; pIdx++ {
+			for q := pIdx + 1; q < n; q++ {
+				if math.Abs(m[pIdx][q]) < 1e-18 {
+					continue
+				}
+				rotate(m, v, pIdx, q)
+			}
+		}
+	}
+
+	eigenvalues = make([]float64, n)
+	for i := 0; i < n; i++ {
+		eigenvalues[i] = m[i][i]
+	}
+	return eigenvalues, v
+}
+
+func identity(n int) [][]float64 {
+	v := make([][]float64, n)
+	for i := range v {
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+	return v
+}
+
+func offDiagNorm(m [][]float64) float64 {
+	var s float64
+	for i := range m {
+		for j := range m[i] {
+			if i != j {
+				s += m[i][j] * m[i][j]
+			}
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// rotate applies a Jacobi rotation zeroing m[p][q], accumulating into v.
+func rotate(m, v [][]float64, p, q int) {
+	n := len(m)
+	app, aqq, apq := m[p][p], m[q][q], m[p][q]
+	theta := (aqq - app) / (2 * apq)
+	var t float64
+	if theta >= 0 {
+		t = 1 / (theta + math.Sqrt(1+theta*theta))
+	} else {
+		t = -1 / (-theta + math.Sqrt(1+theta*theta))
+	}
+	c := 1 / math.Sqrt(1+t*t)
+	s := t * c
+
+	for k := 0; k < n; k++ {
+		akp, akq := m[k][p], m[k][q]
+		m[k][p] = c*akp - s*akq
+		m[k][q] = s*akp + c*akq
+	}
+	for k := 0; k < n; k++ {
+		apk, aqk := m[p][k], m[q][k]
+		m[p][k] = c*apk - s*aqk
+		m[q][k] = s*apk + c*aqk
+	}
+	for k := 0; k < n; k++ {
+		vkp, vkq := v[k][p], v[k][q]
+		v[k][p] = c*vkp - s*vkq
+		v[k][q] = s*vkp + c*vkq
+	}
+}

@@ -1,0 +1,157 @@
+// Package trace defines MUSA's multi-level traces. A burst trace captures
+// the whole execution of every MPI rank at coarse grain: compute regions
+// (with their runtime-system task graphs, so the region can be re-simulated
+// at any core count) interleaved with MPI communication events. A detailed
+// trace is the instruction-level record of one sampled compute region of one
+// rank (the paper traces one iteration of one rank with DynamoRIO).
+//
+// Both levels serialize: burst traces as JSON (they are small and human-
+// inspectable, like Extrae's), detailed traces in a compact little-endian
+// binary format (they are large).
+package trace
+
+import (
+	"fmt"
+
+	"musa/internal/rts"
+)
+
+// EventKind discriminates burst-trace events.
+type EventKind uint8
+
+// Burst event kinds.
+const (
+	EvCompute EventKind = iota
+	EvSend
+	EvRecv
+	EvAllReduce
+	EvBarrier
+	EvBcast
+	numEventKinds
+)
+
+var kindNames = [numEventKinds]string{"compute", "send", "recv", "allreduce", "barrier", "bcast"}
+
+func (k EventKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// IsMPI reports whether the event is a communication event.
+func (k EventKind) IsMPI() bool { return k != EvCompute }
+
+// IsCollective reports whether the event synchronizes all ranks.
+func (k EventKind) IsCollective() bool {
+	return k == EvAllReduce || k == EvBarrier || k == EvBcast
+}
+
+// Event is one burst-trace event of one rank.
+type Event struct {
+	Kind EventKind `json:"kind"`
+	// RegionID indexes Burst.Regions for EvCompute events.
+	RegionID int `json:"region,omitempty"`
+	// DurationNs is the traced duration for compute events (burst timing,
+	// replaced by simulation results in detailed mode).
+	DurationNs float64 `json:"dur_ns,omitempty"`
+	// Peer is the partner rank for point-to-point events.
+	Peer int `json:"peer,omitempty"`
+	// Bytes is the message (or collective contribution) size.
+	Bytes int64 `json:"bytes,omitempty"`
+}
+
+// RegionInfo describes one compute region: its runtime-system task graph
+// (the runtime events MUSA records so regions can be re-simulated with any
+// number of cores) and the instruction footprint used to rescale durations
+// in detailed mode.
+type RegionInfo struct {
+	Name string `json:"name"`
+	// Graph is the task graph replayed by the rts simulator.
+	Graph rts.Region `json:"graph"`
+	// Instructions is the dynamic scalar instruction count of the region
+	// (one rank), used to map core-model IPC into task durations.
+	Instructions int64 `json:"instructions"`
+}
+
+// RankTrace is the event sequence of one MPI rank.
+type RankTrace struct {
+	Rank   int     `json:"rank"`
+	Events []Event `json:"events"`
+}
+
+// Burst is a whole-application coarse-grain trace.
+type Burst struct {
+	App     string       `json:"app"`
+	Ranks   []RankTrace  `json:"ranks"`
+	Regions []RegionInfo `json:"regions"`
+}
+
+// Validate checks structural invariants.
+func (b *Burst) Validate() error {
+	if len(b.Ranks) == 0 {
+		return fmt.Errorf("trace: burst %q has no ranks", b.App)
+	}
+	for i, rt := range b.Ranks {
+		if rt.Rank != i {
+			return fmt.Errorf("trace: rank %d stored at index %d", rt.Rank, i)
+		}
+		for j, ev := range rt.Events {
+			switch {
+			case ev.Kind >= numEventKinds:
+				return fmt.Errorf("trace: rank %d event %d has kind %d", i, j, ev.Kind)
+			case ev.Kind == EvCompute:
+				if ev.RegionID < 0 || ev.RegionID >= len(b.Regions) {
+					return fmt.Errorf("trace: rank %d event %d region %d out of range", i, j, ev.RegionID)
+				}
+				if ev.DurationNs < 0 {
+					return fmt.Errorf("trace: rank %d event %d negative duration", i, j)
+				}
+			case ev.Kind == EvSend || ev.Kind == EvRecv:
+				if ev.Peer < 0 || ev.Peer >= len(b.Ranks) || ev.Peer == i {
+					return fmt.Errorf("trace: rank %d event %d bad peer %d", i, j, ev.Peer)
+				}
+				if ev.Bytes <= 0 {
+					return fmt.Errorf("trace: rank %d event %d p2p with %d bytes", i, j, ev.Bytes)
+				}
+			}
+		}
+	}
+	for ri, reg := range b.Regions {
+		if err := reg.Graph.Validate(); err != nil {
+			return fmt.Errorf("trace: region %d: %w", ri, err)
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a burst trace.
+type Stats struct {
+	Ranks       int
+	Events      int
+	ComputeNs   float64 // total traced compute time across ranks
+	P2PMessages int
+	P2PBytes    int64
+	Collectives int
+	Regions     int
+}
+
+// Summarize computes trace statistics.
+func (b *Burst) Summarize() Stats {
+	s := Stats{Ranks: len(b.Ranks), Regions: len(b.Regions)}
+	for _, rt := range b.Ranks {
+		s.Events += len(rt.Events)
+		for _, ev := range rt.Events {
+			switch {
+			case ev.Kind == EvCompute:
+				s.ComputeNs += ev.DurationNs
+			case ev.Kind == EvSend:
+				s.P2PMessages++
+				s.P2PBytes += ev.Bytes
+			case ev.Kind.IsCollective():
+				s.Collectives++
+			}
+		}
+	}
+	return s
+}

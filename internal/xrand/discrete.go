@@ -1,0 +1,45 @@
+package xrand
+
+import "sort"
+
+// Discrete samples from a finite discrete distribution given by weights.
+// It precomputes a cumulative table and samples by binary search, which is
+// fast enough for the trace synthesizers and keeps the implementation simple.
+type Discrete struct {
+	cum   []float64
+	total float64
+}
+
+// NewDiscrete builds a sampler over len(weights) outcomes. Weights must be
+// non-negative with a positive sum.
+func NewDiscrete(weights []float64) *Discrete {
+	d := &Discrete{cum: make([]float64, len(weights))}
+	for i, w := range weights {
+		if w < 0 {
+			panic("xrand: negative weight")
+		}
+		d.total += w
+		d.cum[i] = d.total
+	}
+	if d.total <= 0 {
+		panic("xrand: weights sum to zero")
+	}
+	return d
+}
+
+// Sample draws an outcome index using r.
+func (d *Discrete) Sample(r *RNG) int {
+	u := r.Float64() * d.total
+	return sort.SearchFloat64s(d.cum, u)
+}
+
+// N returns the number of outcomes.
+func (d *Discrete) N() int { return len(d.cum) }
+
+// Prob returns the probability of outcome i.
+func (d *Discrete) Prob(i int) float64 {
+	if i == 0 {
+		return d.cum[0] / d.total
+	}
+	return (d.cum[i] - d.cum[i-1]) / d.total
+}

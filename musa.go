@@ -1,0 +1,186 @@
+// Package musa is the public API of MUSA-Go, a from-scratch Go reproduction
+// of "Design Space Exploration of Next-Generation HPC Machines" (Gómez et
+// al., IPDPS 2019). It exposes the multi-scale simulation methodology —
+// burst-mode scaling analysis, detailed node simulation, 256-rank MPI
+// replay — and the paper's 864-point design-space exploration with power
+// and energy estimation.
+//
+// Quick start:
+//
+//	app, _ := musa.App("lulesh")
+//	res := musa.SimulateNode(app, musa.DefaultArch())
+//	fmt.Println(res.ComputeNs, res.Power.Total())
+//
+// See the examples/ directory and DESIGN.md for the full methodology.
+package musa
+
+import (
+	"fmt"
+
+	"musa/internal/apps"
+	"musa/internal/core"
+	"musa/internal/cpu"
+	"musa/internal/dram"
+	"musa/internal/dse"
+	"musa/internal/net"
+	"musa/internal/node"
+	"musa/internal/rts"
+)
+
+// Application is a workload model of one of the paper's five applications
+// (or a custom one built with NewApplication).
+type Application = apps.Profile
+
+// App returns one of the built-in application models: "hydro", "spmz",
+// "btmz", "spec3d" or "lulesh".
+func App(name string) (*Application, error) { return apps.ByName(name) }
+
+// Applications returns all five built-in models in the paper's order.
+func Applications() []*Application { return apps.All() }
+
+// Arch describes a compute-node architecture, mirroring Table I of the
+// paper plus the unconventional extensions of Table II.
+type Arch struct {
+	// Cores per socket: 1, 32 or 64 in the paper's sweep.
+	Cores int
+	// CoreType is one of "lowend", "medium", "high", "aggressive".
+	CoreType string
+	// FreqGHz: 1.5, 2.0, 2.5 or 3.0 in the sweep.
+	FreqGHz float64
+	// VectorBits: 128, 256, 512 (sweep); 64, 1024, 2048 (Table II).
+	VectorBits int
+	// CacheLabel is "32M:256K", "64M:512K" or "96M:1M" (L3 total : L2 per
+	// core).
+	CacheLabel string
+	// Channels is the DDR channel count (4 or 8; 16 for MEM+/MEM++).
+	Channels int
+	// HBM selects HBM2 instead of DDR4-2333 (the MEM++ configuration).
+	HBM bool
+}
+
+// DefaultArch returns the mid-range reference configuration used by the
+// characterization figure: 64 medium cores at 2 GHz, 128-bit SIMD,
+// 64M:512K caches, 4-channel DDR4.
+func DefaultArch() Arch {
+	return Arch{
+		Cores: 64, CoreType: "medium", FreqGHz: 2.0, VectorBits: 128,
+		CacheLabel: "64M:512K", Channels: 4,
+	}
+}
+
+// toPoint converts an Arch into the internal representation.
+func (a Arch) toPoint() (dse.ArchPoint, error) {
+	coreCfg, err := cpu.ByName(a.CoreType)
+	if err != nil {
+		return dse.ArchPoint{}, err
+	}
+	var cacheCfg dse.CacheCfg
+	found := false
+	for _, c := range dse.CacheConfigs() {
+		if c.Label == a.CacheLabel {
+			cacheCfg = c
+			found = true
+		}
+	}
+	if !found {
+		return dse.ArchPoint{}, fmt.Errorf("musa: unknown cache label %q (want 32M:256K, 64M:512K or 96M:1M)", a.CacheLabel)
+	}
+	mem := dse.DDR4
+	if a.HBM {
+		mem = dse.HBM
+	}
+	return dse.ArchPoint{
+		Cores: a.Cores, Core: coreCfg, FreqGHz: a.FreqGHz,
+		VectorBits: a.VectorBits, Cache: cacheCfg, Channels: a.Channels, Mem: mem,
+	}, nil
+}
+
+// SimOptions tune simulation fidelity and determinism.
+type SimOptions struct {
+	// SampleInstrs is the detailed sample length in scalar micro-ops
+	// (0 = default, 300k). WarmupInstrs streams through the caches first
+	// (0 = 2x sample).
+	SampleInstrs int64
+	WarmupInstrs int64
+	Seed         uint64
+}
+
+func (o SimOptions) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// NodeResult is the outcome of a detailed node simulation.
+type NodeResult = node.Result
+
+// SimulateNode runs the detailed node-level simulation of app on arch with
+// default options.
+func SimulateNode(app *Application, arch Arch) NodeResult {
+	return SimulateNodeOpts(app, arch, SimOptions{})
+}
+
+// SimulateNodeOpts runs the detailed node-level simulation with explicit
+// options. It panics on invalid architecture parameters (use Arch values
+// from the Table I grid).
+func SimulateNodeOpts(app *Application, arch Arch, opts SimOptions) NodeResult {
+	p, err := arch.toPoint()
+	if err != nil {
+		panic(err)
+	}
+	cfg := p.NodeConfig(opts.SampleInstrs, opts.WarmupInstrs, opts.seed())
+	return node.Simulate(app, cfg)
+}
+
+// NetworkModel is the Dimemas-like interconnect model.
+type NetworkModel = net.Model
+
+// MareNostrumNetwork returns the MareNostrum IV-class network model used in
+// the paper's full-application simulations.
+func MareNostrumNetwork() NetworkModel { return net.MareNostrum4() }
+
+// FullAppResult couples node simulation and the cross-rank MPI replay.
+type FullAppResult = core.DetailedResult
+
+// SimulateFullApp runs detailed mode end to end on `ranks` MPI ranks (the
+// paper uses 256) — node simulation plus network replay.
+func SimulateFullApp(app *Application, arch Arch, ranks int, model NetworkModel, opts SimOptions) FullAppResult {
+	p, err := arch.toPoint()
+	if err != nil {
+		panic(err)
+	}
+	cfg := p.NodeConfig(opts.SampleInstrs, opts.WarmupInstrs, opts.seed())
+	return core.DetailedFullApp(app, cfg, ranks, model)
+}
+
+// RegionScaling runs the hardware-agnostic burst-mode scaling analysis of a
+// single compute region (Fig. 2a): speedups versus one core.
+func RegionScaling(app *Application, coreCounts []int) []float64 {
+	return core.RegionScaling(app, coreCounts, core.DefaultBurstOptions())
+}
+
+// FullAppScalingResult is one core-count point of the Fig. 2b analysis.
+type FullAppScalingResult = core.FullAppResult
+
+// FullAppScaling runs the burst-mode whole-application scaling analysis
+// including MPI overheads (Fig. 2b).
+func FullAppScaling(app *Application, ranks int, coreCounts []int, model NetworkModel) []FullAppScalingResult {
+	return core.FullAppScaling(app, ranks, coreCounts, model, core.DefaultBurstOptions())
+}
+
+// NewApplication validates and returns a custom application model; see the
+// examples/custom_app example for the knobs.
+func NewApplication(p Application) (*Application, error) {
+	cp := p
+	if err := cp.Validate(); err != nil {
+		return nil, err
+	}
+	return &cp, nil
+}
+
+// Ensure internal types referenced by Arch stay linked.
+var (
+	_ = dram.DDR4_2333
+	_ = rts.FIFOCentral
+)

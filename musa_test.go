@@ -1,0 +1,128 @@
+package musa
+
+import (
+	"testing"
+)
+
+func fastOpts() SimOptions {
+	return SimOptions{SampleInstrs: 60000, WarmupInstrs: 200000, Seed: 1}
+}
+
+func TestAppLookup(t *testing.T) {
+	for _, n := range []string{"hydro", "spmz", "btmz", "spec3d", "lulesh"} {
+		if _, err := App(n); err != nil {
+			t.Errorf("App(%q): %v", n, err)
+		}
+	}
+	if _, err := App("quake"); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if len(Applications()) != 5 {
+		t.Error("wrong application count")
+	}
+}
+
+func TestDefaultArchValid(t *testing.T) {
+	if _, err := DefaultArch().toPoint(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultArch()
+	bad.CacheLabel = "huge"
+	if _, err := bad.toPoint(); err == nil {
+		t.Error("bad cache label accepted")
+	}
+	bad2 := DefaultArch()
+	bad2.CoreType = "quantum"
+	if _, err := bad2.toPoint(); err == nil {
+		t.Error("bad core type accepted")
+	}
+}
+
+func TestSimulateNode(t *testing.T) {
+	app, _ := App("btmz")
+	res := SimulateNodeOpts(app, DefaultArch(), fastOpts())
+	if res.ComputeNs <= 0 || res.Power.Total() <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+}
+
+func TestSimulateFullApp(t *testing.T) {
+	app, _ := App("hydro")
+	res := SimulateFullApp(app, DefaultArch(), 8, MareNostrumNetwork(), fastOpts())
+	if res.MakespanNs <= 0 || res.SystemEnergyJ <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+}
+
+func TestRegionScalingAPI(t *testing.T) {
+	app, _ := App("spec3d")
+	sp := RegionScaling(app, []int{1, 32, 64})
+	if len(sp) != 3 || sp[0] != 1 || sp[2] <= 1 {
+		t.Errorf("speedups = %v", sp)
+	}
+}
+
+func TestFullAppScalingAPI(t *testing.T) {
+	app, _ := App("lulesh")
+	res := FullAppScaling(app, 16, []int{32}, MareNostrumNetwork())
+	if len(res) != 1 || res[0].Speedup <= 1 {
+		t.Errorf("results = %+v", res)
+	}
+}
+
+func TestNewApplicationValidates(t *testing.T) {
+	app, _ := App("hydro")
+	custom := *app
+	custom.Name = "myapp"
+	got, err := NewApplication(custom)
+	if err != nil || got.Name != "myapp" {
+		t.Fatalf("NewApplication: %v", err)
+	}
+	broken := *app
+	broken.Regions = nil
+	if _, err := NewApplication(broken); err == nil {
+		t.Error("invalid application accepted")
+	}
+}
+
+func TestRunSweepSmall(t *testing.T) {
+	d, err := RunSweep(SweepOptions{
+		AppNames:     []string{"btmz"},
+		SampleInstrs: 40000,
+		WarmupInstrs: 120000,
+		Workers:      2,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Measurements) != 864 {
+		t.Fatalf("%d measurements, want 864", len(d.Measurements))
+	}
+	bars := SpeedupBars(d, FeatFreq, 64)
+	if len(bars) == 0 {
+		t.Fatal("no frequency bars")
+	}
+	pb := PowerBars(d, FeatOoO, 64)
+	if len(pb) == 0 {
+		t.Fatal("no power bars")
+	}
+	c1, c2, c3 := PowerComponentBars(d, FeatChannels, 64)
+	if len(c1) == 0 || len(c2) == 0 || len(c3) == 0 {
+		t.Fatal("missing component bars")
+	}
+	eb := EnergyBars(d, FeatVector, 32)
+	if len(eb) == 0 {
+		t.Fatal("no energy bars")
+	}
+	rows := Characterization(d)
+	if len(rows) != 2 { // one app, 32c + 64c
+		t.Fatalf("characterization rows = %d", len(rows))
+	}
+	if _, err := PCA(d, "btmz"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSweep(SweepOptions{AppNames: []string{"nope"}}); err == nil {
+		t.Error("unknown app accepted by sweep")
+	}
+}

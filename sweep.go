@@ -1,0 +1,111 @@
+package musa
+
+import (
+	"musa/internal/dse"
+	"musa/internal/stats"
+)
+
+// Sweep exposes the paper's design-space exploration: the Table I grid,
+// the parallel runner, and the per-figure aggregations.
+type Sweep = dse.Dataset
+
+// SweepOptions configures RunSweep.
+type SweepOptions struct {
+	// AppNames restricts the sweep (nil = all five applications).
+	AppNames []string
+	// SampleInstrs / WarmupInstrs control detailed-sample fidelity
+	// (0 = package defaults; smaller is faster and noisier).
+	SampleInstrs int64
+	WarmupInstrs int64
+	// Workers for the parallel runner (0 = GOMAXPROCS).
+	Workers int
+	Seed    uint64
+	// Progress, if non-nil, is called with (done, total) measurements.
+	Progress func(done, total int)
+}
+
+// RunSweep executes the full 864-configuration Table I sweep (per selected
+// application) and returns the dataset every figure is derived from.
+func RunSweep(opts SweepOptions) (*Sweep, error) {
+	o := dse.Options{
+		SampleInstrs: opts.SampleInstrs,
+		WarmupInstrs: opts.WarmupInstrs,
+		Workers:      opts.Workers,
+		Seed:         opts.Seed,
+		Progress:     opts.Progress,
+	}
+	if opts.AppNames != nil {
+		for _, n := range opts.AppNames {
+			p, err := App(n)
+			if err != nil {
+				return nil, err
+			}
+			o.Apps = append(o.Apps, p)
+		}
+	}
+	return dse.Run(o), nil
+}
+
+// Feature re-exports the swept architectural dimensions.
+type Feature = dse.Feature
+
+// The five features of the paper's §V-B quantification.
+const (
+	FeatVector   = dse.FeatVector
+	FeatCache    = dse.FeatCache
+	FeatOoO      = dse.FeatOoO
+	FeatChannels = dse.FeatChannels
+	FeatFreq     = dse.FeatFreq
+)
+
+// Bar is one aggregated figure bar (mean ratio +/- stddev).
+type Bar = dse.Bar
+
+// SpeedupBars computes Fig. 5a/6a/7a/8a/9a-style bars: mean speedup of each
+// feature value over the feature's baseline, restricted to one socket width
+// (32 or 64; 0 = all).
+func SpeedupBars(d *Sweep, f Feature, cores int) []Bar {
+	return dse.NormalizedBars(d.Measurements, f, dse.MetricTime, true, cores)
+}
+
+// PowerBars computes the total-power ratio bars of the b-panels.
+func PowerBars(d *Sweep, f Feature, cores int) []Bar {
+	return dse.NormalizedBars(d.Measurements, f, dse.MetricPower, false, cores)
+}
+
+// PowerComponentBars returns the per-component power ratios (Core+L1,
+// L2+L3, Memory), matching the stacked bars of the b-panels.
+func PowerComponentBars(d *Sweep, f Feature, cores int) (coreL1, l2l3, mem []Bar) {
+	coreL1 = dse.NormalizedBars(d.Measurements, f, dse.MetricCoreL1W, false, cores)
+	l2l3 = dse.NormalizedBars(d.Measurements, f, dse.MetricL2L3W, false, cores)
+	mem = dse.NormalizedBars(d.Measurements, f, dse.MetricMemW, false, cores)
+	return coreL1, l2l3, mem
+}
+
+// EnergyBars computes the energy-to-solution ratio bars of the c-panels.
+func EnergyBars(d *Sweep, f Feature, cores int) []Bar {
+	return dse.NormalizedBars(d.Measurements, f, dse.MetricEnergy, false, cores)
+}
+
+// CharacterizationRow is one Fig. 1 row.
+type CharacterizationRow = dse.Fig1Row
+
+// Characterization extracts the Fig. 1 runtime statistics from a sweep.
+func Characterization(d *Sweep) []CharacterizationRow { return dse.Figure1(d) }
+
+// PCAResult re-exports the principal component analysis output.
+type PCAResult = stats.PCAResult
+
+// PCA reproduces Fig. 10 for one application over the sweep's 64-core,
+// 2 GHz slice.
+func PCA(d *Sweep, app string) (*PCAResult, error) { return dse.PCAFor(d, app) }
+
+// UnconventionalRow is one Table II / Fig. 11 row.
+type UnconventionalRow = dse.UnconventionalRow
+
+// Unconventional simulates the Table II application-specific configurations
+// (SPMZ Vector+/Vector++, LULESH MEM+/MEM++) against their DSE-Best
+// baselines.
+func Unconventional(opts SimOptions) []UnconventionalRow {
+	return dse.Unconventional(opts.SampleInstrs, opts.WarmupInstrs, opts.seed())
+}
