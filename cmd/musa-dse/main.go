@@ -7,6 +7,14 @@
 //	musa-dse -fig 5                # run the sweep, print one figure
 //	musa-dse -all                  # run the sweep, print every figure
 //	musa-dse -all -csv -sample 100000 -apps hydro,lulesh
+//	musa-dse -all -cache-dir musa-cache   # checkpoint/reuse measurements
+//
+// With -cache-dir, every completed measurement is appended to the
+// content-addressed result store as it finishes: a killed sweep resumes
+// from its checkpoint, and a repeated run over the same points is served
+// from the store. -resume=false forces recomputation (still overwriting
+// the store). The store is the same one musa-serve uses, so the CLI and
+// the server share one result pipeline.
 package main
 
 import (
@@ -34,7 +42,10 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 1, "seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of tables")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
+	cacheDir := flag.String("cache-dir", "", "result store directory (empty = no persistence)")
+	resume := flag.Bool("resume", true, "with -cache-dir, serve already-stored points from the store")
 	flag.Parse()
 
 	if *list {
@@ -54,6 +65,8 @@ func main() {
 		WarmupInstrs: *warmup,
 		Workers:      *workers,
 		Seed:         *seed,
+		CacheDir:     *cacheDir,
+		Recompute:    !*resume,
 	}
 	if *appsFlag != "" {
 		opts.AppNames = strings.Split(*appsFlag, ",")
@@ -73,82 +86,27 @@ func main() {
 		log.Fatal(err)
 	}
 
-	emit := func(t *report.Table) {
-		if *csv {
-			must(t.WriteCSV(os.Stdout))
-		} else {
-			must(t.Write(os.Stdout))
-		}
-		fmt.Println()
-	}
-
-	want := func(n int) bool { return *all || *figure == n }
-
-	if want(1) {
-		t := report.NewTable("Figure 1: application runtime statistics",
-			"app", "cores", "L1 MPKI", "L2 MPKI", "L3 MPKI", "GReq/s")
-		for _, r := range musa.Characterization(d) {
-			t.AddRow(r.App, r.Cores, r.L1MPKI, r.L2MPKI, r.L3MPKI, r.GMemReqPerSec/1e9)
-		}
-		emit(t)
-	}
-	figs := []struct {
-		n    int
-		name string
-		feat musa.Feature
-	}{
-		{5, "FPU vector width", musa.FeatVector},
-		{6, "cache sizes", musa.FeatCache},
-		{7, "core OoO capabilities", musa.FeatOoO},
-		{8, "memory channels", musa.FeatChannels},
-		{9, "CPU frequency", musa.FeatFreq},
-	}
-	for _, f := range figs {
-		if !want(f.n) {
+	simOpts := musa.SimOptions{SampleInstrs: *sample, WarmupInstrs: *warmup, Seed: *seed}
+	for _, n := range musa.FigureNumbers() {
+		if !*all && *figure != n {
 			continue
 		}
-		for _, cores := range []int{32, 64} {
-			t := report.NewTable(fmt.Sprintf("Figure %d: %s (%d cores x 256 ranks)", f.n, f.name, cores),
-				"app", "value", "speedup", "sd", "power", "coreL1 W", "L2L3 W", "mem W", "energy")
-			perf := musa.SpeedupBars(d, f.feat, cores)
-			pow := musa.PowerBars(d, f.feat, cores)
-			c1, c2, c3 := musa.PowerComponentBars(d, f.feat, cores)
-			en := musa.EnergyBars(d, f.feat, cores)
-			for i := range perf {
-				t.AddRow(perf[i].App, perf[i].Value, perf[i].Mean, perf[i].Std,
-					pow[i].Mean, c1[i].Mean, c2[i].Mean, c3[i].Mean, en[i].Mean)
-			}
-			emit(t)
+		fig, err := musa.Figure(d, n, simOpts)
+		if err != nil {
+			log.Fatal(err)
 		}
-	}
-	if want(10) {
-		for _, app := range []string{"hydro", "lulesh"} {
-			res, err := musa.PCA(d, app)
-			if err != nil {
-				log.Fatal(err)
-			}
-			t := report.NewTable(fmt.Sprintf("Figure 10: PCA for %s (PC0 %.1f%%, PC1 %.1f%% of variance)",
-				app, res.Explained[0]*100, res.Explained[1]*100),
-				"variable", "PC0", "PC1")
-			for v, l := range res.Labels {
-				t.AddRow(l, res.Loadings[0][v], res.Loadings[1][v])
-			}
-			emit(t)
+		if *jsonOut {
+			must(fig.WriteJSON(os.Stdout))
+			continue
 		}
-	}
-	if want(11) {
-		t := report.NewTable("Table II / Figure 11: unconventional configurations",
-			"app", "config", "perf", "power", "energy")
-		for _, r := range musa.Unconventional(musa.SimOptions{
-			SampleInstrs: *sample, WarmupInstrs: *warmup, Seed: *seed,
-		}) {
-			energy := fmt.Sprintf("%.3f", r.RelEnergy)
-			if !r.EnergyKnown {
-				energy = "n/a (no HBM power data)"
+		for _, t := range fig.Tables {
+			if *csv {
+				must(t.WriteCSV(os.Stdout))
+			} else {
+				must(t.Write(os.Stdout))
 			}
-			t.AddRow(r.App, r.Label, r.RelPerf, r.RelPower, energy)
+			fmt.Println()
 		}
-		emit(t)
 	}
 }
 

@@ -1,0 +1,89 @@
+// musa-serve exposes the simulation pipeline as an HTTP service backed by
+// the content-addressed result store: repeated requests are cache hits,
+// duplicate in-flight requests coalesce into one computation, and batch
+// sweeps checkpoint incrementally so a restarted server resumes them.
+//
+// Usage:
+//
+//	musa-serve -addr :8080 -cache-dir musa-cache
+//
+// API:
+//
+//	GET  /apps         the five application models
+//	GET  /points       the 864-point Table I design space
+//	POST /simulate     {"app":"lulesh","pointIndex":42} -> one measurement
+//	POST /dse          {"apps":["hydro"],"sample":60000} -> NDJSON stream
+//	GET  /figures/{n}  JSON data for figure n (1, 5-11)
+//	GET  /stats        service counters and store size
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"musa/internal/serve"
+	"musa/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("musa-serve: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheDir := flag.String("cache-dir", "musa-cache", "result store directory")
+	lru := flag.Int("lru", 0, "in-memory LRU entries (0 = default)")
+	workers := flag.Int("workers", 0, "simulation workers per job (0 = GOMAXPROCS)")
+	maxJobs := flag.Int("max-jobs", 2, "concurrently executing simulation jobs")
+	sample := flag.Int64("sample", 0, "default detailed sample micro-ops (0 = package default)")
+	warmup := flag.Int64("warmup", 0, "default warmup micro-ops (0 = 2x sample)")
+	seed := flag.Uint64("seed", 1, "default seed")
+	flag.Parse()
+
+	st, err := store.Open(*cacheDir, store.Options{LRUEntries: *lru})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("store %s: %d measurements", *cacheDir, st.Len())
+
+	svc := serve.New(st, serve.Config{
+		Workers:      *workers,
+		MaxJobs:      *maxJobs,
+		SampleInstrs: *sample,
+		WarmupInstrs: *warmup,
+		Seed:         *seed,
+	})
+	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(svc)}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests (sweeps
+	// checkpoint through the store, so killing them loses nothing beyond
+	// the points in flight), then close the store.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		log.Print("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		done <- srv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("listening on %s", *addr)
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		log.Printf("store close: %v", err)
+	}
+	log.Printf("store %s: %d measurements", *cacheDir, st.Len())
+}

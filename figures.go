@@ -1,0 +1,87 @@
+package musa
+
+import (
+	"fmt"
+
+	"musa/internal/report"
+)
+
+// FigureNumbers lists the evaluation figures musa can regenerate: the
+// Fig. 1 characterization, the Figs. 5-9 sensitivity studies, the Fig. 10
+// PCA and the Table II / Fig. 11 unconventional configurations.
+func FigureNumbers() []int { return []int{1, 5, 6, 7, 8, 9, 10, 11} }
+
+// Figure builds the table data behind one evaluation figure from a sweep
+// dataset. It is the single figure pipeline shared by the musa-dse CLI and
+// the musa-serve /figures/{n} endpoint. Figure 11 runs its own Table II
+// simulations (driven by opts) and ignores d; every other figure is an
+// aggregation of d and ignores opts.
+func Figure(d *Sweep, n int, opts SimOptions) (*report.Figure, error) {
+	switch n {
+	case 1:
+		t := report.NewTable("Figure 1: application runtime statistics",
+			"app", "cores", "L1 MPKI", "L2 MPKI", "L3 MPKI", "GReq/s")
+		for _, r := range Characterization(d) {
+			t.AddRow(r.App, r.Cores, r.L1MPKI, r.L2MPKI, r.L3MPKI, r.GMemReqPerSec/1e9)
+		}
+		return &report.Figure{N: n, Title: "application characterization", Tables: []*report.Table{t}}, nil
+	case 5, 6, 7, 8, 9:
+		var name string
+		var feat Feature
+		switch n {
+		case 5:
+			name, feat = "FPU vector width", FeatVector
+		case 6:
+			name, feat = "cache sizes", FeatCache
+		case 7:
+			name, feat = "core OoO capabilities", FeatOoO
+		case 8:
+			name, feat = "memory channels", FeatChannels
+		case 9:
+			name, feat = "CPU frequency", FeatFreq
+		}
+		fig := &report.Figure{N: n, Title: name}
+		for _, cores := range []int{32, 64} {
+			t := report.NewTable(fmt.Sprintf("Figure %d: %s (%d cores x 256 ranks)", n, name, cores),
+				"app", "value", "speedup", "sd", "power", "coreL1 W", "L2L3 W", "mem W", "energy")
+			perf := SpeedupBars(d, feat, cores)
+			pow := PowerBars(d, feat, cores)
+			c1, c2, c3 := PowerComponentBars(d, feat, cores)
+			en := EnergyBars(d, feat, cores)
+			for i := range perf {
+				t.AddRow(perf[i].App, perf[i].Value, perf[i].Mean, perf[i].Std,
+					pow[i].Mean, c1[i].Mean, c2[i].Mean, c3[i].Mean, en[i].Mean)
+			}
+			fig.Tables = append(fig.Tables, t)
+		}
+		return fig, nil
+	case 10:
+		fig := &report.Figure{N: n, Title: "PCA of the design space"}
+		for _, app := range []string{"hydro", "lulesh"} {
+			res, err := PCA(d, app)
+			if err != nil {
+				return nil, err
+			}
+			t := report.NewTable(fmt.Sprintf("Figure 10: PCA for %s (PC0 %.1f%%, PC1 %.1f%% of variance)",
+				app, res.Explained[0]*100, res.Explained[1]*100),
+				"variable", "PC0", "PC1")
+			for v, l := range res.Labels {
+				t.AddRow(l, res.Loadings[0][v], res.Loadings[1][v])
+			}
+			fig.Tables = append(fig.Tables, t)
+		}
+		return fig, nil
+	case 11:
+		t := report.NewTable("Table II / Figure 11: unconventional configurations",
+			"app", "config", "perf", "power", "energy")
+		for _, r := range Unconventional(opts) {
+			energy := fmt.Sprintf("%.3f", r.RelEnergy)
+			if !r.EnergyKnown {
+				energy = "n/a (no HBM power data)"
+			}
+			t.AddRow(r.App, r.Label, r.RelPerf, r.RelPower, energy)
+		}
+		return &report.Figure{N: n, Title: "unconventional configurations", Tables: []*report.Table{t}}, nil
+	}
+	return nil, fmt.Errorf("musa: unknown figure %d (have 1, 5-11)", n)
+}

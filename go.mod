@@ -1,0 +1,3 @@
+module musa
+
+go 1.24

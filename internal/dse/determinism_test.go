@@ -1,0 +1,130 @@
+package dse
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunFullyDeterministic is the property that makes content-addressed
+// result caching sound: two runs of the same request produce identical
+// measurements across every field, bit for bit. (TestRunDeterministic in
+// dse_test.go only spot-checks TimeNs on a small subset.)
+func TestRunFullyDeterministic(t *testing.T) {
+	o := testOpts()
+	o.SampleInstrs = 20000
+	o.WarmupInstrs = 40000
+	a := Run(o)
+	b := Run(o)
+	if len(a.Measurements) == 0 {
+		t.Fatal("empty sweep")
+	}
+	if !reflect.DeepEqual(a.Measurements, b.Measurements) {
+		for i := range a.Measurements {
+			if !reflect.DeepEqual(a.Measurements[i], b.Measurements[i]) {
+				t.Fatalf("measurement %d differs between identical runs:\n%+v\nvs\n%+v",
+					i, a.Measurements[i], b.Measurements[i])
+			}
+		}
+		t.Fatal("datasets differ between identical runs")
+	}
+}
+
+// TestLookupServesWithoutSimulating checks the cache read path: when every
+// point is served by Lookup, nothing is simulated and the dataset matches
+// the fresh run.
+func TestLookupServesWithoutSimulating(t *testing.T) {
+	o := testOpts()
+	o.SampleInstrs = 20000
+	o.WarmupInstrs = 40000
+
+	cache := map[string]Measurement{}
+	var mu sync.Mutex
+	o.OnMeasurement = func(m Measurement) {
+		mu.Lock()
+		cache[m.App+"|"+m.Arch.Label()] = m
+		mu.Unlock()
+	}
+	fresh := Run(o)
+	if len(cache) != len(fresh.Measurements) {
+		t.Fatalf("OnMeasurement saw %d of %d measurements", len(cache), len(fresh.Measurements))
+	}
+
+	var simulated atomic.Int64
+	o.OnMeasurement = func(Measurement) { simulated.Add(1) }
+	o.Lookup = func(app string, p ArchPoint) (Measurement, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		m, ok := cache[app+"|"+p.Label()]
+		return m, ok
+	}
+	cached := Run(o)
+	if n := simulated.Load(); n != 0 {
+		t.Fatalf("fully cached run simulated %d points", n)
+	}
+	if !reflect.DeepEqual(fresh.Measurements, cached.Measurements) {
+		t.Fatal("cached dataset differs from fresh dataset")
+	}
+}
+
+// TestPartialLookupMatchesFresh serves only every other point from the
+// cache, so annotation groups are entered at arbitrary offsets — the lazily
+// built annotation must still reproduce the fresh measurements exactly.
+func TestPartialLookupMatchesFresh(t *testing.T) {
+	o := testOpts()
+	o.SampleInstrs = 20000
+	o.WarmupInstrs = 40000
+
+	cache := map[string]Measurement{}
+	var mu sync.Mutex
+	o.OnMeasurement = func(m Measurement) {
+		mu.Lock()
+		cache[m.App+"|"+m.Arch.Label()] = m
+		mu.Unlock()
+	}
+	fresh := Run(o)
+	o.OnMeasurement = nil
+
+	var flip atomic.Int64
+	o.Lookup = func(app string, p ArchPoint) (Measurement, bool) {
+		if flip.Add(1)%2 == 0 {
+			return Measurement{}, false
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		m, ok := cache[app+"|"+p.Label()]
+		return m, ok
+	}
+	mixed := Run(o)
+	if !reflect.DeepEqual(fresh.Measurements, mixed.Measurements) {
+		t.Fatal("half-cached dataset differs from fresh dataset")
+	}
+}
+
+// TestCancelStopsEarlyAndCheckpoints closes Cancel partway through and
+// checks that Run returns only the checkpointed subset.
+func TestCancelStopsEarlyAndCheckpoints(t *testing.T) {
+	o := testOpts()
+	o.SampleInstrs = 20000
+	o.WarmupInstrs = 40000
+	o.Workers = 2
+
+	cancel := make(chan struct{})
+	var seen atomic.Int64
+	o.OnMeasurement = func(Measurement) {
+		if seen.Add(1) == 5 {
+			close(cancel)
+		}
+	}
+	o.Cancel = cancel
+	d := Run(o)
+	total := len(testOpts().Apps) * len(testOpts().Points)
+	if len(d.Measurements) >= total {
+		t.Fatalf("canceled run still completed all %d points", total)
+	}
+	if int64(len(d.Measurements)) != seen.Load() {
+		t.Fatalf("dataset has %d measurements but %d were checkpointed",
+			len(d.Measurements), seen.Load())
+	}
+}

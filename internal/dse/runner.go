@@ -45,8 +45,26 @@ type Options struct {
 	WarmupInstrs int64
 	Workers      int
 	Seed         uint64
-	// Progress, if non-nil, receives completed measurement counts.
+	// Progress, if non-nil, receives completed measurement counts. Calls
+	// are serialized: implementations may write to shared state or an
+	// output stream without their own locking.
 	Progress func(done, total int)
+
+	// Lookup, if non-nil, is consulted before each point is simulated; on a
+	// hit the returned measurement is reused and the point is not
+	// recomputed. This is the result-store read path. Called concurrently
+	// from workers.
+	Lookup func(app string, p ArchPoint) (Measurement, bool)
+	// OnMeasurement, if non-nil, receives each freshly simulated
+	// measurement as soon as it completes (Lookup hits are not reported) —
+	// the incremental-checkpoint write path. Called concurrently from
+	// workers.
+	OnMeasurement func(m Measurement)
+	// Cancel, if non-nil, aborts the sweep when closed: workers finish the
+	// point in flight, skip the rest, and Run returns the partial dataset.
+	// Combined with OnMeasurement checkpointing, a canceled sweep resumes
+	// where it left off.
+	Cancel <-chan struct{}
 }
 
 func (o *Options) fill() {
@@ -155,21 +173,55 @@ func Run(opts Options) *Dataset {
 	var done int
 	var doneMu sync.Mutex
 
+	canceled := func() bool {
+		// A nil Cancel channel never selects; default wins.
+		select {
+		case <-opts.Cancel:
+			return true
+		default:
+			return false
+		}
+	}
+	bump := func() {
+		if opts.Progress != nil {
+			// The callback runs under the lock so Progress calls are
+			// serialized and monotonic for the consumer.
+			doneMu.Lock()
+			done++
+			opts.Progress(done, total)
+			doneMu.Unlock()
+		}
+	}
+
 	worker := func() {
 		for k := range jobs {
 			app := appByName[k.app]
 			points := groups[k]
-			// Build the shared annotation from the first point.
-			cfg0 := points[0].NodeConfig(opts.SampleInstrs, opts.WarmupInstrs, opts.Seed)
-			ann := node.BuildAnnotation(app, cfg0)
+			// The shared annotation is built lazily from the group's first
+			// non-cached point: a fully cached group never pays for it.
+			var ann *node.Annotation
 
 			ms := make([]Measurement, 0, len(points))
 			for _, p := range points {
+				if canceled() {
+					break
+				}
+				if opts.Lookup != nil {
+					if m, ok := opts.Lookup(k.app, p); ok {
+						ms = append(ms, m)
+						bump()
+						continue
+					}
+				}
 				cfg := p.NodeConfig(opts.SampleInstrs, opts.WarmupInstrs, opts.Seed)
+				if ann == nil {
+					a := node.BuildAnnotation(app, cfg)
+					ann = &a
+				}
 				cfg.LatModel = latModel(app, p.Channels, p.Mem)
-				res := node.SimulateAnnotated(app, cfg, ann)
+				res := node.SimulateAnnotated(app, cfg, *ann)
 				l1, l2, l3 := res.MPKI()
-				ms = append(ms, Measurement{
+				m := Measurement{
 					App:           app.Name,
 					Arch:          p,
 					TimeNs:        res.ComputeNs,
@@ -182,14 +234,12 @@ func Run(opts Options) *Dataset {
 					ActiveCores:   res.AvgActiveCores,
 					MemLatencyNs:  res.MemLatencyNs,
 					OfferedBW:     res.OfferedBW,
-				})
-				if opts.Progress != nil {
-					doneMu.Lock()
-					done++
-					d := done
-					doneMu.Unlock()
-					opts.Progress(d, total)
 				}
+				ms = append(ms, m)
+				if opts.OnMeasurement != nil {
+					opts.OnMeasurement(m)
+				}
+				bump()
 			}
 			results <- ms
 		}

@@ -5,6 +5,7 @@
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -12,9 +13,9 @@ import (
 
 // Table is a simple fixed-width table builder.
 type Table struct {
-	Title   string
-	Headers []string
-	Rows    [][]string
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
 }
 
 // NewTable creates a table with the given title and column headers.
@@ -98,6 +99,28 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// WriteJSON renders the table as a JSON object ({title, headers, rows}).
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// Figure bundles the table data behind one evaluation figure — the JSON
+// payload of the musa-serve /figures/{n} endpoint.
+type Figure struct {
+	N      int      `json:"figure"`
+	Title  string   `json:"title"`
+	Tables []*Table `json:"tables"`
+}
+
+// WriteJSON renders the figure as a JSON object.
+func (f *Figure) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
 }
 
 // Interval is one busy interval on a timeline lane.

@@ -1,0 +1,323 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"musa"
+	"musa/internal/apps"
+	"musa/internal/cpu"
+	"musa/internal/dse"
+	"musa/internal/store"
+)
+
+// ArchSpec is the wire form of an architectural point — the same knobs as
+// musa.Arch, with the Table I grid's vocabulary.
+type ArchSpec struct {
+	Cores      int     `json:"cores"`
+	CoreType   string  `json:"coreType"`
+	FreqGHz    float64 `json:"freqGHz"`
+	VectorBits int     `json:"vectorBits"`
+	CacheLabel string  `json:"cacheLabel"`
+	Channels   int     `json:"channels"`
+	HBM        bool    `json:"hbm"`
+}
+
+// ToPoint validates the spec and converts it to an ArchPoint.
+func (a ArchSpec) ToPoint() (dse.ArchPoint, error) {
+	core, err := cpu.ByName(a.CoreType)
+	if err != nil {
+		return dse.ArchPoint{}, err
+	}
+	var cache dse.CacheCfg
+	found := false
+	for _, c := range dse.CacheConfigs() {
+		if c.Label == a.CacheLabel {
+			cache, found = c, true
+		}
+	}
+	if !found {
+		return dse.ArchPoint{}, fmt.Errorf("serve: unknown cache label %q (want 32M:256K, 64M:512K or 96M:1M)", a.CacheLabel)
+	}
+	mem := dse.DDR4
+	if a.HBM {
+		mem = dse.HBM
+	}
+	p := dse.ArchPoint{
+		Cores: a.Cores, Core: core, FreqGHz: a.FreqGHz,
+		VectorBits: a.VectorBits, Cache: cache, Channels: a.Channels, Mem: mem,
+	}
+	// Validate through the node config so an invalid request becomes a 400
+	// instead of a panic inside a simulation worker.
+	if err := p.NodeConfig(0, 0, 1).Validate(); err != nil {
+		return dse.ArchPoint{}, err
+	}
+	return p, nil
+}
+
+// specOf renders a point back into its wire form.
+func specOf(p dse.ArchPoint) ArchSpec {
+	return ArchSpec{
+		Cores: p.Cores, CoreType: p.Core.Name, FreqGHz: p.FreqGHz,
+		VectorBits: p.VectorBits, CacheLabel: p.Cache.Label,
+		Channels: p.Channels, HBM: p.Mem == dse.HBM,
+	}
+}
+
+// NewHandler returns the musa-serve HTTP API:
+//
+//	GET  /apps         the five application models
+//	GET  /points       the Table I design space
+//	POST /simulate     one measurement (store-backed, coalesced)
+//	POST /dse          batch sweep; streams NDJSON progress then the result
+//	GET  /figures/{n}  JSON figure data (1, 5-11)
+//	GET  /stats        service and store counters
+func NewHandler(svc *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /apps", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"apps": SortedApps()})
+	})
+	mux.HandleFunc("GET /points", func(w http.ResponseWriter, r *http.Request) {
+		grid := dse.Enumerate()
+		type pt struct {
+			Index int    `json:"index"`
+			Label string `json:"label"`
+			ArchSpec
+		}
+		pts := make([]pt, len(grid))
+		for i, p := range grid {
+			pts[i] = pt{Index: i, Label: p.Label(), ArchSpec: specOf(p)}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"count": len(pts), "points": pts})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"service": svc.Stats(),
+			"stored":  svc.Store().Len(),
+		})
+	})
+	mux.HandleFunc("POST /simulate", svc.handleSimulate)
+	mux.HandleFunc("POST /dse", svc.handleDSE)
+	mux.HandleFunc("GET /figures/{n}", svc.handleFigure)
+	return mux
+}
+
+type simulateRequest struct {
+	App        string    `json:"app"`
+	Point      *ArchSpec `json:"point,omitempty"`
+	PointIndex *int      `json:"pointIndex,omitempty"`
+	Sample     int64     `json:"sample,omitempty"`
+	Warmup     int64     `json:"warmup,omitempty"`
+	Seed       uint64    `json:"seed,omitempty"`
+}
+
+func (sr simulateRequest) point() (dse.ArchPoint, error) {
+	switch {
+	case sr.Point != nil && sr.PointIndex != nil:
+		return dse.ArchPoint{}, errors.New("serve: give either point or pointIndex, not both")
+	case sr.Point != nil:
+		return sr.Point.ToPoint()
+	case sr.PointIndex != nil:
+		return PointByIndex(*sr.PointIndex)
+	}
+	return dse.ArchPoint{}, errors.New("serve: missing point or pointIndex")
+}
+
+func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req simulateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	p, err := req.point()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, err := apps.ByName(req.App); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	start := time.Now()
+	m, cached, err := s.Simulate(r.Context(), store.Request{
+		App: req.App, Arch: p,
+		SampleInstrs: req.Sample, WarmupInstrs: req.Warmup, Seed: req.Seed,
+	})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"app":         m.App,
+		"label":       m.Arch.Label(),
+		"cached":      cached,
+		"elapsedMs":   float64(time.Since(start).Microseconds()) / 1e3,
+		"measurement": m,
+	})
+}
+
+type dseRequest struct {
+	Apps          []string `json:"apps,omitempty"`
+	PointIndices  []int    `json:"pointIndices,omitempty"`
+	Sample        int64    `json:"sample,omitempty"`
+	Warmup        int64    `json:"warmup,omitempty"`
+	Seed          uint64   `json:"seed,omitempty"`
+	ProgressEvery int      `json:"progressEvery,omitempty"`
+	// Summary suppresses per-measurement output in the final event.
+	Summary bool `json:"summary,omitempty"`
+}
+
+func (s *Service) handleDSE(w http.ResponseWriter, r *http.Request) {
+	var req dseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	var points []dse.ArchPoint
+	for _, i := range req.PointIndices {
+		p, err := PointByIndex(i)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		points = append(points, p)
+	}
+	every := req.ProgressEvery
+	if every <= 0 {
+		every = 50
+	}
+
+	// Stream NDJSON: progress events while the sweep runs, result last.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(v any) {
+		enc.Encode(v)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	start := time.Now()
+	var last Progress
+	d, err := s.Sweep(r.Context(), SweepRequest{
+		Apps: req.Apps, Points: points,
+		SampleInstrs: req.Sample, WarmupInstrs: req.Warmup, Seed: req.Seed,
+	}, func(p Progress) {
+		last = p
+		if p.Done%every == 0 || p.Done == p.Total {
+			emit(map[string]any{"type": "progress", "done": p.Done, "total": p.Total, "cached": p.Cached})
+		}
+	})
+	if err != nil {
+		emit(map[string]any{"type": "error", "error": err.Error(),
+			"done": last.Done, "total": last.Total, "cached": last.Cached})
+		return
+	}
+	out := map[string]any{
+		"type":      "result",
+		"count":     len(d.Measurements),
+		"cached":    last.Cached,
+		"elapsedMs": float64(time.Since(start).Microseconds()) / 1e3,
+	}
+	if !req.Summary {
+		out["measurements"] = d.Measurements
+	}
+	emit(out)
+}
+
+func (s *Service) handleFigure(w http.ResponseWriter, r *http.Request) {
+	n, err := strconv.Atoi(r.PathValue("n"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("serve: bad figure number: %w", err))
+		return
+	}
+	valid := false
+	for _, k := range musa.FigureNumbers() {
+		valid = valid || k == n
+	}
+	if !valid {
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: unknown figure %d (have 1, 5-11)", n))
+		return
+	}
+	q := r.URL.Query()
+	var appNames []string
+	if v := q.Get("apps"); v != "" {
+		if n == 11 {
+			// The Table II figure simulates its fixed application set;
+			// silently ignoring the filter would misrepresent the data.
+			httpError(w, http.StatusBadRequest, errors.New("serve: figure 11 does not support an apps filter"))
+			return
+		}
+		appNames = strings.Split(v, ",")
+	}
+	intParam := func(key string) (int64, error) {
+		v := q.Get(key)
+		if v == "" {
+			return 0, nil
+		}
+		i, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("serve: bad %s: %w", key, err)
+		}
+		return i, nil
+	}
+	sample, err := intParam("sample")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	warmup, err := intParam("warmup")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	seed, err := intParam("seed")
+	if err != nil || seed < 0 {
+		if err == nil {
+			err = fmt.Errorf("serve: bad seed: negative")
+		}
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	simOpts := musa.SimOptions{SampleInstrs: sample, WarmupInstrs: warmup, Seed: uint64(seed)}
+	var d *dse.Dataset
+	if n != 11 {
+		// Every figure but the Table II one aggregates the sweep dataset;
+		// repeat visits are store hits.
+		d, err = s.Sweep(r.Context(), SweepRequest{
+			Apps: appNames, SampleInstrs: sample, WarmupInstrs: warmup, Seed: uint64(seed),
+		}, nil)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	fig, err := musa.Figure(d, n, simOpts)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	fig.WriteJSON(w)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

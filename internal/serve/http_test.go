@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *Service) {
+	t.Helper()
+	svc := testService(t, t.TempDir())
+	ts := httptest.NewServer(NewHandler(svc))
+	t.Cleanup(ts.Close)
+	return ts, svc
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t *testing.T, url string, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestAppsAndPointsEndpoints(t *testing.T) {
+	ts, _ := testServer(t)
+
+	var apps struct {
+		Apps []string `json:"apps"`
+	}
+	if code := getJSON(t, ts.URL+"/apps", &apps); code != http.StatusOK {
+		t.Fatalf("/apps -> %d", code)
+	}
+	if len(apps.Apps) != 5 || apps.Apps[0] != "hydro" {
+		t.Fatalf("/apps = %v, want the five paper applications", apps.Apps)
+	}
+
+	var points struct {
+		Count  int `json:"count"`
+		Points []struct {
+			Index int    `json:"index"`
+			Label string `json:"label"`
+			Cores int    `json:"cores"`
+		} `json:"points"`
+	}
+	if code := getJSON(t, ts.URL+"/points", &points); code != http.StatusOK {
+		t.Fatalf("/points -> %d", code)
+	}
+	if points.Count != 864 || len(points.Points) != 864 {
+		t.Fatalf("/points count = %d, want 864", points.Count)
+	}
+	if points.Points[5].Index != 5 || points.Points[5].Label == "" || points.Points[5].Cores == 0 {
+		t.Fatalf("point 5 malformed: %+v", points.Points[5])
+	}
+}
+
+func TestSimulateEndpointCaches(t *testing.T) {
+	ts, svc := testServer(t)
+
+	body := `{"app":"lulesh","pointIndex":10}`
+	var first, second struct {
+		App    string `json:"app"`
+		Label  string `json:"label"`
+		Cached bool   `json:"cached"`
+		M      struct {
+			TimeNs float64 `json:"TimeNs"`
+		} `json:"measurement"`
+	}
+	if code := postJSON(t, ts.URL+"/simulate", body, &first); code != http.StatusOK {
+		t.Fatalf("/simulate -> %d", code)
+	}
+	if first.Cached || first.M.TimeNs <= 0 || first.App != "lulesh" {
+		t.Fatalf("first simulate response malformed: %+v", first)
+	}
+	if code := postJSON(t, ts.URL+"/simulate", body, &second); code != http.StatusOK {
+		t.Fatalf("second /simulate -> %d", code)
+	}
+	if !second.Cached || second.M.TimeNs != first.M.TimeNs {
+		t.Fatalf("second request not served from store: %+v", second)
+	}
+	if svc.Stats().Simulated != 1 {
+		t.Fatalf("two identical requests simulated %d times", svc.Stats().Simulated)
+	}
+
+	// Explicit arch spec addresses the same content as its grid index.
+	spec := fmt.Sprintf(`{"app":"lulesh","point":%s}`, specJSON(t, ts, 10))
+	var third struct {
+		Cached bool `json:"cached"`
+	}
+	if code := postJSON(t, ts.URL+"/simulate", spec, &third); code != http.StatusOK {
+		t.Fatalf("spec /simulate -> %d", code)
+	}
+	if !third.Cached {
+		t.Fatal("equivalent explicit spec missed the store")
+	}
+}
+
+// specJSON fetches point i from /points and re-encodes its arch fields.
+func specJSON(t *testing.T, ts *httptest.Server, i int) string {
+	t.Helper()
+	var points struct {
+		Points []json.RawMessage `json:"points"`
+	}
+	getJSON(t, ts.URL+"/points", &points)
+	var spec ArchSpec
+	if err := json.Unmarshal(points.Points[i], &spec); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := json.Marshal(spec)
+	return string(b)
+}
+
+func TestSimulateEndpointRejectsBadRequests(t *testing.T) {
+	ts, _ := testServer(t)
+	for _, body := range []string{
+		`{"app":"lulesh"}`,                                // no point
+		`{"app":"lulesh","pointIndex":4000}`,              // out of range
+		`{"app":"nope","pointIndex":0}`,                   // unknown app
+		`{"app":"lulesh","pointIndex":1,"point":{}}`,      // both forms
+		`{"app":"lulesh","point":{"coreType":"mystery"}}`, // bad core
+		`not json`, // parse error
+	} {
+		if code := postJSON(t, ts.URL+"/simulate", body, nil); code != http.StatusBadRequest {
+			t.Errorf("POST /simulate %s -> %d, want 400", body, code)
+		}
+	}
+}
+
+func TestDSEEndpointStreamsAndResumes(t *testing.T) {
+	ts, svc := testServer(t)
+
+	body := `{"apps":["spmz"],"pointIndices":[0,1,2,3],"progressEvery":1}`
+	resp, err := http.Post(ts.URL+"/dse", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var progress, results int
+	var final struct {
+		Type         string            `json:"type"`
+		Count        int               `json:"count"`
+		Cached       int               `json:"cached"`
+		Measurements []json.RawMessage `json:"measurements"`
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		var ev struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		switch ev.Type {
+		case "progress":
+			progress++
+		case "result":
+			results++
+			json.Unmarshal(sc.Bytes(), &final)
+		default:
+			t.Fatalf("unexpected event type %q", ev.Type)
+		}
+	}
+	if progress < 4 || results != 1 {
+		t.Fatalf("stream had %d progress and %d result events", progress, results)
+	}
+	if final.Count != 4 || len(final.Measurements) != 4 || final.Cached != 0 {
+		t.Fatalf("final event malformed: count=%d cached=%d measurements=%d",
+			final.Count, final.Cached, len(final.Measurements))
+	}
+
+	// Repeating the batch serves every point from the store.
+	resp2, err := http.Post(ts.URL+"/dse", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := func() ([]byte, error) {
+		defer resp2.Body.Close()
+		var buf bytes.Buffer
+		_, err := buf.ReadFrom(resp2.Body)
+		return buf.Bytes(), err
+	}()
+	lines := bytes.Split(bytes.TrimSpace(b), []byte("\n"))
+	if err := json.Unmarshal(lines[len(lines)-1], &final); err != nil {
+		t.Fatal(err)
+	}
+	if final.Type != "result" || final.Cached != 4 {
+		t.Fatalf("repeated batch not fully cached: %+v", final)
+	}
+	if svc.Stats().Simulated != 4 {
+		t.Fatalf("repeated batch re-simulated: %d total simulations", svc.Stats().Simulated)
+	}
+}
+
+func TestFigureEndpoint(t *testing.T) {
+	ts, _ := testServer(t)
+
+	// Figure 11 runs its own Table II simulations — no sweep needed.
+	var fig struct {
+		Figure int `json:"figure"`
+		Tables []struct {
+			Title   string     `json:"title"`
+			Headers []string   `json:"headers"`
+			Rows    [][]string `json:"rows"`
+		} `json:"tables"`
+	}
+	if code := getJSON(t, ts.URL+"/figures/11?sample=20000&warmup=40000", &fig); code != http.StatusOK {
+		t.Fatalf("/figures/11 -> %d", code)
+	}
+	if fig.Figure != 11 || len(fig.Tables) != 1 || len(fig.Tables[0].Rows) == 0 {
+		t.Fatalf("/figures/11 malformed: %+v", fig)
+	}
+
+	if code := getJSON(t, ts.URL+"/figures/2", nil); code != http.StatusNotFound {
+		t.Fatalf("/figures/2 -> %d, want 404", code)
+	}
+	if code := getJSON(t, ts.URL+"/figures/abc", nil); code != http.StatusBadRequest {
+		t.Fatalf("/figures/abc -> %d, want 400", code)
+	}
+	// Malformed fidelity parameters must not silently fall back to the
+	// defaults, and figure 11 cannot honor an apps filter.
+	for _, q := range []string{"sample=1e6", "warmup=100k", "seed=-3", "seed=abc"} {
+		if code := getJSON(t, ts.URL+"/figures/5?"+q, nil); code != http.StatusBadRequest {
+			t.Errorf("/figures/5?%s -> %d, want 400", q, code)
+		}
+	}
+	if code := getJSON(t, ts.URL+"/figures/11?apps=hydro", nil); code != http.StatusBadRequest {
+		t.Fatalf("/figures/11?apps=hydro -> %d, want 400", code)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts, _ := testServer(t)
+	var stats struct {
+		Service Stats `json:"service"`
+		Stored  int   `json:"stored"`
+	}
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("/stats -> %d", code)
+	}
+	postJSON(t, ts.URL+"/simulate", `{"app":"hydro","pointIndex":0}`, nil)
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.Service.Requests != 1 || stats.Service.Simulated != 1 || stats.Stored != 1 {
+		t.Fatalf("stats after one simulate: %+v stored=%d", stats.Service, stats.Stored)
+	}
+}

@@ -1,0 +1,294 @@
+// Package serve is the simulation service layer: a job scheduler on top of
+// dse.Run with single-flight coalescing of duplicate in-flight requests,
+// bounded job concurrency, and incremental checkpointing of sweeps through
+// the content-addressed result store (internal/store). The HTTP API of
+// cmd/musa-serve (http.go) and the musa-dse CLI share this one pipeline.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"musa/internal/apps"
+	"musa/internal/dse"
+	"musa/internal/store"
+)
+
+// Config tunes a Service.
+type Config struct {
+	// Workers bounds dse.Run parallelism inside one job (0 = GOMAXPROCS).
+	Workers int
+	// MaxJobs bounds concurrently executing simulation jobs across all
+	// requests (0 = 2). Requests beyond the bound queue.
+	MaxJobs int
+	// SampleInstrs / WarmupInstrs / Seed are applied to requests that leave
+	// the corresponding field zero (zero sample/warmup fall through to the
+	// simulator defaults).
+	SampleInstrs int64
+	WarmupInstrs int64
+	Seed         uint64
+}
+
+// Stats counts what the service did since start.
+type Stats struct {
+	// Requests is the number of single-measurement requests served.
+	Requests int64
+	// StoreHits counts measurements served from the result store.
+	StoreHits int64
+	// Coalesced counts requests that piggybacked on an identical in-flight
+	// computation instead of simulating again.
+	Coalesced int64
+	// Simulated counts measurements actually computed.
+	Simulated int64
+}
+
+// call is one in-flight single-measurement computation that duplicate
+// requests wait on.
+type call struct {
+	done chan struct{}
+	m    dse.Measurement
+	err  error
+}
+
+// Service schedules simulation jobs against a shared result store.
+type Service struct {
+	st  *store.Store
+	cfg Config
+	sem chan struct{}
+
+	mu     sync.Mutex
+	flight map[string]*call
+
+	requests, storeHits, coalesced, simulated atomic.Int64
+}
+
+// New returns a service backed by st (which must be non-nil; the service
+// does not close it).
+func New(st *store.Store, cfg Config) *Service {
+	maxJobs := cfg.MaxJobs
+	if maxJobs <= 0 {
+		maxJobs = 2
+	}
+	return &Service{
+		st:     st,
+		cfg:    cfg,
+		sem:    make(chan struct{}, maxJobs),
+		flight: map[string]*call{},
+	}
+}
+
+// Store exposes the backing result store (read-mostly: the HTTP layer
+// reports its size).
+func (s *Service) Store() *store.Store { return s.st }
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	return Stats{
+		Requests:  s.requests.Load(),
+		StoreHits: s.storeHits.Load(),
+		Coalesced: s.coalesced.Load(),
+		Simulated: s.simulated.Load(),
+	}
+}
+
+// fill applies the service defaults to a request and normalizes it.
+func (s *Service) fill(r store.Request) store.Request {
+	if r.SampleInstrs == 0 {
+		r.SampleInstrs = s.cfg.SampleInstrs
+	}
+	if r.WarmupInstrs == 0 {
+		r.WarmupInstrs = s.cfg.WarmupInstrs
+	}
+	if r.Seed == 0 {
+		r.Seed = s.cfg.Seed
+	}
+	return r.Normalize()
+}
+
+// acquire takes a job slot, honoring cancellation while queued.
+func (s *Service) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Service) release() { <-s.sem }
+
+// Simulate returns the measurement for one request, serving from the store
+// when possible and coalescing duplicate in-flight requests into a single
+// computation. The second return reports whether the result came from the
+// store or an in-flight duplicate rather than a fresh simulation.
+func (s *Service) Simulate(ctx context.Context, req store.Request) (dse.Measurement, bool, error) {
+	s.requests.Add(1)
+	req = s.fill(req)
+	app, err := apps.ByName(req.App)
+	if err != nil {
+		return dse.Measurement{}, false, err
+	}
+	key := store.Key(req)
+	if m, ok := s.st.Get(key); ok {
+		s.storeHits.Add(1)
+		return m, true, nil
+	}
+
+	// Single flight: the first request under a key computes; duplicates
+	// arriving before it finishes wait on the same call.
+	s.mu.Lock()
+	if c, ok := s.flight[key]; ok {
+		s.mu.Unlock()
+		s.coalesced.Add(1)
+		select {
+		case <-c.done:
+			return c.m, true, c.err
+		case <-ctx.Done():
+			return dse.Measurement{}, false, ctx.Err()
+		}
+	}
+	c := &call{done: make(chan struct{})}
+	s.flight[key] = c
+	s.mu.Unlock()
+
+	// The leader computes under a context detached from its own request:
+	// coalesced waiters (and the store) want the result even if the leader
+	// disconnects, and a canceled leader must not hand its ctx error to
+	// waiters whose contexts are live.
+	c.m, c.err = s.simulateOne(context.WithoutCancel(ctx), app, req, key)
+	s.mu.Lock()
+	delete(s.flight, key)
+	s.mu.Unlock()
+	close(c.done)
+	return c.m, false, c.err
+}
+
+// simulateOne runs a one-point sweep under a job slot and checkpoints the
+// result.
+func (s *Service) simulateOne(ctx context.Context, app *apps.Profile, req store.Request, key string) (dse.Measurement, error) {
+	if err := s.acquire(ctx); err != nil {
+		return dse.Measurement{}, err
+	}
+	defer s.release()
+	d := dse.Run(dse.Options{
+		Apps:         []*apps.Profile{app},
+		Points:       []dse.ArchPoint{req.Arch},
+		SampleInstrs: req.SampleInstrs,
+		WarmupInstrs: req.WarmupInstrs,
+		Workers:      1,
+		Seed:         req.Seed,
+	})
+	if len(d.Measurements) != 1 {
+		return dse.Measurement{}, fmt.Errorf("serve: expected 1 measurement, got %d", len(d.Measurements))
+	}
+	s.simulated.Add(1)
+	m := d.Measurements[0]
+	if err := s.st.Put(key, m); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// SweepRequest describes a batch sweep.
+type SweepRequest struct {
+	// Apps restricts the sweep (nil = all five applications).
+	Apps []string
+	// Points restricts the sweep (nil = the full Table I grid).
+	Points []dse.ArchPoint
+	// SampleInstrs / WarmupInstrs / Seed follow the service defaults when
+	// zero.
+	SampleInstrs int64
+	WarmupInstrs int64
+	Seed         uint64
+}
+
+// Progress is one sweep progress notification.
+type Progress struct {
+	// Done of Total measurements are complete; Cached of those were served
+	// from the result store.
+	Done, Total, Cached int
+}
+
+// Sweep runs the batch, serving finished points from the store and
+// checkpointing each fresh measurement as it completes. Cancelling ctx
+// aborts the sweep after the points in flight; the checkpoint makes a
+// subsequent identical Sweep resume where this one stopped. The returned
+// error is ctx.Err() on cancellation, or the first store write error.
+func (s *Service) Sweep(ctx context.Context, req SweepRequest, progress func(Progress)) (*dse.Dataset, error) {
+	base := s.fill(store.Request{
+		SampleInstrs: req.SampleInstrs,
+		WarmupInstrs: req.WarmupInstrs,
+		Seed:         req.Seed,
+	})
+	var selected []*apps.Profile
+	for _, name := range req.Apps {
+		a, err := apps.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		selected = append(selected, a)
+	}
+
+	if err := s.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.release()
+
+	opts := dse.Options{
+		Apps:         selected,
+		Points:       req.Points,
+		SampleInstrs: base.SampleInstrs,
+		WarmupInstrs: base.WarmupInstrs,
+		Workers:      s.cfg.Workers,
+		Seed:         base.Seed,
+		Cancel:       ctx.Done(),
+	}
+	flush := store.Bind(s.st, base, &opts, false)
+	// Decorate the store wiring with the service counters.
+	var cached atomic.Int64
+	lookup := opts.Lookup
+	opts.Lookup = func(app string, p dse.ArchPoint) (dse.Measurement, bool) {
+		m, ok := lookup(app, p)
+		if ok {
+			cached.Add(1)
+			s.storeHits.Add(1)
+		}
+		return m, ok
+	}
+	checkpoint := opts.OnMeasurement
+	opts.OnMeasurement = func(m dse.Measurement) {
+		s.simulated.Add(1)
+		checkpoint(m)
+	}
+	if progress != nil {
+		opts.Progress = func(done, total int) {
+			progress(Progress{Done: done, Total: total, Cached: int(cached.Load())})
+		}
+	}
+	d := dse.Run(opts)
+	if err := ctx.Err(); err != nil {
+		return d, err
+	}
+	return d, flush()
+}
+
+// SortedApps returns the built-in application names in plotting order (the
+// /apps endpoint and point listings rely on a stable order).
+func SortedApps() []string {
+	var names []string
+	for _, a := range apps.All() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// PointByIndex resolves an index into the full Table I grid.
+func PointByIndex(i int) (dse.ArchPoint, error) {
+	grid := dse.Enumerate()
+	if i < 0 || i >= len(grid) {
+		return dse.ArchPoint{}, fmt.Errorf("serve: point index %d out of range [0,%d)", i, len(grid))
+	}
+	return grid[i], nil
+}

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"musa/internal/cpu"
+	"musa/internal/dse"
+	"musa/internal/store"
+)
+
+// testSample sizes keep simulations cheap; determinism makes the results
+// comparable across runs.
+const (
+	testSample = 20000
+	testWarmup = 40000
+)
+
+func testService(t *testing.T, dir string) *Service {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return New(st, Config{
+		Workers:      2,
+		MaxJobs:      4,
+		SampleInstrs: testSample,
+		WarmupInstrs: testWarmup,
+		Seed:         1,
+	})
+}
+
+func testPoints(n int) []dse.ArchPoint {
+	var pts []dse.ArchPoint
+	for _, f := range dse.Frequencies() {
+		for _, v := range dse.VectorWidths() {
+			for _, ch := range dse.ChannelCounts() {
+				pts = append(pts, dse.ArchPoint{
+					Cores: 32, Core: cpu.Medium(), FreqGHz: f,
+					VectorBits: v, Cache: dse.CacheConfigs()[0], Channels: ch, Mem: dse.DDR4,
+				})
+			}
+		}
+	}
+	if n < len(pts) {
+		pts = pts[:n]
+	}
+	return pts
+}
+
+func TestSimulateCoalescesDuplicates(t *testing.T) {
+	svc := testService(t, t.TempDir())
+	req := store.Request{App: "lulesh", Arch: testPoints(1)[0]}
+
+	const dup = 8
+	results := make([]dse.Measurement, dup)
+	var wg sync.WaitGroup
+	for i := 0; i < dup; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, _, err := svc.Simulate(context.Background(), req)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = m
+		}(i)
+	}
+	wg.Wait()
+
+	st := svc.Stats()
+	if st.Simulated != 1 {
+		t.Fatalf("%d duplicate requests ran %d simulations, want 1", dup, st.Simulated)
+	}
+	if st.Coalesced+st.StoreHits != dup-1 {
+		t.Fatalf("coalesced=%d storeHits=%d, want them to cover the other %d requests",
+			st.Coalesced, st.StoreHits, dup-1)
+	}
+	for i := 1; i < dup; i++ {
+		if !reflect.DeepEqual(results[0], results[i]) {
+			t.Fatalf("request %d got a different measurement", i)
+		}
+	}
+
+	// A later identical request is a store hit.
+	_, cached, err := svc.Simulate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Fatal("repeated request was not served from the store")
+	}
+	if svc.Stats().Simulated != 1 {
+		t.Fatal("repeated request re-simulated")
+	}
+}
+
+func TestSimulateRejectsUnknownApp(t *testing.T) {
+	svc := testService(t, t.TempDir())
+	_, _, err := svc.Simulate(context.Background(), store.Request{App: "nope", Arch: testPoints(1)[0]})
+	if err == nil {
+		t.Fatal("unknown application accepted")
+	}
+}
+
+func TestSweepResumesFromCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	req := SweepRequest{Apps: []string{"spmz"}, Points: testPoints(12)}
+
+	// First attempt: cancel partway through. Completed points are already
+	// checkpointed in the store.
+	svc := testService(t, dir)
+	ctx, cancel := context.WithCancel(context.Background())
+	_, err := svc.Sweep(ctx, req, func(p Progress) {
+		if p.Done == 4 {
+			cancel()
+		}
+	})
+	if err == nil {
+		t.Fatal("canceled sweep reported success")
+	}
+	partial := svc.Stats().Simulated
+	if partial == 0 || partial >= 12 {
+		t.Fatalf("canceled sweep simulated %d of 12 points, want a strict subset", partial)
+	}
+	// The store directory is single-holder (flock); release it before the
+	// next service takes over, as a restarted process would.
+	svc.Store().Close()
+
+	// A fresh service over the same store resumes: only the missing points
+	// are simulated.
+	svc2 := testService(t, dir)
+	var last Progress
+	d, err := svc2.Sweep(context.Background(), req, func(p Progress) { last = p })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Measurements) != 12 {
+		t.Fatalf("resumed sweep returned %d measurements, want 12", len(d.Measurements))
+	}
+	st2 := svc2.Stats()
+	if int64(last.Cached) != partial || st2.Simulated != 12-partial {
+		t.Fatalf("resume reused %d and simulated %d, want %d reused and %d simulated",
+			last.Cached, st2.Simulated, partial, 12-partial)
+	}
+
+	svc2.Store().Close()
+
+	// Third run: everything is cached, nothing simulates, and the dataset
+	// is identical.
+	svc3 := testService(t, dir)
+	d3, err := svc3.Sweep(context.Background(), req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := svc3.Stats().Simulated; n != 0 {
+		t.Fatalf("fully cached sweep simulated %d points", n)
+	}
+	if !reflect.DeepEqual(d.Measurements, d3.Measurements) {
+		t.Fatal("cached sweep dataset differs from the computed one")
+	}
+}
+
+func TestSweepRejectsUnknownApp(t *testing.T) {
+	svc := testService(t, t.TempDir())
+	if _, err := svc.Sweep(context.Background(), SweepRequest{Apps: []string{"nope"}}, nil); err == nil {
+		t.Fatal("unknown application accepted")
+	}
+}

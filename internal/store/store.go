@@ -1,0 +1,387 @@
+// Package store persists design-space-exploration measurements in a
+// content-addressed result store. A simulation request — (application,
+// ArchPoint, sample/warmup sizes, seed) — hashes to a stable key; completed
+// measurements are appended to a JSONL log on disk as they finish, so a
+// killed sweep resumes from its checkpoint and repeated sweeps become cache
+// hits. An LRU front keeps hot entries in memory; misses fall back to the
+// on-disk log via a byte-offset index. The log is compacted on open:
+// superseded and truncated records are dropped and the file rewritten.
+package store
+
+import (
+	"bufio"
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+
+	"musa/internal/dse"
+)
+
+// Request identifies one simulation measurement. Two requests with equal
+// normalized fields address the same result; dse.Run is deterministic for a
+// fixed request (see TestRunDeterministic), which is what makes the
+// content-addressed store sound.
+type Request struct {
+	App          string
+	Arch         dse.ArchPoint
+	SampleInstrs int64
+	WarmupInstrs int64
+	Seed         uint64
+}
+
+// Normalize maps a request onto its canonical form, mirroring the defaults
+// the runner applies (seed 0 means seed 1; zero sample/warmup mean the
+// package defaults and are kept as written).
+func (r Request) Normalize() Request {
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	return r
+}
+
+// Key returns the content address of a request: the hex SHA-256 of its
+// canonical JSON encoding. Struct fields marshal in declaration order, so
+// the encoding — and therefore the key — is deterministic.
+func Key(r Request) string {
+	b, err := json.Marshal(r.Normalize())
+	if err != nil {
+		// Request is a tree of plain exported fields; Marshal cannot fail.
+		panic(fmt.Sprintf("store: marshal request: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Bind wires st into a sweep's options: unless recompute is set, o.Lookup
+// serves stored measurements, and o.OnMeasurement checkpoints each freshly
+// simulated one. base carries the request fields shared by every point of
+// the sweep (sample/warmup sizes and seed); App and Arch are filled per
+// point. The returned function reports the first checkpoint write error
+// and must be called after dse.Run returns.
+func Bind(st *Store, base Request, o *dse.Options, recompute bool) func() error {
+	base = base.Normalize()
+	keyOf := func(app string, p dse.ArchPoint) string {
+		r := base
+		r.App, r.Arch = app, p
+		return Key(r)
+	}
+	if !recompute {
+		o.Lookup = func(app string, p dse.ArchPoint) (dse.Measurement, bool) {
+			return st.Get(keyOf(app, p))
+		}
+	}
+	var mu sync.Mutex
+	var firstErr error
+	o.OnMeasurement = func(m dse.Measurement) {
+		if err := st.Put(keyOf(m.App, m.Arch), m); err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}
+	}
+	return func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr
+	}
+}
+
+// Options tunes a Store.
+type Options struct {
+	// LRUEntries bounds the in-memory front (0 = 4096).
+	LRUEntries int
+}
+
+// entry is one JSONL record.
+type entry struct {
+	K string          `json:"k"`
+	M dse.Measurement `json:"m"`
+}
+
+// rec locates one live record in the log.
+type rec struct {
+	off, n int64
+}
+
+// Store is a content-addressed measurement store: an append-only JSONL log
+// with an in-memory LRU front. All methods are safe for concurrent use.
+type Store struct {
+	mu   sync.Mutex
+	path string
+	lock *os.File // flock'd .lock file: one process per store
+	w    *os.File // O_APPEND write handle
+	r    *os.File // read handle for LRU misses
+	end  int64    // current log length
+	idx  map[string]rec
+	lru  *lruCache
+}
+
+// LogName is the measurement log's file name inside the store directory.
+const LogName = "results.jsonl"
+
+// Open creates dir if needed, loads and compacts the measurement log, and
+// returns the store. A store directory is owned by one process at a time
+// (the CLI and the server share a directory sequentially, never
+// concurrently): Open takes an advisory flock on dir/.lock and fails fast
+// if another process holds it. The kernel releases the lock when the
+// holder exits, however it dies, so a killed sweep never wedges the store.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	lock, err := os.OpenFile(filepath.Join(dir, ".lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := syscall.Flock(int(lock.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("store: %s is in use by another process (flock: %w)", dir, err)
+	}
+	max := opts.LRUEntries
+	if max <= 0 {
+		max = 4096
+	}
+	s := &Store{
+		path: filepath.Join(dir, LogName),
+		lock: lock,
+		idx:  map[string]rec{},
+		lru:  newLRU(max),
+	}
+	if err := s.load(); err != nil {
+		lock.Close()
+		return nil, err
+	}
+	w, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	r, err := os.Open(s.path)
+	if err != nil {
+		w.Close()
+		lock.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.w, s.r = w, r
+	return s, nil
+}
+
+// load scans the log, indexes the last record per key, and rewrites the
+// file when it contains dead weight (superseded duplicates or a record
+// truncated by a kill mid-append).
+func (s *Store) load() error {
+	f, err := os.Open(s.path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+
+	type raw struct {
+		key  string
+		line []byte
+	}
+	var live []raw
+	liveAt := map[string]int{}
+	dead := 0
+	var off int64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		n := int64(len(line)) + 1
+		var e entry
+		if err := json.Unmarshal(line, &e); err != nil || e.K == "" {
+			// A record truncated by a kill mid-append, or garbage; drop it.
+			dead++
+			off += n
+			continue
+		}
+		if i, ok := liveAt[e.K]; ok {
+			// Last record wins; the superseded one becomes dead weight.
+			live[i] = raw{key: e.K, line: append([]byte(nil), line...)}
+			dead++
+		} else {
+			liveAt[e.K] = len(live)
+			live = append(live, raw{key: e.K, line: append([]byte(nil), line...)})
+		}
+		off += n
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("store: read %s: %w", s.path, err)
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > off {
+		dead++ // trailing partial line without a newline
+	}
+
+	if dead > 0 {
+		// Compact: rewrite only the live records, then swap atomically.
+		tmp := s.path + ".tmp"
+		w, err := os.Create(tmp)
+		if err != nil {
+			return fmt.Errorf("store: compact: %w", err)
+		}
+		bw := bufio.NewWriter(w)
+		for _, r := range live {
+			bw.Write(r.line)
+			bw.WriteByte('\n')
+		}
+		if err := bw.Flush(); err == nil {
+			err = w.Sync()
+		}
+		if err != nil {
+			w.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("store: compact: %w", err)
+		}
+		if err := w.Close(); err != nil {
+			return fmt.Errorf("store: compact: %w", err)
+		}
+		if err := os.Rename(tmp, s.path); err != nil {
+			return fmt.Errorf("store: compact: %w", err)
+		}
+	}
+
+	// Index the (now compacted) log and warm the LRU front.
+	var at int64
+	for _, r := range live {
+		n := int64(len(r.line)) + 1
+		s.idx[r.key] = rec{off: at, n: n}
+		var e entry
+		if json.Unmarshal(r.line, &e) == nil {
+			s.lru.add(r.key, e.M)
+		}
+		at += n
+	}
+	s.end = at
+	return nil
+}
+
+// Get returns the measurement stored under key. Disk read errors are
+// reported as misses; the caller recomputes and overwrites.
+func (s *Store) Get(key string) (dse.Measurement, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m, ok := s.lru.get(key); ok {
+		return m, true
+	}
+	r, ok := s.idx[key]
+	if !ok {
+		return dse.Measurement{}, false
+	}
+	buf := make([]byte, r.n)
+	if _, err := s.r.ReadAt(buf, r.off); err != nil {
+		return dse.Measurement{}, false
+	}
+	var e entry
+	if err := json.Unmarshal(buf[:r.n-1], &e); err != nil || e.K != key {
+		return dse.Measurement{}, false
+	}
+	s.lru.add(key, e.M)
+	return e.M, true
+}
+
+// Has reports whether key is stored without touching the LRU.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.idx[key]
+	return ok
+}
+
+// Put appends the measurement under key. Each Put is one write to the log,
+// so a completed measurement survives a kill immediately after; a key
+// written twice is superseded in place and compacted on next Open.
+func (s *Store) Put(key string, m dse.Measurement) error {
+	line, err := json.Marshal(entry{K: key, M: m})
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.w.Write(line); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	s.idx[key] = rec{off: s.end, n: int64(len(line))}
+	s.end += int64(len(line))
+	s.lru.add(key, m)
+	return nil
+}
+
+// Len returns the number of distinct keys stored.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.idx)
+}
+
+// Close releases the log handles and the directory lock.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return nil
+	}
+	err := s.w.Close()
+	if cerr := s.r.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := s.lock.Close(); err == nil {
+		err = cerr
+	}
+	s.w = nil
+	return err
+}
+
+// lruCache is a minimal LRU of measurements keyed by content address.
+type lruCache struct {
+	max   int
+	ll    *list.List
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	m   dse.Measurement
+}
+
+func newLRU(max int) *lruCache {
+	return &lruCache{max: max, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+func (c *lruCache) get(key string) (dse.Measurement, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return dse.Measurement{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).m, true
+}
+
+func (c *lruCache) add(key string, m dse.Measurement) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).m = m
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, m: m})
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*lruEntry).key)
+	}
+}
+
+// lruLen reports the resident entry count (used by eviction tests).
+func (c *lruCache) len() int { return c.ll.Len() }

@@ -1,0 +1,223 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"musa/internal/cpu"
+	"musa/internal/dse"
+	"musa/internal/power"
+)
+
+func testPoint(freq float64) dse.ArchPoint {
+	return dse.ArchPoint{
+		Cores: 32, Core: cpu.Medium(), FreqGHz: freq, VectorBits: 256,
+		Cache: dse.CacheConfigs()[1], Channels: 4, Mem: dse.DDR4,
+	}
+}
+
+func testMeasurement(app string, freq, t float64) dse.Measurement {
+	return dse.Measurement{
+		App: app, Arch: testPoint(freq), TimeNs: t,
+		Power: power.Breakdown{CoreL1: 10, L2L3: 5, Memory: 3}, EnergyJ: t * 18e-9,
+		L1MPKI: 1.5, L2MPKI: 0.7, L3MPKI: 0.2, GMemReqPerSec: 1e9,
+	}
+}
+
+func TestKeyDeterministicAndDiscriminating(t *testing.T) {
+	r := Request{App: "lulesh", Arch: testPoint(2.0), SampleInstrs: 1000, Seed: 1}
+	if Key(r) != Key(r) {
+		t.Fatal("same request hashed to different keys")
+	}
+	zeroSeed := r
+	zeroSeed.Seed = 0
+	if Key(zeroSeed) != Key(r) {
+		t.Fatal("seed 0 must normalize to seed 1")
+	}
+	variants := []Request{
+		{App: "hydro", Arch: r.Arch, SampleInstrs: 1000, Seed: 1},
+		{App: "lulesh", Arch: testPoint(2.5), SampleInstrs: 1000, Seed: 1},
+		{App: "lulesh", Arch: r.Arch, SampleInstrs: 2000, Seed: 1},
+		{App: "lulesh", Arch: r.Arch, SampleInstrs: 1000, WarmupInstrs: 1, Seed: 1},
+		{App: "lulesh", Arch: r.Arch, SampleInstrs: 1000, Seed: 2},
+	}
+	seen := map[string]bool{Key(r): true}
+	for i, v := range variants {
+		k := Key(v)
+		if seen[k] {
+			t.Fatalf("variant %d collided with another request key", i)
+		}
+		seen[k] = true
+	}
+}
+
+func TestRoundTripAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := testMeasurement("lulesh", 2.0, 100)
+	m2 := testMeasurement("hydro", 2.5, 200)
+	k1 := Key(Request{App: m1.App, Arch: m1.Arch, Seed: 1})
+	k2 := Key(Request{App: m2.App, Arch: m2.Arch, Seed: 1})
+	if err := st.Put(k1, m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(k2, m2); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st.Get(k1)
+	if !ok || !reflect.DeepEqual(got, m1) {
+		t.Fatalf("round trip mismatch: ok=%v got=%+v", ok, got)
+	}
+	if st.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", st.Len())
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Len() != 2 {
+		t.Fatalf("after reopen Len = %d, want 2", st2.Len())
+	}
+	got, ok = st2.Get(k2)
+	if !ok || !reflect.DeepEqual(got, m2) {
+		t.Fatalf("reopen round trip mismatch: ok=%v got=%+v", ok, got)
+	}
+	if _, ok := st2.Get("missing"); ok {
+		t.Fatal("Get of unknown key reported a hit")
+	}
+}
+
+func TestLRUEvictionFallsBackToDisk(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{LRUEntries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	freqs := []float64{1.5, 2.0, 2.5, 3.0}
+	keys := make([]string, len(freqs))
+	for i, f := range freqs {
+		m := testMeasurement("spmz", f, 100*float64(i+1))
+		keys[i] = Key(Request{App: m.App, Arch: m.Arch, Seed: 1})
+		if err := st.Put(keys[i], m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := st.lru.len(); n != 2 {
+		t.Fatalf("LRU holds %d entries, want 2", n)
+	}
+	// keys[0] was evicted from the LRU; the hit must come from disk.
+	got, ok := st.Get(keys[0])
+	if !ok {
+		t.Fatal("evicted entry lost: disk fallback failed")
+	}
+	if want := testMeasurement("spmz", freqs[0], 100); !reflect.DeepEqual(got, want) {
+		t.Fatalf("disk fallback returned wrong measurement: %+v", got)
+	}
+}
+
+func TestCompactionDropsSupersededRecords(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Key(Request{App: "btmz", Arch: testPoint(2.0), Seed: 1})
+	for i := 0; i < 3; i++ {
+		if err := st.Put(k, testMeasurement("btmz", 2.0, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	other := Key(Request{App: "btmz", Arch: testPoint(3.0), Seed: 1})
+	if err := st.Put(other, testMeasurement("btmz", 3.0, 9)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	log := filepath.Join(dir, LogName)
+	before, _ := os.ReadFile(log)
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	after, _ := os.ReadFile(log)
+	if len(after) >= len(before) {
+		t.Fatalf("compaction did not shrink the log: %d -> %d bytes", len(before), len(after))
+	}
+	if st2.Len() != 2 {
+		t.Fatalf("after compaction Len = %d, want 2", st2.Len())
+	}
+	got, ok := st2.Get(k)
+	if !ok || got.TimeNs != 2 {
+		t.Fatalf("last write must win: ok=%v TimeNs=%v", ok, got.TimeNs)
+	}
+}
+
+func TestOpenIsExclusivePerProcess(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("second Open of a held store directory succeeded")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after Close failed: %v", err)
+	}
+	st2.Close()
+}
+
+func TestTruncatedTrailingRecordIsDropped(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Key(Request{App: "spec3d", Arch: testPoint(2.0), Seed: 1})
+	if err := st.Put(k, testMeasurement("spec3d", 2.0, 42)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	// Simulate a kill mid-append: a partial record with no newline.
+	log := filepath.Join(dir, LogName)
+	f, err := os.OpenFile(log, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"k":"deadbeef","m":{"App":"tru`)
+	f.Close()
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Len() != 1 {
+		t.Fatalf("after truncated tail Len = %d, want 1", st2.Len())
+	}
+	if got, ok := st2.Get(k); !ok || got.TimeNs != 42 {
+		t.Fatalf("intact record lost after recovery: ok=%v got=%+v", ok, got)
+	}
+	// The compacted log must no longer carry the partial record.
+	b, _ := os.ReadFile(log)
+	if n := len(b); b[n-1] != '\n' {
+		t.Fatal("compacted log does not end in a newline")
+	}
+}

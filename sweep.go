@@ -3,6 +3,7 @@ package musa
 import (
 	"musa/internal/dse"
 	"musa/internal/stats"
+	"musa/internal/store"
 )
 
 // Sweep exposes the paper's design-space exploration: the Table I grid,
@@ -22,6 +23,19 @@ type SweepOptions struct {
 	Seed    uint64
 	// Progress, if non-nil, is called with (done, total) measurements.
 	Progress func(done, total int)
+
+	// CacheDir, if non-empty, opens a content-addressed result store there:
+	// each completed measurement is appended to the store's log as it
+	// finishes (so a killed sweep resumes from its checkpoint), and points
+	// already stored under the same (app, arch, sample, warmup, seed) are
+	// served without recomputation.
+	CacheDir string
+	// Recompute forces fresh simulation even for cached points; the fresh
+	// results overwrite the store.
+	Recompute bool
+	// Cancel, if non-nil, aborts the sweep when closed; RunSweep returns
+	// the partial dataset.
+	Cancel <-chan struct{}
 }
 
 // RunSweep executes the full 864-configuration Table I sweep (per selected
@@ -33,6 +47,7 @@ func RunSweep(opts SweepOptions) (*Sweep, error) {
 		Workers:      opts.Workers,
 		Seed:         opts.Seed,
 		Progress:     opts.Progress,
+		Cancel:       opts.Cancel,
 	}
 	if opts.AppNames != nil {
 		for _, n := range opts.AppNames {
@@ -43,7 +58,25 @@ func RunSweep(opts SweepOptions) (*Sweep, error) {
 			o.Apps = append(o.Apps, p)
 		}
 	}
-	return dse.Run(o), nil
+	if opts.CacheDir == "" {
+		return dse.Run(o), nil
+	}
+
+	st, err := store.Open(opts.CacheDir, store.Options{})
+	if err != nil {
+		return nil, err
+	}
+	flush := store.Bind(st, store.Request{
+		SampleInstrs: opts.SampleInstrs,
+		WarmupInstrs: opts.WarmupInstrs,
+		Seed:         opts.Seed,
+	}, &o, opts.Recompute)
+	d := dse.Run(o)
+	err = flush()
+	if cerr := st.Close(); err == nil {
+		err = cerr
+	}
+	return d, err
 }
 
 // Feature re-exports the swept architectural dimensions.
