@@ -102,12 +102,46 @@ func BenchmarkFigure1MPKI(b *testing.B) {
 	}
 	printOnce("fig1", func() *report.Table {
 		t := report.NewTable("Figure 1: runtime statistics (paper: hydro 5.98/1.78/0.19/0.02 ... lulesh 13.5/4.6/5.3/0.51)",
-			"app", "cores", "L1 MPKI", "L2 MPKI", "L3 MPKI", "GReq/s")
+			"app", "cores", "L1 MPKI", "L2 MPKI", "L3 MPKI", "GReq/s", "e2e ms @256", "MPI frac", "par eff")
 		for _, r := range rows {
-			t.AddRow(r.App, r.Cores, r.L1MPKI, r.L2MPKI, r.L3MPKI, r.GMemReqPerSec/1e9)
+			t.AddRow(r.App, r.Cores, r.L1MPKI, r.L2MPKI, r.L3MPKI, r.GMemReqPerSec/1e9,
+				r.EndToEndNs/1e6, r.MPIFraction, r.ParallelEff)
 		}
 		return t
 	})
+}
+
+// BenchmarkSweepReplayOverhead compares the node-only sweep against the
+// replay-enabled sweep (64 + 256 ranks per point) on a reduced grid at the
+// bench sample sizes. The cluster stage shares one parsed burst trace per
+// (app, ranks), so the budget is replay <= 1.5x node-only wall clock.
+func BenchmarkSweepReplayOverhead(b *testing.B) {
+	var pts []dse.ArchPoint
+	for _, p := range dse.Enumerate() {
+		if p.Cores == 64 && p.FreqGHz == 2.0 {
+			pts = append(pts, p)
+		}
+	}
+	for _, mode := range []string{"node-only", "replay"} {
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o := dse.Options{
+					Apps:         []*apps.Profile{apps.LULESH()},
+					Points:       pts,
+					SampleInstrs: benchSample,
+					WarmupInstrs: benchWarmup,
+					Seed:         1,
+				}
+				if mode == "node-only" {
+					o.Replay = dse.ReplayConfig{Disable: true}
+				}
+				d := dse.Run(o)
+				if len(d.Measurements) != len(pts) {
+					b.Fatalf("%d measurements", len(d.Measurements))
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkFigure2aScaling regenerates Fig. 2a: hardware-agnostic scaling of

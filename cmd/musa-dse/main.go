@@ -34,7 +34,7 @@ func main() {
 	log.SetPrefix("musa-dse: ")
 
 	list := flag.Bool("list", false, "list the design space and exit")
-	figure := flag.Int("fig", 0, "figure to regenerate (1, 5, 6, 7, 8, 9, 10, 11)")
+	figure := flag.Int("fig", 0, "figure to regenerate (1, 4, 5, 6, 7, 8, 9, 10, 11)")
 	all := flag.Bool("all", false, "regenerate every figure")
 	appsFlag := flag.String("apps", "", "comma-separated applications (default all)")
 	sample := flag.Int64("sample", 0, "detailed sample micro-ops (0 = default)")
@@ -46,6 +46,10 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	cacheDir := flag.String("cache-dir", "", "result store directory (empty = no persistence)")
 	resume := flag.Bool("resume", true, "with -cache-dir, serve already-stored points from the store")
+	replayRanks := flag.String("replay-ranks", "", "comma-separated cluster-stage rank counts (default 64,256)")
+	noReplay := flag.Bool("no-replay", false, "disable the cluster-level MPI replay stage")
+	network := flag.String("network", "", "interconnect model: mn4, hdr200 or eth10 (default mn4)")
+	timelineRanks := flag.Int("ranks", 64, "rank count for the -fig 4 timeline")
 	flag.Parse()
 
 	if *list {
@@ -67,6 +71,19 @@ func main() {
 		Seed:         *seed,
 		CacheDir:     *cacheDir,
 		Recompute:    !*resume,
+		NoReplay:     *noReplay,
+	}
+	ranks, err := musa.ParseReplayRanks(*replayRanks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts.ReplayRanks = ranks
+	if *network != "" {
+		m, err := musa.NetworkByName(*network)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Network = &m
 	}
 	if *appsFlag != "" {
 		opts.AppNames = strings.Split(*appsFlag, ",")
@@ -81,9 +98,15 @@ func main() {
 			}
 		}
 	}
-	d, err := musa.RunSweep(opts)
-	if err != nil {
-		log.Fatal(err)
+	// Figures 4 and 11 run their own simulations and ignore the sweep
+	// dataset; skip the sweep when nothing else was requested.
+	var d *musa.Sweep
+	if *all || (*figure != 4 && *figure != 11) {
+		var err error
+		d, err = musa.RunSweep(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	simOpts := musa.SimOptions{SampleInstrs: *sample, WarmupInstrs: *warmup, Seed: *seed}
@@ -91,7 +114,23 @@ func main() {
 		if !*all && *figure != n {
 			continue
 		}
-		fig, err := musa.Figure(d, n, simOpts)
+		var fig *report.Figure
+		var err error
+		if n == 4 {
+			// The rank timeline honors the -apps (first entry), -ranks
+			// and -network flags instead of the sweep dataset.
+			timelineApp := "lulesh"
+			if len(opts.AppNames) > 0 {
+				timelineApp = opts.AppNames[0]
+			}
+			var model musa.NetworkModel
+			if opts.Network != nil {
+				model = *opts.Network
+			}
+			fig, err = musa.RankTimeline(timelineApp, *timelineRanks, model, simOpts)
+		} else {
+			fig, err = musa.Figure(d, n, simOpts)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -106,6 +145,9 @@ func main() {
 				must(t.Write(os.Stdout))
 			}
 			fmt.Println()
+		}
+		if fig.Text != "" && !*csv {
+			fmt.Println(fig.Text)
 		}
 	}
 }

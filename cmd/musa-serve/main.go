@@ -13,8 +13,13 @@
 //	GET  /points       the 864-point Table I design space
 //	POST /simulate     {"app":"lulesh","pointIndex":42} -> one measurement
 //	POST /dse          {"apps":["hydro"],"sample":60000} -> NDJSON stream
-//	GET  /figures/{n}  JSON data for figure n (1, 5-11)
-//	GET  /stats        service counters and store size
+//	GET  /figures/{n}  JSON data for figure n (1, 4-11)
+//	GET  /figures/4    rank timeline: ?app=lulesh&ranks=64&network=mn4
+//	GET  /stats        service counters, store size, replay configuration
+//
+// Every measurement carries the cluster-level replay metrics (EndToEndNs,
+// MPIFraction, ParallelEff per configured rank count) unless -no-replay is
+// set or the request opts out.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"musa"
 	"musa/internal/serve"
 	"musa/internal/store"
 )
@@ -44,7 +50,15 @@ func main() {
 	sample := flag.Int64("sample", 0, "default detailed sample micro-ops (0 = package default)")
 	warmup := flag.Int64("warmup", 0, "default warmup micro-ops (0 = 2x sample)")
 	seed := flag.Uint64("seed", 1, "default seed")
+	replayRanks := flag.String("replay-ranks", "", "comma-separated cluster-stage rank counts (default 64,256)")
+	noReplay := flag.Bool("no-replay", false, "disable the cluster-level MPI replay stage")
+	network := flag.String("network", "", "interconnect model: mn4, hdr200 or eth10 (default mn4)")
 	flag.Parse()
+
+	ranks, err := musa.ParseReplayRanks(*replayRanks)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	st, err := store.Open(*cacheDir, store.Options{LRUEntries: *lru})
 	if err != nil {
@@ -52,13 +66,20 @@ func main() {
 	}
 	log.Printf("store %s: %d measurements", *cacheDir, st.Len())
 
-	svc := serve.New(st, serve.Config{
+	svc, err := serve.New(st, serve.Config{
 		Workers:      *workers,
 		MaxJobs:      *maxJobs,
 		SampleInstrs: *sample,
 		WarmupInstrs: *warmup,
 		Seed:         *seed,
+		ReplayRanks:  ranks,
+		NoReplay:     *noReplay,
+		Network:      *network,
 	})
+	if err != nil {
+		st.Close()
+		log.Fatal(err)
+	}
 	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(svc)}
 
 	// Graceful shutdown: stop accepting, drain in-flight requests (sweeps

@@ -2,29 +2,80 @@ package musa
 
 import (
 	"fmt"
+	"strings"
 
+	"musa/internal/core"
+	"musa/internal/net"
 	"musa/internal/report"
 )
 
 // FigureNumbers lists the evaluation figures musa can regenerate: the
-// Fig. 1 characterization, the Figs. 5-9 sensitivity studies, the Fig. 10
-// PCA and the Table II / Fig. 11 unconventional configurations.
-func FigureNumbers() []int { return []int{1, 5, 6, 7, 8, 9, 10, 11} }
+// Fig. 1 characterization, the Fig. 4 rank timeline, the Figs. 5-9
+// sensitivity studies, the Fig. 10 PCA and the Table II / Fig. 11
+// unconventional configurations.
+func FigureNumbers() []int { return []int{1, 4, 5, 6, 7, 8, 9, 10, 11} }
+
+// RankTimeline builds the Fig. 4-style cluster view: the application's
+// burst trace replayed across the given rank count, with the per-rank
+// compute/MPI breakdown and the rendered text Gantt chart (compute '#',
+// MPI wait 'w'). A zero network model selects MareNostrumNetwork.
+func RankTimeline(appName string, ranks int, network NetworkModel, opts SimOptions) (*report.Figure, error) {
+	app, err := App(appName)
+	if err != nil {
+		return nil, err
+	}
+	if ranks == 0 {
+		ranks = 64 // the paper's Fig. 4 rank count
+	}
+	if ranks < 2 || ranks > MaxReplayRanks {
+		return nil, fmt.Errorf("musa: %d ranks out of range [2, %d]", ranks, MaxReplayRanks)
+	}
+	if (network == NetworkModel{}) {
+		network = MareNostrumNetwork()
+	}
+	if err := network.Validate(); err != nil {
+		return nil, err
+	}
+	b := core.SampleBurst(app, ranks, opts.seed())
+	res := net.Replay(b, network, nil)
+	t := report.NewTable(
+		fmt.Sprintf("Figure 4: %s per-rank time breakdown, %d ranks", appName, ranks),
+		"rank", "compute ns", "p2p ns", "collective ns", "finish ns")
+	for r, rs := range res.Ranks {
+		t.AddRow(r, rs.ComputeNs, rs.P2PNs, rs.CollectiveNs, rs.FinishNs)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s rank timeline, %d ranks (compute '#', MPI wait 'w')\n", appName, ranks)
+	if err := report.WriteReplayTimeline(&sb, res); err != nil {
+		return nil, err
+	}
+	return &report.Figure{
+		N:      4,
+		Title:  fmt.Sprintf("%s rank timeline (%d ranks)", appName, ranks),
+		Tables: []*report.Table{t},
+		Text:   sb.String(),
+	}, nil
+}
 
 // Figure builds the table data behind one evaluation figure from a sweep
 // dataset. It is the single figure pipeline shared by the musa-dse CLI and
-// the musa-serve /figures/{n} endpoint. Figure 11 runs its own Table II
-// simulations (driven by opts) and ignores d; every other figure is an
-// aggregation of d and ignores opts.
+// the musa-serve /figures/{n} endpoint. Figure 4 replays its own rank
+// timeline (LULESH at 64 ranks, the paper's view) and Figure 11 runs its
+// own Table II simulations; both are driven by opts and ignore d. Every
+// other figure is an aggregation of d and ignores opts.
 func Figure(d *Sweep, n int, opts SimOptions) (*report.Figure, error) {
 	switch n {
 	case 1:
 		t := report.NewTable("Figure 1: application runtime statistics",
-			"app", "cores", "L1 MPKI", "L2 MPKI", "L3 MPKI", "GReq/s")
+			"app", "cores", "L1 MPKI", "L2 MPKI", "L3 MPKI", "GReq/s",
+			"end-to-end ms", "MPI frac", "parallel eff")
 		for _, r := range Characterization(d) {
-			t.AddRow(r.App, r.Cores, r.L1MPKI, r.L2MPKI, r.L3MPKI, r.GMemReqPerSec/1e9)
+			t.AddRow(r.App, r.Cores, r.L1MPKI, r.L2MPKI, r.L3MPKI, r.GMemReqPerSec/1e9,
+				r.EndToEndNs/1e6, r.MPIFraction, r.ParallelEff)
 		}
 		return &report.Figure{N: n, Title: "application characterization", Tables: []*report.Table{t}}, nil
+	case 4:
+		return RankTimeline("lulesh", 64, NetworkModel{}, opts)
 	case 5, 6, 7, 8, 9:
 		var name string
 		var feat Feature
@@ -83,5 +134,5 @@ func Figure(d *Sweep, n int, opts SimOptions) (*report.Figure, error) {
 		}
 		return &report.Figure{N: n, Title: "unconventional configurations", Tables: []*report.Table{t}}, nil
 	}
-	return nil, fmt.Errorf("musa: unknown figure %d (have 1, 5-11)", n)
+	return nil, fmt.Errorf("musa: unknown figure %d (have 1, 4-11)", n)
 }

@@ -94,7 +94,8 @@ func TestBurstTraceValid(t *testing.T) {
 			t.Errorf("%s: %d ranks", p.Name, s.Ranks)
 		}
 		wantCompute := 16 * p.Iterations * len(p.Regions)
-		gotCompute := s.Events - s.P2PMessages*2 - s.Collectives
+		// Each halo exchange is one combined sendrecv event per message.
+		gotCompute := s.Events - s.P2PMessages - s.Collectives
 		if gotCompute != wantCompute {
 			t.Errorf("%s: %d compute events, want %d", p.Name, gotCompute, wantCompute)
 		}

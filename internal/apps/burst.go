@@ -82,14 +82,23 @@ func BurstTrace(p *Profile, ranks int, seed uint64) *trace.Burst {
 					DurationNs: durNs,
 				})
 			}
-			// Neighbor exchange: ring topology with +/- k partners.
+			// Neighbor exchange: ring topology with +/- k partners. The
+			// halo messages are far above the eager threshold, so each
+			// exchange is a combined sendrecv (receive pre-posted at
+			// entry, as real halo codes do with MPI_Sendrecv/MPI_Irecv) —
+			// blocking rendezvous sends would deadlock on any sequential
+			// send-first ordering.
 			for n := 1; n <= p.MPI.Neighbors/2 && ranks > 1; n++ {
 				up := (r + n) % ranks
-				down := (r - n + ranks) % ranks
-				rt.Events = append(rt.Events,
-					trace.Event{Kind: trace.EvSend, Peer: up, Bytes: p.MPI.P2PBytes},
-					trace.Event{Kind: trace.EvRecv, Peer: down, Bytes: p.MPI.P2PBytes},
-				)
+				// Go's % can be negative when the stencil radius exceeds
+				// the ring size; normalize into [0, ranks).
+				down := ((r-n)%ranks + ranks) % ranks
+				if up == r || down == r {
+					continue // ring smaller than the stencil radius
+				}
+				rt.Events = append(rt.Events, trace.Event{
+					Kind: trace.EvSendRecv, Peer: up, RecvPeer: down, Bytes: p.MPI.P2PBytes,
+				})
 			}
 			for a := 0; a < p.MPI.AllReduces; a++ {
 				rt.Events = append(rt.Events, trace.Event{

@@ -199,7 +199,9 @@ func appOrder(ms []Measurement) []string {
 	return out
 }
 
-// Fig1Row is one application's characterization row (Fig. 1).
+// Fig1Row is one application's characterization row (Fig. 1), extended
+// with the cluster-level metrics of the multi-scale loop (zero when the
+// replay stage was disabled).
 type Fig1Row struct {
 	App           string
 	Cores         int
@@ -207,6 +209,11 @@ type Fig1Row struct {
 	L2MPKI        float64
 	L3MPKI        float64
 	GMemReqPerSec float64
+	// EndToEndNs / MPIFraction / ParallelEff are the full-application
+	// replay metrics at the sweep's largest replayed rank count.
+	EndToEndNs  float64
+	MPIFraction float64
+	ParallelEff float64
 }
 
 // Figure1 extracts the runtime-statistics characterization at the reference
@@ -224,6 +231,9 @@ func Figure1(d *Dataset) []Fig1Row {
 						App: app, Cores: cores,
 						L1MPKI: m.L1MPKI, L2MPKI: m.L2MPKI, L3MPKI: m.L3MPKI,
 						GMemReqPerSec: m.GMemReqPerSec,
+						EndToEndNs:    m.EndToEndNs,
+						MPIFraction:   m.MPIFraction,
+						ParallelEff:   m.ParallelEff,
 					})
 				}
 			}

@@ -77,6 +77,76 @@ func TestFeatureValues(t *testing.T) {
 	}
 }
 
+func TestReplayConfigNormalized(t *testing.T) {
+	def := ReplayConfig{}.Normalized()
+	if def.Disable || len(def.Ranks) != 2 || def.Ranks[0] != 64 || def.Ranks[1] != 256 {
+		t.Errorf("default replay config = %+v", def)
+	}
+	if def.Network.BandwidthBps <= 0 {
+		t.Errorf("default network not filled: %+v", def.Network)
+	}
+	sorted := ReplayConfig{Ranks: []int{128, 16}}.Normalized()
+	if sorted.Ranks[0] != 16 || sorted.Ranks[1] != 128 {
+		t.Errorf("ranks not sorted: %v", sorted.Ranks)
+	}
+	for _, c := range []ReplayConfig{{Disable: true}, {Ranks: []int{}}} {
+		if n := c.Normalized(); !n.Disable || n.Ranks != nil {
+			t.Errorf("%+v should normalize to disabled, got %+v", c, n)
+		}
+	}
+}
+
+// TestClusterMetricsProperty is the cluster-stage invariant: in a reduced
+// sweep, every measurement carries replay results at every configured rank
+// count, the end-to-end makespan dominates the node compute time, and the
+// derived fractions are sane.
+func TestClusterMetricsProperty(t *testing.T) {
+	o := testOpts()
+	o.Points = o.Points[:6]
+	o.SampleInstrs = 20000
+	o.WarmupInstrs = 40000
+	d := Run(o)
+	if len(d.Measurements) == 0 {
+		t.Fatal("empty sweep")
+	}
+	for _, m := range d.Measurements {
+		if len(m.Cluster) != 2 {
+			t.Fatalf("%s %s: %d cluster entries, want 2", m.App, m.Arch.Label(), len(m.Cluster))
+		}
+		for _, c := range m.Cluster {
+			if c.EndToEndNs < m.TimeNs {
+				t.Errorf("%s %s @%d ranks: EndToEndNs %v < TimeNs %v",
+					m.App, m.Arch.Label(), c.Ranks, c.EndToEndNs, m.TimeNs)
+			}
+			if c.MPIFraction < 0 || c.MPIFraction > 1 {
+				t.Errorf("%s %s @%d ranks: MPI fraction %v", m.App, m.Arch.Label(), c.Ranks, c.MPIFraction)
+			}
+			if c.ParallelEff <= 0 || c.ParallelEff > 1 {
+				t.Errorf("%s %s @%d ranks: parallel efficiency %v", m.App, m.Arch.Label(), c.Ranks, c.ParallelEff)
+			}
+		}
+		if m.EndToEndNs != m.Cluster[1].EndToEndNs || m.MPIFraction != m.Cluster[1].MPIFraction {
+			t.Errorf("%s %s: top-level fields do not mirror the largest rank count", m.App, m.Arch.Label())
+		}
+	}
+}
+
+// TestReplayDisabled checks the node-only path leaves the cluster fields
+// zero.
+func TestReplayDisabled(t *testing.T) {
+	o := testOpts()
+	o.Points = o.Points[:2]
+	o.SampleInstrs = 20000
+	o.WarmupInstrs = 40000
+	o.Replay = ReplayConfig{Disable: true}
+	d := Run(o)
+	for _, m := range d.Measurements {
+		if m.Cluster != nil || m.EndToEndNs != 0 || m.MPIFraction != 0 || m.ParallelEff != 0 {
+			t.Fatalf("replay-disabled measurement has cluster data: %+v", m)
+		}
+	}
+}
+
 func TestRunAndNormalize(t *testing.T) {
 	d := Run(testOpts())
 	want := len(testOpts().Points) * 2

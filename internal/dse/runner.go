@@ -1,15 +1,29 @@
 package dse
 
 import (
+	"fmt"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 
 	"musa/internal/apps"
 	"musa/internal/dram"
+	"musa/internal/net"
 	"musa/internal/node"
 	"musa/internal/power"
+	"musa/internal/trace"
 )
+
+// ClusterStat is the cluster-level outcome of one MPI replay: the node
+// measurement's burst trace rescaled by the measured node speedup and
+// replayed across Ranks MPI ranks against the network model.
+type ClusterStat struct {
+	Ranks       int
+	EndToEndNs  float64 // full-application makespan across all ranks
+	MPIFraction float64 // mean fraction of the run spent in MPI
+	ParallelEff float64 // mean(compute)/makespan across ranks
+}
 
 // Measurement is one (application, configuration) simulation outcome.
 type Measurement struct {
@@ -30,6 +44,74 @@ type Measurement struct {
 	ActiveCores   float64
 	MemLatencyNs  float64
 	OfferedBW     float64
+
+	// Cluster holds the MPI-replay outcome at each configured rank count
+	// (ascending; empty when the replay stage is disabled).
+	Cluster []ClusterStat `json:",omitempty"`
+	// EndToEndNs / MPIFraction / ParallelEff mirror the Cluster entry at
+	// the largest replayed rank count — the paper's 256-rank full-app
+	// metric (zero when the replay stage is disabled).
+	EndToEndNs  float64
+	MPIFraction float64
+	ParallelEff float64
+}
+
+// DefaultReplayRanks is the default rank-count axis of the cluster stage:
+// one mid-size job and the paper's 256-rank full-application replay.
+func DefaultReplayRanks() []int { return []int{64, 256} }
+
+// MaxReplayRanks bounds the per-replay rank count accepted from external
+// input (flags, HTTP requests): a 4096-rank burst trace is the largest the
+// replay stage synthesizes in reasonable time and memory.
+const MaxReplayRanks = 4096
+
+// ValidateReplayRanks checks a cluster-stage rank-count list from external
+// input: at most 16 entries, each in [2, MaxReplayRanks].
+func ValidateReplayRanks(ranks []int) error {
+	if len(ranks) > 16 {
+		return fmt.Errorf("dse: %d replay rank counts (max 16)", len(ranks))
+	}
+	for _, n := range ranks {
+		if n < 2 || n > MaxReplayRanks {
+			return fmt.Errorf("dse: replay rank count %d out of range [2, %d]", n, MaxReplayRanks)
+		}
+	}
+	return nil
+}
+
+// ReplayConfig configures the cluster-level MPI replay that follows each
+// node-level measurement.
+type ReplayConfig struct {
+	// Disable skips the replay stage entirely (node-only sweep).
+	Disable bool
+	// Ranks are the MPI rank counts replayed per point
+	// (nil = DefaultReplayRanks).
+	Ranks []int
+	// Network is the interconnect model (zero value = net.MareNostrum4()).
+	Network net.Model
+}
+
+// Normalized returns the canonical form of the config: defaults applied,
+// rank counts sorted ascending, and everything zeroed when disabled. The
+// result store hashes the normalized form into its request keys.
+func (c ReplayConfig) Normalized() ReplayConfig {
+	if c.Disable || (c.Ranks != nil && len(c.Ranks) == 0) {
+		// An explicit empty rank list means "no replays" too.
+		return ReplayConfig{Disable: true}
+	}
+	if c.Ranks == nil {
+		c.Ranks = DefaultReplayRanks()
+	} else {
+		// Sorted and deduplicated: replaying the same rank count twice is
+		// pure waste, and the result store hashes the canonical list.
+		c.Ranks = append([]int(nil), c.Ranks...)
+		slices.Sort(c.Ranks)
+		c.Ranks = slices.Compact(c.Ranks)
+	}
+	if c.Network == (net.Model{}) {
+		c.Network = net.MareNostrum4()
+	}
+	return c
 }
 
 // Options configures a sweep run.
@@ -65,6 +147,11 @@ type Options struct {
 	// Combined with OnMeasurement checkpointing, a canceled sweep resumes
 	// where it left off.
 	Cancel <-chan struct{}
+
+	// Replay configures the cluster-level MPI replay appended to every
+	// measurement (zero value = replay at 64 and 256 ranks against the
+	// MareNostrum4 model).
+	Replay ReplayConfig
 }
 
 func (o *Options) fill() {
@@ -80,6 +167,7 @@ func (o *Options) fill() {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	o.Replay = o.Replay.Normalized()
 }
 
 // Dataset is the collected sweep output.
@@ -133,6 +221,57 @@ func Run(opts Options) *Dataset {
 		m := node.BuildLatencyModel(app, dram.Config{Spec: mem.Spec(), Channels: ch}, dram.FRFCFS, opts.Seed)
 		lms[k] = &m
 		return &m
+	}
+
+	// Cluster stage: one parsed burst trace is shared per (app, ranks)
+	// across the whole sweep — replay only reads the trace, so every
+	// worker replays the same instance with a per-point compute scale.
+	type burstKey struct {
+		app   string
+		ranks int
+	}
+	bursts := map[burstKey]*trace.Burst{}
+	var burstMu sync.Mutex
+	burstFor := func(app *apps.Profile, ranks int) *trace.Burst {
+		k := burstKey{app.Name, ranks}
+		burstMu.Lock()
+		defer burstMu.Unlock()
+		if b, ok := bursts[k]; ok {
+			return b
+		}
+		b := apps.BurstTrace(app, ranks, opts.Seed)
+		bursts[k] = b
+		return b
+	}
+	// clusterStage fills the cluster-level fields of m: the burst trace's
+	// compute durations are rescaled by the measured node speedup (the
+	// multi-scale handoff of paper §II) and replayed at every configured
+	// rank count.
+	clusterStage := func(m *Measurement, app *apps.Profile, res node.Result) {
+		var tracedIter float64
+		for _, spec := range app.Regions {
+			tracedIter += spec.LaneWork() / apps.RefLaneThroughput * 1e9
+		}
+		if tracedIter <= 0 {
+			return
+		}
+		scale := res.IterationNs / tracedIter
+		rescale := func(rank int, traced float64) float64 { return traced * scale }
+		m.Cluster = make([]ClusterStat, 0, len(opts.Replay.Ranks))
+		for _, ranks := range opts.Replay.Ranks {
+			rep := net.Replay(burstFor(app, ranks), opts.Replay.Network, rescale)
+			m.Cluster = append(m.Cluster, ClusterStat{
+				Ranks:       ranks,
+				EndToEndNs:  rep.MakespanNs,
+				MPIFraction: rep.MPIFraction(),
+				ParallelEff: rep.AvgParallelEfficiency(),
+			})
+		}
+		// Ranks are sorted ascending; mirror the largest replay.
+		last := m.Cluster[len(m.Cluster)-1]
+		m.EndToEndNs = last.EndToEndNs
+		m.MPIFraction = last.MPIFraction
+		m.ParallelEff = last.ParallelEff
 	}
 
 	// Group points by annotation key.
@@ -234,6 +373,9 @@ func Run(opts Options) *Dataset {
 					ActiveCores:   res.AvgActiveCores,
 					MemLatencyNs:  res.MemLatencyNs,
 					OfferedBW:     res.OfferedBW,
+				}
+				if !opts.Replay.Disable {
+					clusterStage(&m, app, res)
 				}
 				ms = append(ms, m)
 				if opts.OnMeasurement != nil {

@@ -9,6 +9,8 @@ package net
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
 	"musa/internal/sim"
 	"musa/internal/trace"
@@ -38,6 +40,57 @@ func MareNostrum4() Model {
 		EagerBytes:          16 * 1024,
 		CollectiveLatencyNs: 900,
 	}
+}
+
+// HDR200 returns a 200 Gb/s InfiniBand HDR-class fabric: double the MN4
+// per-link bandwidth at slightly lower latency.
+func HDR200() Model {
+	return Model{
+		LatencyNs:           1000,
+		BandwidthBps:        25e9,
+		EagerBytes:          16 * 1024,
+		CollectiveLatencyNs: 700,
+	}
+}
+
+// Ethernet10G returns a commodity 10 GbE cluster interconnect: an order of
+// magnitude less bandwidth and ~10 us MPI latency, the pessimistic end of
+// the network scenario axis.
+func Ethernet10G() Model {
+	return Model{
+		LatencyNs:           10000,
+		BandwidthBps:        1.25e9,
+		EagerBytes:          16 * 1024,
+		CollectiveLatencyNs: 6000,
+	}
+}
+
+// namedModels maps scenario names onto network models. "mn4" is the
+// paper's MareNostrum IV fabric and the default everywhere.
+func namedModels() map[string]Model {
+	return map[string]Model{
+		"mn4":    MareNostrum4(),
+		"hdr200": HDR200(),
+		"eth10":  Ethernet10G(),
+	}
+}
+
+// ByName resolves a named network scenario ("mn4", "hdr200", "eth10").
+func ByName(name string) (Model, error) {
+	if m, ok := namedModels()[name]; ok {
+		return m, nil
+	}
+	return Model{}, fmt.Errorf("net: unknown network model %q (have %v)", name, ModelNames())
+}
+
+// ModelNames lists the named network scenarios in sorted order.
+func ModelNames() []string {
+	var names []string
+	for n := range namedModels() {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Validate reports model errors.
@@ -120,26 +173,49 @@ func Replay(b *trace.Burst, m Model, scale ComputeScale) Result {
 	res := Result{Ranks: make([]RankStats, n)}
 
 	// Replay is performed with a sequential algorithm over per-rank event
-	// cursors (a discrete-event relaxation): point-to-point matching uses
-	// FIFO channels per (src, dst) pair, collectives use generation
-	// barriers. Each rank keeps a local clock.
-	type message struct {
-		sendTime float64 // time the send was posted
+	// cursors (a discrete-event relaxation): point-to-point matching is FIFO
+	// per directed (src, dst) pair — recv #i consumes send #i — and
+	// collectives are global barriers. Each rank keeps a local clock.
+	type sendMsg struct {
+		sendTime float64 // sender clock when the send was posted
 		bytes    int64
-		recvd    bool
 	}
-	channels := map[[2]int][]*message{}
+	// pairState records the posted sends and receive-post times of one
+	// directed pair. Slices only grow and are consumed by index, so there
+	// is no per-message allocation, no map reassignment per event, and no
+	// q[1:] re-slicing that would pin a growing backing array.
+	type pairState struct {
+		sends     []sendMsg
+		recvPosts []float64
+	}
+	channels := map[[2]int]*pairState{}
+	pair := func(key [2]int) *pairState {
+		ps := channels[key]
+		if ps == nil {
+			ps = &pairState{}
+			channels[key] = ps
+		}
+		return ps
+	}
 	clock := make([]float64, n)
 	cursor := make([]int, n)
-	// Collective bookkeeping: per generation, rank -> arrival time. All
-	// collectives are global, so ranks pass generations in lockstep.
-	collArrive := []map[int]float64{}
-	collGen := make([]int, n)
+	// posted[r] records that rank r's current (blocked) event has already
+	// registered itself — its send/recv sits at pair index postIdx[r]
+	// (and, for EvSendRecv, its receive half at postRecvIdx[r]), or its
+	// collective arrival has been counted. Cleared when the cursor
+	// advances.
+	posted := make([]bool, n)
+	postIdx := make([]int, n)
+	postRecvIdx := make([]int, n)
+	// Collective bookkeeping. Releases are all-at-once, so at any moment a
+	// single collective generation is active across every rank.
+	collTime := make([]float64, n)
+	collCount := 0
 
 	// Iterate until all cursors are exhausted. Process ranks round-robin;
-	// a rank blocks when it needs a message that has not been sent yet or a
-	// collective that has not gathered everyone — then we move on and come
-	// back. Deterministic because matching is FIFO.
+	// a rank blocks when it needs a peer that has not progressed far enough
+	// — then we move on and come back. Deterministic because matching is
+	// FIFO and postings are monotone.
 	remaining := 0
 	for _, rt := range b.Ranks {
 		remaining += len(rt.Events)
@@ -159,53 +235,118 @@ func Replay(b *trace.Burst, m Model, scale ComputeScale) Result {
 					res.Ranks[r].ComputeNs += d
 
 				case trace.EvSend:
-					key := [2]int{r, ev.Peer}
-					msg := &message{sendTime: clock[r], bytes: ev.Bytes}
-					channels[key] = append(channels[key], msg)
+					ps := pair([2]int{r, ev.Peer})
+					if !posted[r] {
+						posted[r] = true
+						postIdx[r] = len(ps.sends)
+						ps.sends = append(ps.sends, sendMsg{sendTime: clock[r], bytes: ev.Bytes})
+						progressed = true // new information for the peer
+					}
 					if ev.Bytes > m.EagerBytes {
-						// Rendezvous: cannot complete until matched; we
-						// model it as the send completing at the max of
-						// both clocks plus transfer (resolved lazily by
-						// the receiver; the sender pays latency now and
-						// the receiver repairs ordering via its own wait).
-						clock[r] += m.LatencyNs
-						res.Ranks[r].P2PNs += m.LatencyNs
+						// Rendezvous: the send blocks until the matching
+						// receive has been posted, then completes after the
+						// handshake latency.
+						i := postIdx[r]
+						if len(ps.recvPosts) <= i {
+							goto nextRank
+						}
+						done := math.Max(clock[r], ps.recvPosts[i]) + m.LatencyNs
+						res.Ranks[r].P2PNs += done - clock[r]
+						clock[r] = done
 					} else {
 						clock[r] += m.LatencyNs / 2 // eager injection cost
 						res.Ranks[r].P2PNs += m.LatencyNs / 2
 					}
+					posted[r] = false
 
 				case trace.EvRecv:
-					key := [2]int{ev.Peer, r}
-					q := channels[key]
-					if len(q) == 0 {
-						// Sender has not posted yet: block this rank and
-						// try other ranks first.
-						goto nextRank
+					ps := pair([2]int{ev.Peer, r})
+					if !posted[r] {
+						posted[r] = true
+						postIdx[r] = len(ps.recvPosts)
+						ps.recvPosts = append(ps.recvPosts, clock[r])
+						progressed = true // unblocks a rendezvous sender
 					}
-					msg := q[0]
-					channels[key] = q[1:]
-					arrive := msg.sendTime + m.transferNs(msg.bytes)
-					if arrive > clock[r] {
-						res.Ranks[r].P2PNs += arrive - clock[r]
-						clock[r] = arrive
+					{
+						i := postIdx[r]
+						if len(ps.sends) <= i {
+							// Sender has not posted yet: block this rank
+							// and try other ranks first.
+							goto nextRank
+						}
+						msg := ps.sends[i]
+						arrive := msg.sendTime + m.transferNs(msg.bytes)
+						if msg.bytes > m.EagerBytes {
+							// Rendezvous transfer starts at the match point.
+							arrive = math.Max(msg.sendTime, ps.recvPosts[i]) + m.transferNs(msg.bytes)
+						}
+						if arrive > clock[r] {
+							res.Ranks[r].P2PNs += arrive - clock[r]
+							clock[r] = arrive
+						}
 					}
+					posted[r] = false
+
+				case trace.EvSendRecv:
+					// Combined exchange: the receive from RecvPeer is
+					// posted at entry, concurrently with the send to Peer
+					// (MPI_Sendrecv / pre-posted MPI_Irecv). The event
+					// completes when both halves do.
+					{
+						sp := pair([2]int{r, ev.Peer})
+						rp := pair([2]int{ev.RecvPeer, r})
+						if !posted[r] {
+							posted[r] = true
+							postIdx[r] = len(sp.sends)
+							postRecvIdx[r] = len(rp.recvPosts)
+							sp.sends = append(sp.sends, sendMsg{sendTime: clock[r], bytes: ev.Bytes})
+							rp.recvPosts = append(rp.recvPosts, clock[r])
+							progressed = true
+						}
+						si, ri := postIdx[r], postRecvIdx[r]
+						var sendDone float64
+						if ev.Bytes > m.EagerBytes {
+							// Rendezvous send half: blocks until the peer
+							// posts the matching receive.
+							if len(sp.recvPosts) <= si {
+								goto nextRank
+							}
+							sendDone = math.Max(clock[r], sp.recvPosts[si]) + m.LatencyNs
+						} else {
+							sendDone = clock[r] + m.LatencyNs/2
+						}
+						// Receive half: blocks until the matching send is
+						// posted and the message has fully arrived.
+						if len(rp.sends) <= ri {
+							goto nextRank
+						}
+						msg := rp.sends[ri]
+						arrive := msg.sendTime + m.transferNs(msg.bytes)
+						if msg.bytes > m.EagerBytes {
+							arrive = math.Max(msg.sendTime, rp.recvPosts[ri]) + m.transferNs(msg.bytes)
+						}
+						done := math.Max(sendDone, arrive)
+						if done > clock[r] {
+							res.Ranks[r].P2PNs += done - clock[r]
+							clock[r] = done
+						}
+					}
+					posted[r] = false
 
 				case trace.EvAllReduce, trace.EvBarrier, trace.EvBcast:
-					gen := collGen[r]
-					for len(collArrive) <= gen {
-						collArrive = append(collArrive, map[int]float64{})
+					if !posted[r] {
+						posted[r] = true
+						collTime[r] = clock[r]
+						collCount++
+						progressed = true
 					}
-					if _, ok := collArrive[gen][r]; !ok {
-						collArrive[gen][r] = clock[r]
-					}
-					if len(collArrive[gen]) < n {
+					if collCount < n {
 						// Not everyone has arrived; this rank is blocked.
 						goto nextRank
 					}
 					// Everyone arrived: release at max + tree cost.
 					maxT := 0.0
-					for _, t := range collArrive[gen] {
+					for _, t := range collTime {
 						if t > maxT {
 							maxT = t
 						}
@@ -215,19 +356,19 @@ func Replay(b *trace.Burst, m Model, scale ComputeScale) Result {
 						cost += m.transferNs(ev.Bytes) * log2ceil(n) / 4
 					}
 					release := maxT + cost
-					// Release every rank still waiting at this generation.
+					// Release every rank: collCount == n means all of them
+					// are waiting at this collective.
 					for rr := 0; rr < n; rr++ {
-						if collGen[rr] == gen && isAtCollective(b, rr, cursor[rr]) {
-							if release > clock[rr] {
-								res.Ranks[rr].CollectiveNs += release - clock[rr]
-								clock[rr] = release
-							}
-							collGen[rr]++
-							cursor[rr]++
-							remaining--
-							progressed = true
+						if release > clock[rr] {
+							res.Ranks[rr].CollectiveNs += release - clock[rr]
+							clock[rr] = release
 						}
+						posted[rr] = false
+						cursor[rr]++
+						remaining--
 					}
+					collCount = 0
+					progressed = true
 					continue // cursor already advanced for r too
 				}
 				cursor[r]++
@@ -249,14 +390,6 @@ func Replay(b *trace.Burst, m Model, scale ComputeScale) Result {
 		}
 	}
 	return res
-}
-
-// isAtCollective reports whether rank r's event at cursor c is a collective.
-func isAtCollective(b *trace.Burst, r, c int) bool {
-	if c >= len(b.Ranks[r].Events) {
-		return false
-	}
-	return b.Ranks[r].Events[c].Kind.IsCollective()
 }
 
 func log2ceil(n int) float64 {

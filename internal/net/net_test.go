@@ -87,6 +87,107 @@ func TestRecvBeforeSendBlocks(t *testing.T) {
 	}
 }
 
+func TestRendezvousSenderBlocksUntilRecvPosted(t *testing.T) {
+	// Regression for the rendezvous semantics bug: the receiver posts its
+	// receive late (after a long compute), and the sender — whose message
+	// is far above the eager threshold — must block until the matching
+	// receive is posted. The old replay only charged the sender LatencyNs
+	// and moved on.
+	const lateNs = 500000
+	m := model()
+	b := &trace.Burst{App: "rdv", Regions: []trace.RegionInfo{{Name: "r"}}}
+	b.Ranks = []trace.RankTrace{
+		{Rank: 0, Events: []trace.Event{
+			{Kind: trace.EvSend, Peer: 1, Bytes: 1 << 20}, // rendezvous
+		}},
+		{Rank: 1, Events: []trace.Event{
+			{Kind: trace.EvCompute, RegionID: 0, DurationNs: lateNs},
+			{Kind: trace.EvRecv, Peer: 0, Bytes: 1 << 20},
+		}},
+	}
+	res := Replay(b, m, nil)
+	// The sender's clock must advance to the match point (the receive is
+	// posted at lateNs) plus the handshake latency.
+	wantSender := lateNs + m.LatencyNs
+	if math.Abs(res.Ranks[0].FinishNs-wantSender) > 1e-6 {
+		t.Errorf("sender finished at %v, want %v (blocked until the late receive)",
+			res.Ranks[0].FinishNs, wantSender)
+	}
+	if res.Ranks[0].P2PNs < lateNs {
+		t.Errorf("sender P2P time %v does not cover the rendezvous block (want >= %v)",
+			res.Ranks[0].P2PNs, float64(lateNs))
+	}
+	// The transfer starts at the match point, not at the send post.
+	wantRecv := lateNs + m.transferNs(1<<20)
+	if math.Abs(res.Ranks[1].FinishNs-wantRecv) > 1e-6 {
+		t.Errorf("receiver finished at %v, want %v", res.Ranks[1].FinishNs, wantRecv)
+	}
+}
+
+func TestEagerSendDoesNotBlock(t *testing.T) {
+	// Below the eager threshold the sender must still complete without the
+	// receiver being ready.
+	m := model()
+	b := &trace.Burst{App: "eager", Regions: []trace.RegionInfo{{Name: "r"}}}
+	b.Ranks = []trace.RankTrace{
+		{Rank: 0, Events: []trace.Event{
+			{Kind: trace.EvSend, Peer: 1, Bytes: 1024},
+		}},
+		{Rank: 1, Events: []trace.Event{
+			{Kind: trace.EvCompute, RegionID: 0, DurationNs: 500000},
+			{Kind: trace.EvRecv, Peer: 0, Bytes: 1024},
+		}},
+	}
+	res := Replay(b, m, nil)
+	if res.Ranks[0].FinishNs > m.LatencyNs {
+		t.Errorf("eager sender finished at %v, should not block on the receiver",
+			res.Ranks[0].FinishNs)
+	}
+}
+
+func TestBothRendezvousSendsDeadlock(t *testing.T) {
+	// Two ranks issuing blocking rendezvous sends at each other before any
+	// receive is a genuine MPI deadlock; the replay must detect it rather
+	// than let the senders sail through.
+	b := &trace.Burst{App: "dl"}
+	b.Ranks = []trace.RankTrace{
+		{Rank: 0, Events: []trace.Event{
+			{Kind: trace.EvSend, Peer: 1, Bytes: 1 << 20},
+			{Kind: trace.EvRecv, Peer: 1, Bytes: 1 << 20},
+		}},
+		{Rank: 1, Events: []trace.Event{
+			{Kind: trace.EvSend, Peer: 0, Bytes: 1 << 20},
+			{Kind: trace.EvRecv, Peer: 0, Bytes: 1 << 20},
+		}},
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mutual blocking rendezvous sends")
+		}
+	}()
+	Replay(b, model(), nil)
+}
+
+func TestSendRecvExchangeNoDeadlock(t *testing.T) {
+	// A full ring of combined sendrecv exchanges above the eager threshold
+	// — the pattern plain blocking sends would deadlock on — must replay,
+	// and the makespan must stay close to one transfer (the exchanges
+	// proceed concurrently, not as an O(ranks) unwind chain).
+	const ranks = 8
+	m := model()
+	b := &trace.Burst{App: "ring"}
+	for r := 0; r < ranks; r++ {
+		b.Ranks = append(b.Ranks, trace.RankTrace{Rank: r, Events: []trace.Event{
+			{Kind: trace.EvSendRecv, Peer: (r + 1) % ranks, RecvPeer: (r + ranks - 1) % ranks, Bytes: 1 << 20},
+		}})
+	}
+	res := Replay(b, m, nil)
+	want := m.transferNs(1 << 20)
+	if math.Abs(res.MakespanNs-want) > 1e-6 {
+		t.Errorf("ring exchange makespan %v, want one concurrent transfer %v", res.MakespanNs, want)
+	}
+}
+
 func TestCollectiveSynchronizes(t *testing.T) {
 	// Ranks with unequal compute meeting at a barrier: everyone leaves
 	// together; fast ranks accumulate collective wait (the Fig. 4 effect).
@@ -146,17 +247,35 @@ func TestDeadlockDetected(t *testing.T) {
 
 func TestAppTraceReplays(t *testing.T) {
 	// End-to-end: a synthesized application burst trace replays cleanly and
-	// imbalance shows up as collective waiting.
-	for _, p := range apps.All() {
-		b := apps.BurstTrace(p, 32, 5)
-		res := Replay(b, model(), nil)
-		if res.MakespanNs <= 0 {
-			t.Fatalf("%s: empty replay", p.Name)
+	// imbalance shows up as collective waiting. Odd and tiny rank counts
+	// exercise the ring-wrap corners of the halo exchange.
+	for _, ranks := range []int{2, 3, 5, 32} {
+		for _, p := range apps.All() {
+			b := apps.BurstTrace(p, ranks, 5)
+			res := Replay(b, model(), nil)
+			if res.MakespanNs <= 0 {
+				t.Fatalf("%s/%d: empty replay", p.Name, ranks)
+			}
+			eff := res.AvgParallelEfficiency()
+			if eff <= 0 || eff > 1 {
+				t.Errorf("%s/%d: efficiency %v out of range", p.Name, ranks, eff)
+			}
 		}
-		eff := res.AvgParallelEfficiency()
-		if eff <= 0 || eff > 1 {
-			t.Errorf("%s: efficiency %v out of range", p.Name, eff)
+	}
+}
+
+func TestNamedModels(t *testing.T) {
+	for _, name := range ModelNames() {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
 		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown model name resolved")
 	}
 }
 

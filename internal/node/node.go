@@ -299,7 +299,15 @@ func annotateSample(app *apps.Profile, cfg Config) cpu.AnnotateResult {
 // Runtime dispatch costs stay in wall-clock ns (they come from the trace and
 // do not scale with core frequency), reproducing the scheduling bottleneck
 // HYDRO hits above 2.5 GHz.
+//
+// A zero, negative, NaN or infinite lane throughput (a degenerate core
+// sample) would turn the scale factor into ±Inf/NaN and poison every
+// downstream duration, energy and replay result; it is clamped to the
+// reference throughput (scale 1) instead.
 func replayRegions(app *apps.Profile, cfg Config, laneThroughput float64) ([]rts.Schedule, []float64) {
+	if laneThroughput <= 0 || math.IsNaN(laneThroughput) || math.IsInf(laneThroughput, 0) {
+		laneThroughput = apps.RefLaneThroughput
+	}
 	scale := apps.RefLaneThroughput / laneThroughput
 	var scheds []rts.Schedule
 	var durs []float64

@@ -1,6 +1,7 @@
 package node
 
 import (
+	"math"
 	"testing"
 
 	"musa/internal/apps"
@@ -222,6 +223,25 @@ func TestContentionAblation(t *testing.T) {
 	roff := simFast(t, app, off)
 	if ron.ComputeNs < roff.ComputeNs {
 		t.Error("contention model made LULESH faster")
+	}
+}
+
+func TestReplayRegionsDegenerateThroughput(t *testing.T) {
+	// A zero/NaN/Inf lane throughput must not poison the region durations
+	// with +Inf/NaN scale factors; replayRegions clamps to the reference
+	// throughput instead.
+	app := apps.Hydro()
+	cfg := baseCfg()
+	for _, tp := range []float64{0, -1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		_, durs := replayRegions(app, cfg, tp)
+		if len(durs) == 0 {
+			t.Fatalf("throughput %v: no regions replayed", tp)
+		}
+		for ri, d := range durs {
+			if math.IsNaN(d) || math.IsInf(d, 0) || d <= 0 {
+				t.Errorf("throughput %v: region %d duration %v not finite positive", tp, ri, d)
+			}
+		}
 	}
 }
 

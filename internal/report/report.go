@@ -114,6 +114,9 @@ type Figure struct {
 	N      int      `json:"figure"`
 	Title  string   `json:"title"`
 	Tables []*Table `json:"tables"`
+	// Text carries a rendered ASCII artifact when the figure is a
+	// timeline rather than a table (Fig. 4's rank Gantt chart).
+	Text string `json:"text,omitempty"`
 }
 
 // WriteJSON renders the figure as a JSON object.

@@ -75,8 +75,8 @@ func specOf(p dse.ArchPoint) ArchSpec {
 //	GET  /points       the Table I design space
 //	POST /simulate     one measurement (store-backed, coalesced)
 //	POST /dse          batch sweep; streams NDJSON progress then the result
-//	GET  /figures/{n}  JSON figure data (1, 5-11)
-//	GET  /stats        service and store counters
+//	GET  /figures/{n}  JSON figure data (1, 4-11; 4 is the rank timeline)
+//	GET  /stats        service and store counters, replay configuration
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /apps", func(w http.ResponseWriter, r *http.Request) {
@@ -96,9 +96,16 @@ func NewHandler(svc *Service) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"count": len(pts), "points": pts})
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		rc := svc.Replay()
 		writeJSON(w, http.StatusOK, map[string]any{
 			"service": svc.Stats(),
 			"stored":  svc.Store().Len(),
+			"replay": map[string]any{
+				"disabled": rc.Disable,
+				"ranks":    rc.Ranks,
+				"network":  rc.Network,
+			},
+			"schemaVersion": store.SchemaVersion,
 		})
 	})
 	mux.HandleFunc("POST /simulate", svc.handleSimulate)
@@ -114,6 +121,12 @@ type simulateRequest struct {
 	Sample     int64     `json:"sample,omitempty"`
 	Warmup     int64     `json:"warmup,omitempty"`
 	Seed       uint64    `json:"seed,omitempty"`
+	// ReplayRanks overrides the cluster-stage rank counts (null = service
+	// default); noReplay turns the replay stage off for this request;
+	// network names the interconnect model ("mn4", "hdr200", "eth10").
+	ReplayRanks []int  `json:"replayRanks,omitempty"`
+	NoReplay    bool   `json:"noReplay,omitempty"`
+	Network     string `json:"network,omitempty"`
 }
 
 func (sr simulateRequest) point() (dse.ArchPoint, error) {
@@ -143,11 +156,32 @@ func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	start := time.Now()
-	m, cached, err := s.Simulate(r.Context(), store.Request{
+	sr := store.Request{
 		App: req.App, Arch: p,
 		SampleInstrs: req.Sample, WarmupInstrs: req.Warmup, Seed: req.Seed,
-	})
+	}
+	switch {
+	case req.NoReplay:
+		sr.ReplayRanks = []int{} // explicit empty: node-only, no defaults
+	case req.ReplayRanks != nil:
+		// Validate before the list reaches a sweep worker: a negative
+		// count would panic trace synthesis, a huge one would OOM it.
+		if err := dse.ValidateReplayRanks(req.ReplayRanks); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		sr.ReplayRanks = req.ReplayRanks
+	}
+	if req.Network != "" {
+		network, err := ResolveNetwork(req.Network)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		sr.Network = network
+	}
+	start := time.Now()
+	m, cached, err := s.Simulate(r.Context(), sr)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
@@ -170,6 +204,11 @@ type dseRequest struct {
 	ProgressEvery int      `json:"progressEvery,omitempty"`
 	// Summary suppresses per-measurement output in the final event.
 	Summary bool `json:"summary,omitempty"`
+	// ReplayRanks / noReplay / network configure the cluster stage, as in
+	// /simulate.
+	ReplayRanks []int  `json:"replayRanks,omitempty"`
+	NoReplay    bool   `json:"noReplay,omitempty"`
+	Network     string `json:"network,omitempty"`
 }
 
 func (s *Service) handleDSE(w http.ResponseWriter, r *http.Request) {
@@ -187,18 +226,36 @@ func (s *Service) handleDSE(w http.ResponseWriter, r *http.Request) {
 		}
 		points = append(points, p)
 	}
+	if err := dse.ValidateReplayRanks(req.ReplayRanks); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
 	every := req.ProgressEvery
 	if every <= 0 {
 		every = 50
 	}
 
 	// Stream NDJSON: progress events while the sweep runs, result last.
+	// A failed encode (the client hung up) or a canceled request context
+	// stops the stream: the ctx already cancels the sweep, and emitting
+	// into a dead pipe would just burn encoder work until it finishes.
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
+	var streamErr error
 	emit := func(v any) {
-		enc.Encode(v)
+		if streamErr != nil {
+			return
+		}
+		if err := r.Context().Err(); err != nil {
+			streamErr = err
+			return
+		}
+		if err := enc.Encode(v); err != nil {
+			streamErr = err
+			return
+		}
 		if flusher != nil {
 			flusher.Flush()
 		}
@@ -209,6 +266,7 @@ func (s *Service) handleDSE(w http.ResponseWriter, r *http.Request) {
 	d, err := s.Sweep(r.Context(), SweepRequest{
 		Apps: req.Apps, Points: points,
 		SampleInstrs: req.Sample, WarmupInstrs: req.Warmup, Seed: req.Seed,
+		ReplayRanks: req.ReplayRanks, NoReplay: req.NoReplay, Network: req.Network,
 	}, func(p Progress) {
 		last = p
 		if p.Done%every == 0 || p.Done == p.Total {
@@ -243,7 +301,7 @@ func (s *Service) handleFigure(w http.ResponseWriter, r *http.Request) {
 		valid = valid || k == n
 	}
 	if !valid {
-		httpError(w, http.StatusNotFound, fmt.Errorf("serve: unknown figure %d (have 1, 5-11)", n))
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: unknown figure %d (have 1, 4-11)", n))
 		return
 	}
 	q := r.URL.Query()
@@ -256,6 +314,10 @@ func (s *Service) handleFigure(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		appNames = strings.Split(v, ",")
+	}
+	if n == 4 {
+		s.handleRankTimeline(w, r, appNames)
+		return
 	}
 	intParam := func(key string) (int64, error) {
 		v := q.Get(key)
@@ -303,6 +365,56 @@ func (s *Service) handleFigure(w http.ResponseWriter, r *http.Request) {
 	fig, err := musa.Figure(d, n, simOpts)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	fig.WriteJSON(w)
+}
+
+// handleRankTimeline serves the Fig. 4-style cluster view:
+//
+//	GET /figures/4?app=lulesh&ranks=64&network=mn4&seed=1
+//
+// The burst trace of the requested application is replayed across the
+// requested rank count and rendered as a per-rank breakdown table plus a
+// text Gantt chart. No sweep runs; the replay is cheap enough to compute
+// per request.
+func (s *Service) handleRankTimeline(w http.ResponseWriter, r *http.Request, appNames []string) {
+	q := r.URL.Query()
+	appName := q.Get("app")
+	if appName == "" && len(appNames) > 0 {
+		appName = appNames[0]
+	}
+	if appName == "" {
+		appName = "lulesh" // the paper's Fig. 4 subject
+	}
+	ranks := 64
+	if v := q.Get("ranks"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 2 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("serve: bad ranks %q", v))
+			return
+		}
+		ranks = n
+	}
+	network, err := ResolveNetwork(q.Get("network"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	var seed uint64
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("serve: bad seed: %w", err))
+			return
+		}
+		seed = n
+	}
+	fig, err := musa.RankTimeline(appName, ranks, network, musa.SimOptions{Seed: seed})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

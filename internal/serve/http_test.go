@@ -137,6 +137,123 @@ func specJSON(t *testing.T, ts *httptest.Server, i int) string {
 	return string(b)
 }
 
+func TestSimulateEndpointClusterFields(t *testing.T) {
+	ts, _ := testServer(t)
+
+	var resp struct {
+		M struct {
+			TimeNs     float64 `json:"TimeNs"`
+			EndToEndNs float64 `json:"EndToEndNs"`
+			MPIFrac    float64 `json:"MPIFraction"`
+			Cluster    []struct {
+				Ranks      int     `json:"Ranks"`
+				EndToEndNs float64 `json:"EndToEndNs"`
+			} `json:"Cluster"`
+		} `json:"measurement"`
+	}
+	// Default replay configuration (the test service replays 8 and 16
+	// ranks).
+	if code := postJSON(t, ts.URL+"/simulate", `{"app":"hydro","pointIndex":3}`, &resp); code != http.StatusOK {
+		t.Fatalf("/simulate -> %d", code)
+	}
+	if len(resp.M.Cluster) != 2 || resp.M.Cluster[0].Ranks != 8 || resp.M.Cluster[1].Ranks != 16 {
+		t.Fatalf("cluster entries = %+v, want ranks 8 and 16", resp.M.Cluster)
+	}
+	if resp.M.EndToEndNs < resp.M.TimeNs {
+		t.Fatalf("EndToEndNs %v < TimeNs %v", resp.M.EndToEndNs, resp.M.TimeNs)
+	}
+
+	// Per-request override: node-only measurement.
+	var nodeOnly struct {
+		Cached bool `json:"cached"`
+		M      struct {
+			EndToEndNs float64 `json:"EndToEndNs"`
+			Cluster    []any   `json:"Cluster"`
+		} `json:"measurement"`
+	}
+	if code := postJSON(t, ts.URL+"/simulate", `{"app":"hydro","pointIndex":3,"noReplay":true}`, &nodeOnly); code != http.StatusOK {
+		t.Fatalf("noReplay /simulate -> %d", code)
+	}
+	if nodeOnly.Cached {
+		t.Fatal("node-only request must hash to a different key than the replay-enabled one")
+	}
+	if nodeOnly.M.EndToEndNs != 0 || nodeOnly.M.Cluster != nil {
+		t.Fatalf("node-only measurement carries cluster data: %+v", nodeOnly.M)
+	}
+
+	// Per-request override: different rank counts and network.
+	var custom struct {
+		Cached bool `json:"cached"`
+		M      struct {
+			Cluster []struct {
+				Ranks int `json:"Ranks"`
+			} `json:"Cluster"`
+		} `json:"measurement"`
+	}
+	if code := postJSON(t, ts.URL+"/simulate",
+		`{"app":"hydro","pointIndex":3,"replayRanks":[4],"network":"eth10"}`, &custom); code != http.StatusOK {
+		t.Fatalf("custom replay /simulate -> %d", code)
+	}
+	if custom.Cached || len(custom.M.Cluster) != 1 || custom.M.Cluster[0].Ranks != 4 {
+		t.Fatalf("custom replay response: %+v", custom)
+	}
+
+	// Unknown network name is a 400.
+	if code := postJSON(t, ts.URL+"/simulate",
+		`{"app":"hydro","pointIndex":3,"network":"warpdrive"}`, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad network -> %d, want 400", code)
+	}
+
+	// Degenerate rank lists must be rejected before they reach a sweep
+	// worker (a negative count would panic trace synthesis, a huge one
+	// would OOM it).
+	for _, body := range []string{
+		`{"app":"hydro","pointIndex":3,"replayRanks":[-1]}`,
+		`{"app":"hydro","pointIndex":3,"replayRanks":[0]}`,
+		`{"app":"hydro","pointIndex":3,"replayRanks":[1000000000]}`,
+		`{"app":"hydro","pointIndex":3,"replayRanks":[2,2,2,2,2,2,2,2,2,2,2,2,2,2,2,2,2]}`,
+	} {
+		if code := postJSON(t, ts.URL+"/simulate", body, nil); code != http.StatusBadRequest {
+			t.Errorf("POST /simulate %s -> %d, want 400", body, code)
+		}
+		dseBody := strings.Replace(body, `"pointIndex":3`, `"pointIndices":[3]`, 1)
+		if code := postJSON(t, ts.URL+"/dse", dseBody, nil); code != http.StatusBadRequest {
+			t.Errorf("POST /dse %s -> %d, want 400", dseBody, code)
+		}
+	}
+}
+
+func TestRankTimelineEndpoint(t *testing.T) {
+	ts, _ := testServer(t)
+
+	var fig struct {
+		N      int    `json:"figure"`
+		Title  string `json:"title"`
+		Text   string `json:"text"`
+		Tables []struct {
+			Rows [][]string `json:"rows"`
+		} `json:"tables"`
+	}
+	if code := getJSON(t, ts.URL+"/figures/4?app=spmz&ranks=8&network=hdr200", &fig); code != http.StatusOK {
+		t.Fatalf("/figures/4 -> %d", code)
+	}
+	if fig.N != 4 || !strings.Contains(fig.Title, "spmz") {
+		t.Fatalf("figure malformed: N=%d title=%q", fig.N, fig.Title)
+	}
+	if len(fig.Tables) != 1 || len(fig.Tables[0].Rows) != 8 {
+		t.Fatalf("want one 8-rank breakdown table, got %+v", fig.Tables)
+	}
+	if !strings.Contains(fig.Text, "|") {
+		t.Fatalf("no rendered timeline in text: %q", fig.Text)
+	}
+
+	for _, q := range []string{"?ranks=1", "?ranks=x", "?network=warpdrive", "?app=nope"} {
+		if code := getJSON(t, ts.URL+"/figures/4"+q, nil); code != http.StatusBadRequest {
+			t.Errorf("/figures/4%s -> %d, want 400", q, code)
+		}
+	}
+}
+
 func TestSimulateEndpointRejectsBadRequests(t *testing.T) {
 	ts, _ := testServer(t)
 	for _, body := range []string{
@@ -150,6 +267,46 @@ func TestSimulateEndpointRejectsBadRequests(t *testing.T) {
 		if code := postJSON(t, ts.URL+"/simulate", body, nil); code != http.StatusBadRequest {
 			t.Errorf("POST /simulate %s -> %d, want 400", body, code)
 		}
+	}
+}
+
+// failingWriter simulates a client that hangs up: writes start failing
+// after failAfter successes.
+type failingWriter struct {
+	header    http.Header
+	writes    int
+	failAfter int
+}
+
+func (w *failingWriter) Header() http.Header {
+	if w.header == nil {
+		w.header = http.Header{}
+	}
+	return w.header
+}
+func (w *failingWriter) WriteHeader(int) {}
+func (w *failingWriter) Write(b []byte) (int, error) {
+	w.writes++
+	if w.writes > w.failAfter {
+		return 0, fmt.Errorf("client hung up")
+	}
+	return len(b), nil
+}
+
+func TestDSEStreamStopsOnDeadClient(t *testing.T) {
+	svc := testService(t, t.TempDir())
+
+	w := &failingWriter{failAfter: 1}
+	req := httptest.NewRequest(http.MethodPost, "/dse",
+		strings.NewReader(`{"apps":["spmz"],"pointIndices":[0,1,2,3],"progressEvery":1,"summary":true}`))
+	svc.handleDSE(w, req)
+
+	// The sweep emits >= 4 progress events plus the result. After the
+	// first write fails, emit must stop touching the writer instead of
+	// pumping every remaining event into the dead pipe.
+	if w.writes != w.failAfter+1 {
+		t.Fatalf("writer saw %d writes, want %d (stop after the first failure)",
+			w.writes, w.failAfter+1)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"musa/internal/apps"
 	"musa/internal/dse"
+	"musa/internal/net"
 	"musa/internal/store"
 )
 
@@ -29,6 +30,14 @@ type Config struct {
 	SampleInstrs int64
 	WarmupInstrs int64
 	Seed         uint64
+
+	// ReplayRanks sets the default cluster-stage rank counts per
+	// measurement (nil = 64 and 256); NoReplay disables the replay stage
+	// by default. Requests can override both.
+	ReplayRanks []int
+	NoReplay    bool
+	// Network names the default interconnect model ("" = "mn4").
+	Network string
 }
 
 // Stats counts what the service did since start.
@@ -57,6 +66,12 @@ type Service struct {
 	st  *store.Store
 	cfg Config
 	sem chan struct{}
+	// replay is the normalized default replay configuration (per-request
+	// overrides start from it); network is the resolved default model,
+	// valid even when the replay default is disabled, so rank-list
+	// overrides on a NoReplay server still hash and replay consistently.
+	replay  dse.ReplayConfig
+	network net.Model
 
 	mu     sync.Mutex
 	flight map[string]*call
@@ -64,20 +79,43 @@ type Service struct {
 	requests, storeHits, coalesced, simulated atomic.Int64
 }
 
+// ResolveNetwork maps a network scenario name onto its model ("" = the
+// default "mn4").
+func ResolveNetwork(name string) (net.Model, error) {
+	if name == "" {
+		name = "mn4"
+	}
+	return net.ByName(name)
+}
+
 // New returns a service backed by st (which must be non-nil; the service
-// does not close it).
-func New(st *store.Store, cfg Config) *Service {
+// does not close it). It fails on an unresolvable default network name.
+func New(st *store.Store, cfg Config) (*Service, error) {
 	maxJobs := cfg.MaxJobs
 	if maxJobs <= 0 {
 		maxJobs = 2
 	}
-	return &Service{
-		st:     st,
-		cfg:    cfg,
-		sem:    make(chan struct{}, maxJobs),
-		flight: map[string]*call{},
+	network, err := ResolveNetwork(cfg.Network)
+	if err != nil {
+		return nil, err
 	}
+	return &Service{
+		st:  st,
+		cfg: cfg,
+		sem: make(chan struct{}, maxJobs),
+		replay: dse.ReplayConfig{
+			Disable: cfg.NoReplay,
+			Ranks:   cfg.ReplayRanks,
+			Network: network,
+		}.Normalized(),
+		network: network,
+		flight:  map[string]*call{},
+	}, nil
 }
+
+// Replay exposes the service's default replay configuration (the /stats
+// endpoint reports it).
+func (s *Service) Replay() dse.ReplayConfig { return s.replay }
 
 // Store exposes the backing result store (read-mostly: the HTTP layer
 // reports its size).
@@ -93,7 +131,9 @@ func (s *Service) Stats() Stats {
 	}
 }
 
-// fill applies the service defaults to a request and normalizes it.
+// fill applies the service defaults to a request and normalizes it. A nil
+// ReplayRanks picks up the service's replay defaults; an explicit empty
+// slice means node-only and stays that way.
 func (s *Service) fill(r store.Request) store.Request {
 	if r.SampleInstrs == 0 {
 		r.SampleInstrs = s.cfg.SampleInstrs
@@ -104,7 +144,26 @@ func (s *Service) fill(r store.Request) store.Request {
 	if r.Seed == 0 {
 		r.Seed = s.cfg.Seed
 	}
+	if r.ReplayRanks == nil && !s.replay.Disable {
+		r.ReplayRanks = s.replay.Ranks
+	}
+	if len(r.ReplayRanks) > 0 && r.Network == (net.Model{}) {
+		// s.network, not s.replay.Network: the latter is zeroed on a
+		// NoReplay server, which would make /simulate and /dse hash the
+		// same mn4-replayed measurement to different keys.
+		r.Network = s.network
+	}
 	return r.Normalize()
+}
+
+// replayOf reconstructs the runner's replay configuration from a filled
+// request.
+func replayOf(r store.Request) dse.ReplayConfig {
+	return dse.ReplayConfig{
+		Disable: len(r.ReplayRanks) == 0,
+		Ranks:   r.ReplayRanks,
+		Network: r.Network,
+	}.Normalized()
 }
 
 // acquire takes a job slot, honoring cancellation while queued.
@@ -179,6 +238,7 @@ func (s *Service) simulateOne(ctx context.Context, app *apps.Profile, req store.
 		WarmupInstrs: req.WarmupInstrs,
 		Workers:      1,
 		Seed:         req.Seed,
+		Replay:       replayOf(req),
 	})
 	if len(d.Measurements) != 1 {
 		return dse.Measurement{}, fmt.Errorf("serve: expected 1 measurement, got %d", len(d.Measurements))
@@ -202,6 +262,13 @@ type SweepRequest struct {
 	SampleInstrs int64
 	WarmupInstrs int64
 	Seed         uint64
+
+	// ReplayRanks overrides the cluster-stage rank counts (nil = service
+	// default); NoReplay disables the replay stage for this sweep; Network
+	// names the interconnect model ("" = service default).
+	ReplayRanks []int
+	NoReplay    bool
+	Network     string
 }
 
 // Progress is one sweep progress notification.
@@ -217,10 +284,38 @@ type Progress struct {
 // subsequent identical Sweep resume where this one stopped. The returned
 // error is ctx.Err() on cancellation, or the first store write error.
 func (s *Service) Sweep(ctx context.Context, req SweepRequest, progress func(Progress)) (*dse.Dataset, error) {
+	// Resolve the sweep's replay configuration: request overrides layered
+	// over the service defaults. An explicit rank list enables the replay
+	// stage even on a NoReplay server, mirroring the /simulate path.
+	rc := s.replay
+	if req.NoReplay {
+		rc = dse.ReplayConfig{Disable: true}
+	} else {
+		if req.ReplayRanks != nil {
+			if err := dse.ValidateReplayRanks(req.ReplayRanks); err != nil {
+				return nil, err
+			}
+			rc.Ranks = req.ReplayRanks
+			rc.Disable = false
+			if rc.Network == (net.Model{}) {
+				rc.Network = s.network // zeroed when the default is NoReplay
+			}
+		}
+		if req.Network != "" {
+			network, err := ResolveNetwork(req.Network)
+			if err != nil {
+				return nil, err
+			}
+			rc.Network = network
+		}
+		rc = rc.Normalized()
+	}
 	base := s.fill(store.Request{
 		SampleInstrs: req.SampleInstrs,
 		WarmupInstrs: req.WarmupInstrs,
 		Seed:         req.Seed,
+		ReplayRanks:  append([]int{}, rc.Ranks...), // empty (not nil) when disabled
+		Network:      rc.Network,
 	})
 	var selected []*apps.Profile
 	for _, name := range req.Apps {
@@ -244,6 +339,7 @@ func (s *Service) Sweep(ctx context.Context, req SweepRequest, progress func(Pro
 		Workers:      s.cfg.Workers,
 		Seed:         base.Seed,
 		Cancel:       ctx.Done(),
+		Replay:       rc,
 	}
 	flush := store.Bind(s.st, base, &opts, false)
 	// Decorate the store wiring with the service counters.

@@ -25,13 +25,20 @@ func testService(t *testing.T, dir string) *Service {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { st.Close() })
-	return New(st, Config{
+	svc, err := New(st, Config{
 		Workers:      2,
 		MaxJobs:      4,
 		SampleInstrs: testSample,
 		WarmupInstrs: testWarmup,
 		Seed:         1,
+		// Keep the default replay stage on but small: tests assert the
+		// cluster fields exist without paying for 256-rank replays.
+		ReplayRanks: []int{8, 16},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
 }
 
 func testPoints(n int) []dse.ArchPoint {
@@ -50,6 +57,67 @@ func testPoints(n int) []dse.ArchPoint {
 		pts = pts[:n]
 	}
 	return pts
+}
+
+func TestSweepReplayOverrideOnNoReplayServer(t *testing.T) {
+	// A server configured node-only must still honor an explicit rank-list
+	// override, mirroring the /simulate path.
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	svc, err := New(st, Config{
+		Workers: 2, MaxJobs: 2,
+		SampleInstrs: testSample, WarmupInstrs: testWarmup, Seed: 1,
+		NoReplay: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := svc.Sweep(context.Background(), SweepRequest{
+		Apps: []string{"hydro"}, Points: testPoints(2),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range d.Measurements {
+		if m.Cluster != nil {
+			t.Fatalf("NoReplay default produced cluster data: %+v", m)
+		}
+	}
+
+	d, err = svc.Sweep(context.Background(), SweepRequest{
+		Apps: []string{"hydro"}, Points: testPoints(2), ReplayRanks: []int{4},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range d.Measurements {
+		if len(m.Cluster) != 1 || m.Cluster[0].Ranks != 4 {
+			t.Fatalf("rank-list override ignored on NoReplay server: %+v", m.Cluster)
+		}
+	}
+
+	if _, err := svc.Sweep(context.Background(), SweepRequest{
+		Apps: []string{"hydro"}, Points: testPoints(1), ReplayRanks: []int{-3},
+	}, nil); err == nil {
+		t.Fatal("negative rank count accepted by Sweep")
+	}
+
+	// A single-point request with the same override must hash to the same
+	// key the sweep stored under (both default to the mn4 network even
+	// though the server's replay default is disabled).
+	_, cached, err := svc.Simulate(context.Background(), store.Request{
+		App: "hydro", Arch: testPoints(2)[0], ReplayRanks: []int{4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Fatal("simulate override missed the measurement the sweep stored")
+	}
 }
 
 func TestSimulateCoalescesDuplicates(t *testing.T) {

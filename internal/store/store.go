@@ -17,11 +17,27 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"slices"
+	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 
 	"musa/internal/dse"
+	"musa/internal/net"
 )
+
+// SchemaVersion identifies the on-disk measurement encoding. It is bumped
+// whenever dse.Measurement or the request key fields change shape — v2
+// added the cluster-level replay fields (EndToEndNs, MPIFraction,
+// ParallelEff, Cluster) and the replay configuration in the request key.
+// Open refuses a store written under a different version instead of
+// silently misreading it (an old log would unmarshal with zeroed cluster
+// fields and serve them as cache hits).
+const SchemaVersion = 2
+
+// schemaName is the version marker's file name inside the store directory.
+const schemaName = "schema"
 
 // Request identifies one simulation measurement. Two requests with equal
 // normalized fields address the same result; dse.Run is deterministic for a
@@ -33,14 +49,32 @@ type Request struct {
 	SampleInstrs int64
 	WarmupInstrs int64
 	Seed         uint64
+
+	// ReplayRanks and Network identify the cluster-level replay stage the
+	// measurement was produced under (empty ReplayRanks = node-only
+	// measurement, Network zeroed). Different replay configurations hash
+	// to different keys.
+	ReplayRanks []int
+	Network     net.Model
 }
 
 // Normalize maps a request onto its canonical form, mirroring the defaults
 // the runner applies (seed 0 means seed 1; zero sample/warmup mean the
-// package defaults and are kept as written).
+// package defaults and are kept as written). Replay ranks are sorted and
+// deduplicated — [256,64] and [64,256] address the same measurement — and
+// a request without replay ranks is node-only: its network model is zeroed
+// so it cannot influence the key.
 func (r Request) Normalize() Request {
 	if r.Seed == 0 {
 		r.Seed = 1
+	}
+	if len(r.ReplayRanks) == 0 {
+		r.ReplayRanks = nil
+		r.Network = net.Model{}
+	} else {
+		ranks := append([]int(nil), r.ReplayRanks...)
+		slices.Sort(ranks)
+		r.ReplayRanks = slices.Compact(ranks)
 	}
 	return r
 }
@@ -145,6 +179,10 @@ func Open(dir string, opts Options) (*Store, error) {
 		lock.Close()
 		return nil, fmt.Errorf("store: %s is in use by another process (flock: %w)", dir, err)
 	}
+	if err := checkSchema(dir); err != nil {
+		lock.Close()
+		return nil, err
+	}
 	max := opts.LRUEntries
 	if max <= 0 {
 		max = 4096
@@ -172,6 +210,38 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	s.w, s.r = w, r
 	return s, nil
+}
+
+// checkSchema enforces the on-disk schema version: a store directory with
+// an existing log must carry a matching version marker (a log without one
+// predates versioning entirely), and an empty directory is stamped with the
+// current version. Called with the directory lock held.
+func checkSchema(dir string) error {
+	marker := filepath.Join(dir, schemaName)
+	raw, err := os.ReadFile(marker)
+	switch {
+	case os.IsNotExist(err):
+		if fi, serr := os.Stat(filepath.Join(dir, LogName)); serr == nil && fi.Size() > 0 {
+			return fmt.Errorf("store: %s was written before schema versioning (current v%d); delete the directory to rebuild it",
+				dir, SchemaVersion)
+		}
+	case err != nil:
+		return fmt.Errorf("store: %w", err)
+	default:
+		v, perr := strconv.Atoi(strings.TrimSpace(string(raw)))
+		if perr != nil {
+			return fmt.Errorf("store: unreadable schema marker %s: %q", marker, raw)
+		}
+		if v != SchemaVersion {
+			return fmt.Errorf("store: %s holds schema v%d results, current is v%d; delete the directory to rebuild it",
+				dir, v, SchemaVersion)
+		}
+		return nil
+	}
+	if err := os.WriteFile(marker, []byte(strconv.Itoa(SchemaVersion)+"\n"), 0o644); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
 }
 
 // load scans the log, indexes the last record per key, and rewrites the

@@ -8,6 +8,7 @@ import (
 
 	"musa/internal/cpu"
 	"musa/internal/dse"
+	"musa/internal/net"
 	"musa/internal/power"
 )
 
@@ -23,6 +24,11 @@ func testMeasurement(app string, freq, t float64) dse.Measurement {
 		App: app, Arch: testPoint(freq), TimeNs: t,
 		Power: power.Breakdown{CoreL1: 10, L2L3: 5, Memory: 3}, EnergyJ: t * 18e-9,
 		L1MPKI: 1.5, L2MPKI: 0.7, L3MPKI: 0.2, GMemReqPerSec: 1e9,
+		Cluster: []dse.ClusterStat{
+			{Ranks: 64, EndToEndNs: t * 1.2, MPIFraction: 0.1, ParallelEff: 0.8},
+			{Ranks: 256, EndToEndNs: t * 1.5, MPIFraction: 0.25, ParallelEff: 0.6},
+		},
+		EndToEndNs: t * 1.5, MPIFraction: 0.25, ParallelEff: 0.6,
 	}
 }
 
@@ -42,6 +48,12 @@ func TestKeyDeterministicAndDiscriminating(t *testing.T) {
 		{App: "lulesh", Arch: r.Arch, SampleInstrs: 2000, Seed: 1},
 		{App: "lulesh", Arch: r.Arch, SampleInstrs: 1000, WarmupInstrs: 1, Seed: 1},
 		{App: "lulesh", Arch: r.Arch, SampleInstrs: 1000, Seed: 2},
+		{App: "lulesh", Arch: r.Arch, SampleInstrs: 1000, Seed: 1,
+			ReplayRanks: []int{64, 256}, Network: net.MareNostrum4()},
+		{App: "lulesh", Arch: r.Arch, SampleInstrs: 1000, Seed: 1,
+			ReplayRanks: []int{128}, Network: net.MareNostrum4()},
+		{App: "lulesh", Arch: r.Arch, SampleInstrs: 1000, Seed: 1,
+			ReplayRanks: []int{64, 256}, Network: net.HDR200()},
 	}
 	seen := map[string]bool{Key(r): true}
 	for i, v := range variants {
@@ -50,6 +62,65 @@ func TestKeyDeterministicAndDiscriminating(t *testing.T) {
 			t.Fatalf("variant %d collided with another request key", i)
 		}
 		seen[k] = true
+	}
+	// A node-only request must not be influenced by a stray network model.
+	stray := r
+	stray.Network = net.HDR200()
+	if Key(stray) != Key(r) {
+		t.Fatal("network model leaked into a node-only request key")
+	}
+	// Rank order and duplicates must not change the key: the replay runs
+	// the sorted unique set either way.
+	a, b := r, r
+	a.ReplayRanks, a.Network = []int{256, 64}, net.MareNostrum4()
+	b.ReplayRanks, b.Network = []int{64, 256, 64}, net.MareNostrum4()
+	if Key(a) != Key(b) {
+		t.Fatal("replay rank order/duplicates changed the request key")
+	}
+}
+
+func TestOpenRefusesMismatchedSchema(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Key(Request{App: "hydro", Arch: testPoint(2.0), Seed: 1})
+	if err := st.Put(k, testMeasurement("hydro", 2.0, 7)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	// A store stamped with an older schema version must be refused.
+	if err := os.WriteFile(filepath.Join(dir, schemaName), []byte("1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open accepted a store written under schema v1")
+	}
+
+	// Restoring the current version makes it readable again.
+	if err := os.WriteFile(filepath.Join(dir, schemaName), []byte("2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+}
+
+func TestOpenRefusesPreVersioningLog(t *testing.T) {
+	// A results log without any schema marker predates versioning: its
+	// measurements would unmarshal with zeroed cluster fields and be served
+	// as hits, so Open must refuse it outright.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, LogName),
+		[]byte(`{"k":"abc","m":{"App":"hydro","TimeNs":1}}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open accepted a pre-versioning results log")
 	}
 }
 

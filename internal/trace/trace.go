@@ -27,10 +27,16 @@ const (
 	EvAllReduce
 	EvBarrier
 	EvBcast
+	// EvSendRecv is a combined exchange (MPI_Sendrecv / pre-posted
+	// MPI_Irecv): the receive from RecvPeer is posted when the event is
+	// entered, concurrently with the send to Peer, and the event completes
+	// when both halves do. Halo exchanges use it so blocking rendezvous
+	// sends cannot deadlock on exchange ordering.
+	EvSendRecv
 	numEventKinds
 )
 
-var kindNames = [numEventKinds]string{"compute", "send", "recv", "allreduce", "barrier", "bcast"}
+var kindNames = [numEventKinds]string{"compute", "send", "recv", "allreduce", "barrier", "bcast", "sendrecv"}
 
 func (k EventKind) String() string {
 	if int(k) < len(kindNames) {
@@ -55,8 +61,11 @@ type Event struct {
 	// DurationNs is the traced duration for compute events (burst timing,
 	// replaced by simulation results in detailed mode).
 	DurationNs float64 `json:"dur_ns,omitempty"`
-	// Peer is the partner rank for point-to-point events.
+	// Peer is the partner rank for point-to-point events (the send
+	// destination for EvSendRecv).
 	Peer int `json:"peer,omitempty"`
+	// RecvPeer is the receive source of an EvSendRecv exchange.
+	RecvPeer int `json:"recv_peer,omitempty"`
 	// Bytes is the message (or collective contribution) size.
 	Bytes int64 `json:"bytes,omitempty"`
 }
@@ -114,6 +123,16 @@ func (b *Burst) Validate() error {
 				if ev.Bytes <= 0 {
 					return fmt.Errorf("trace: rank %d event %d p2p with %d bytes", i, j, ev.Bytes)
 				}
+			case ev.Kind == EvSendRecv:
+				if ev.Peer < 0 || ev.Peer >= len(b.Ranks) || ev.Peer == i {
+					return fmt.Errorf("trace: rank %d event %d bad peer %d", i, j, ev.Peer)
+				}
+				if ev.RecvPeer < 0 || ev.RecvPeer >= len(b.Ranks) || ev.RecvPeer == i {
+					return fmt.Errorf("trace: rank %d event %d bad recv peer %d", i, j, ev.RecvPeer)
+				}
+				if ev.Bytes <= 0 {
+					return fmt.Errorf("trace: rank %d event %d p2p with %d bytes", i, j, ev.Bytes)
+				}
 			}
 		}
 	}
@@ -145,7 +164,7 @@ func (b *Burst) Summarize() Stats {
 			switch {
 			case ev.Kind == EvCompute:
 				s.ComputeNs += ev.DurationNs
-			case ev.Kind == EvSend:
+			case ev.Kind == EvSend, ev.Kind == EvSendRecv:
 				s.P2PMessages++
 				s.P2PBytes += ev.Bytes
 			case ev.Kind.IsCollective():

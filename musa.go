@@ -140,6 +140,14 @@ type NetworkModel = net.Model
 // the paper's full-application simulations.
 func MareNostrumNetwork() NetworkModel { return net.MareNostrum4() }
 
+// NetworkByName resolves a named network scenario: "mn4" (MareNostrum IV,
+// the default), "hdr200" (200 Gb/s InfiniBand) or "eth10" (commodity
+// 10 GbE).
+func NetworkByName(name string) (NetworkModel, error) { return net.ByName(name) }
+
+// NetworkNames lists the named network scenarios.
+func NetworkNames() []string { return net.ModelNames() }
+
 // FullAppResult couples node simulation and the cross-rank MPI replay.
 type FullAppResult = core.DetailedResult
 

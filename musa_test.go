@@ -119,10 +119,56 @@ func TestRunSweepSmall(t *testing.T) {
 	if len(rows) != 2 { // one app, 32c + 64c
 		t.Fatalf("characterization rows = %d", len(rows))
 	}
+	// The multi-scale loop is closed by default: every measurement carries
+	// end-to-end cluster metrics at the default rank counts.
+	for _, m := range d.Measurements {
+		if len(m.Cluster) != len(DefaultReplayRanks()) {
+			t.Fatalf("%s: %d cluster entries, want %d", m.Arch.Label(), len(m.Cluster), len(DefaultReplayRanks()))
+		}
+		if m.EndToEndNs < m.TimeNs || m.ParallelEff <= 0 {
+			t.Fatalf("%s: cluster metrics degenerate: e2e=%v time=%v eff=%v",
+				m.Arch.Label(), m.EndToEndNs, m.TimeNs, m.ParallelEff)
+		}
+	}
+	for _, r := range rows {
+		if r.EndToEndNs <= 0 || r.ParallelEff <= 0 {
+			t.Fatalf("characterization row missing cluster metrics: %+v", r)
+		}
+	}
 	if _, err := PCA(d, "btmz"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := RunSweep(SweepOptions{AppNames: []string{"nope"}}); err == nil {
 		t.Error("unknown app accepted by sweep")
+	}
+}
+
+func TestNetworkByName(t *testing.T) {
+	for _, name := range NetworkNames() {
+		if _, err := NetworkByName(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := NetworkByName("warpdrive"); err == nil {
+		t.Error("unknown network name accepted")
+	}
+}
+
+func TestRankTimelineAPI(t *testing.T) {
+	fig, err := RankTimeline("lulesh", 16, NetworkModel{}, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.N != 4 || len(fig.Tables) != 1 || len(fig.Tables[0].Rows) != 16 {
+		t.Fatalf("timeline figure malformed: %+v", fig)
+	}
+	if fig.Text == "" {
+		t.Fatal("no rendered timeline")
+	}
+	if _, err := RankTimeline("nope", 16, NetworkModel{}, SimOptions{}); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if _, err := RankTimeline("lulesh", 1<<20, NetworkModel{}, SimOptions{}); err == nil {
+		t.Error("absurd rank count accepted")
 	}
 }

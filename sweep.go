@@ -1,6 +1,10 @@
 package musa
 
 import (
+	"fmt"
+	"strconv"
+	"strings"
+
 	"musa/internal/dse"
 	"musa/internal/stats"
 	"musa/internal/store"
@@ -27,8 +31,8 @@ type SweepOptions struct {
 	// CacheDir, if non-empty, opens a content-addressed result store there:
 	// each completed measurement is appended to the store's log as it
 	// finishes (so a killed sweep resumes from its checkpoint), and points
-	// already stored under the same (app, arch, sample, warmup, seed) are
-	// served without recomputation.
+	// already stored under the same (app, arch, sample, warmup, seed,
+	// replay config) are served without recomputation.
 	CacheDir string
 	// Recompute forces fresh simulation even for cached points; the fresh
 	// results overwrite the store.
@@ -36,11 +40,32 @@ type SweepOptions struct {
 	// Cancel, if non-nil, aborts the sweep when closed; RunSweep returns
 	// the partial dataset.
 	Cancel <-chan struct{}
+
+	// ReplayRanks sets the cluster-stage MPI rank counts replayed per
+	// measurement (nil = 64 and 256, the paper's full-app scale).
+	ReplayRanks []int
+	// NoReplay disables the cluster-level replay stage: measurements stop
+	// at node-level ComputeNs and carry no EndToEndNs/MPIFraction.
+	NoReplay bool
+	// Network selects the interconnect model of the replay stage
+	// (nil = MareNostrumNetwork).
+	Network *NetworkModel
+}
+
+// replayConfig converts the sweep options' replay knobs into the runner's
+// normalized form.
+func (o SweepOptions) replayConfig() dse.ReplayConfig {
+	rc := dse.ReplayConfig{Disable: o.NoReplay, Ranks: o.ReplayRanks}
+	if o.Network != nil {
+		rc.Network = *o.Network
+	}
+	return rc.Normalized()
 }
 
 // RunSweep executes the full 864-configuration Table I sweep (per selected
 // application) and returns the dataset every figure is derived from.
 func RunSweep(opts SweepOptions) (*Sweep, error) {
+	rc := opts.replayConfig()
 	o := dse.Options{
 		SampleInstrs: opts.SampleInstrs,
 		WarmupInstrs: opts.WarmupInstrs,
@@ -48,6 +73,7 @@ func RunSweep(opts SweepOptions) (*Sweep, error) {
 		Seed:         opts.Seed,
 		Progress:     opts.Progress,
 		Cancel:       opts.Cancel,
+		Replay:       rc,
 	}
 	if opts.AppNames != nil {
 		for _, n := range opts.AppNames {
@@ -66,17 +92,57 @@ func RunSweep(opts SweepOptions) (*Sweep, error) {
 	if err != nil {
 		return nil, err
 	}
-	flush := store.Bind(st, store.Request{
+	base := store.Request{
 		SampleInstrs: opts.SampleInstrs,
 		WarmupInstrs: opts.WarmupInstrs,
 		Seed:         opts.Seed,
-	}, &o, opts.Recompute)
+	}
+	if !rc.Disable {
+		base.ReplayRanks = rc.Ranks
+		base.Network = rc.Network
+	}
+	flush := store.Bind(st, base, &o, opts.Recompute)
 	d := dse.Run(o)
 	err = flush()
 	if cerr := st.Close(); err == nil {
 		err = cerr
 	}
 	return d, err
+}
+
+// ClusterMeasurement re-exports the cluster-level replay outcome attached
+// to every sweep measurement (one entry per replayed rank count).
+type ClusterMeasurement = dse.ClusterStat
+
+// DefaultReplayRanks returns the default cluster-stage rank counts.
+func DefaultReplayRanks() []int { return dse.DefaultReplayRanks() }
+
+// MaxReplayRanks re-exports the bound on externally supplied rank counts.
+const MaxReplayRanks = dse.MaxReplayRanks
+
+// ValidateReplayRanks re-exports the cluster-stage rank-list validation:
+// at most 16 entries, each in [2, MaxReplayRanks].
+func ValidateReplayRanks(ranks []int) error { return dse.ValidateReplayRanks(ranks) }
+
+// ParseReplayRanks parses a comma-separated rank-count list ("" = nil,
+// meaning the default) and validates it — the shared flag parser of the
+// musa-dse and musa-serve CLIs.
+func ParseReplayRanks(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("musa: bad replay rank count %q", f)
+		}
+		out = append(out, n)
+	}
+	if err := ValidateReplayRanks(out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Feature re-exports the swept architectural dimensions.
