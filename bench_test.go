@@ -10,6 +10,7 @@
 package musa
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -135,7 +136,7 @@ func BenchmarkSweepReplayOverhead(b *testing.B) {
 				if mode == "node-only" {
 					o.Replay = dse.ReplayConfig{Disable: true}
 				}
-				d := dse.Run(o)
+				d := dse.Run(context.Background(), o)
 				if len(d.Measurements) != len(pts) {
 					b.Fatalf("%d measurements", len(d.Measurements))
 				}

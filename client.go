@@ -1,0 +1,592 @@
+package musa
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"musa/internal/apps"
+	"musa/internal/core"
+	"musa/internal/dse"
+	"musa/internal/net"
+	"musa/internal/store"
+)
+
+// ClientOptions configures a Client. Zero values mean: no persistent store,
+// GOMAXPROCS sweep workers, 2 concurrent jobs, package-default fidelity,
+// seed 1, cluster replay at 64 and 256 ranks against the "mn4" network.
+type ClientOptions struct {
+	// CacheDir, if non-empty, opens the content-addressed result store
+	// there: node and sweep measurements are checkpointed as they complete
+	// and repeated experiments become cache hits. The Client owns the
+	// store; Close releases it.
+	CacheDir string
+	// LRUEntries bounds the store's in-memory front (0 = store default).
+	LRUEntries int
+	// Workers bounds dse.Run parallelism inside one job (0 = GOMAXPROCS).
+	Workers int
+	// MaxJobs bounds concurrently executing simulation jobs across all
+	// requests (0 = 2). Requests beyond the bound queue.
+	MaxJobs int
+
+	// SampleInstrs / WarmupInstrs / Seed are applied to experiments that
+	// leave the corresponding field zero.
+	SampleInstrs int64
+	WarmupInstrs int64
+	Seed         uint64
+	// ReplayRanks / NoReplay / Network are the default replay configuration
+	// of node and sweep experiments that do not set their own.
+	ReplayRanks []int
+	NoReplay    bool
+	Network     string
+}
+
+// ClientStats counts what a Client did since construction.
+type ClientStats struct {
+	// Requests is the number of experiments run.
+	Requests int64
+	// StoreHits counts measurements served from the result store.
+	StoreHits int64
+	// Coalesced counts node experiments that piggybacked on an identical
+	// in-flight computation instead of simulating again.
+	Coalesced int64
+	// Simulated counts measurements actually computed.
+	Simulated int64
+}
+
+// Measurement re-exports the sweep measurement: one (application,
+// configuration) simulation outcome including the cluster replay metrics.
+type Measurement = dse.Measurement
+
+// Result is the outcome of one experiment; the field matching the
+// experiment's Kind is set.
+type Result struct {
+	Kind Kind `json:"kind"`
+	// Cached reports that a node measurement came from the result store or
+	// an identical in-flight computation.
+	Cached bool `json:"cached,omitempty"`
+
+	// Measurement is the KindNode outcome.
+	Measurement *Measurement `json:"measurement,omitempty"`
+	// FullApp is the KindFullApp outcome.
+	FullApp *FullAppResult `json:"fullApp,omitempty"`
+	// RegionSpeedups (Fig. 2a, aligned with CoreCounts) and Scaling
+	// (Fig. 2b) are the KindScaling outcome.
+	RegionSpeedups []float64              `json:"regionSpeedups,omitempty"`
+	Scaling        []FullAppScalingResult `json:"scaling,omitempty"`
+	// Sweep is the KindSweep outcome. On cancellation it holds the partial
+	// dataset accumulated so far.
+	Sweep *Sweep `json:"sweep,omitempty"`
+	// Unconventional is the KindUnconventional outcome.
+	Unconventional []UnconventionalRow `json:"unconventional,omitempty"`
+}
+
+// Observer receives streaming callbacks from Client.RunStream. Both fields
+// are optional. Each callback is serialized with itself (no two Progress
+// calls, and no two Measurement calls, run concurrently), but Progress and
+// Measurement may overlap each other.
+type Observer struct {
+	// Progress receives (done, total, cached) measurement counts as a
+	// sweep advances (and a single 1/1 tick for node experiments).
+	Progress func(done, total, cached int)
+	// Measurement receives each completed measurement of node and sweep
+	// experiments, including store hits.
+	Measurement func(m Measurement)
+}
+
+// call is one in-flight node computation that duplicate requests wait on.
+type call struct {
+	done chan struct{}
+	m    Measurement
+	err  error
+}
+
+// Client executes Experiments. It owns the optional result store, coalesces
+// duplicate in-flight node experiments into single computations, and bounds
+// concurrent simulation jobs with a worker pool. All methods are safe for
+// concurrent use.
+type Client struct {
+	opts    ClientOptions
+	st      *store.Store // nil without CacheDir
+	network NetworkModel // resolved default network
+	sem     chan struct{}
+
+	mu     sync.Mutex
+	flight map[string]*call
+	custom map[string]*Application
+
+	requests, storeHits, coalesced, simulated atomic.Int64
+}
+
+// NewClient validates the options, opens the result store when CacheDir is
+// set, and returns the client.
+func NewClient(opts ClientOptions) (*Client, error) {
+	name := opts.Network
+	if name == "" {
+		name = "mn4"
+	}
+	network, err := net.ByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadNetwork, err)
+	}
+	if opts.ReplayRanks != nil {
+		if err := ValidateReplayRanks(opts.ReplayRanks); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadReplayRanks, err)
+		}
+	}
+	maxJobs := opts.MaxJobs
+	if maxJobs <= 0 {
+		maxJobs = 2
+	}
+	c := &Client{
+		opts:    opts,
+		network: network,
+		sem:     make(chan struct{}, maxJobs),
+		flight:  map[string]*call{},
+		custom:  map[string]*Application{},
+	}
+	if opts.CacheDir != "" {
+		st, err := store.Open(opts.CacheDir, store.Options{LRUEntries: opts.LRUEntries})
+		if err != nil {
+			return nil, err
+		}
+		c.st = st
+	}
+	return c, nil
+}
+
+// Close releases the result store (if any). The client must not be used
+// afterwards.
+func (c *Client) Close() error {
+	if c.st == nil {
+		return nil
+	}
+	return c.st.Close()
+}
+
+// Stats returns a snapshot of the client counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Requests:  c.requests.Load(),
+		StoreHits: c.storeHits.Load(),
+		Coalesced: c.coalesced.Load(),
+		Simulated: c.simulated.Load(),
+	}
+}
+
+// StoreLen returns the number of measurements in the result store (0
+// without one).
+func (c *Client) StoreLen() int {
+	if c.st == nil {
+		return 0
+	}
+	return c.st.Len()
+}
+
+// ReplayDefaults returns the client's normalized default replay
+// configuration: the rank counts (nil when disabled), the network scenario
+// name and whether the replay stage is disabled by default.
+func (c *Client) ReplayDefaults() (ranks []int, network string, disabled bool) {
+	if c.opts.NoReplay {
+		return nil, "", true
+	}
+	ranks = c.opts.ReplayRanks
+	if ranks == nil {
+		ranks = DefaultReplayRanks()
+	}
+	network = c.opts.Network
+	if network == "" {
+		network = "mn4"
+	}
+	return ranks, network, false
+}
+
+// RegisterApplication adds a custom application model to the client's
+// registry: experiments can then name it in App/Apps. Built-in names cannot
+// be shadowed. The profile participates in store keys by content, so two
+// different profiles under the same name never collide in the cache.
+func (c *Client) RegisterApplication(p Application) error {
+	cp, err := NewApplication(p)
+	if err != nil {
+		return err
+	}
+	if _, err := apps.ByName(cp.Name); err == nil {
+		return fmt.Errorf("%w: %q shadows a built-in application", ErrExperiment, cp.Name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.custom[cp.Name] = cp
+	return nil
+}
+
+// resolveApp resolves built-ins first, then the client registry.
+func (c *Client) resolveApp(name string) (*Application, error) {
+	if a, err := apps.ByName(name); err == nil {
+		return a, nil
+	}
+	c.mu.Lock()
+	a, ok := c.custom[name]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("musa: unknown application %q", name)
+	}
+	return a, nil
+}
+
+// customProfile returns the registered profile when name is not a built-in
+// (nil for built-ins) — the content embedded into store keys.
+func (c *Client) customProfile(name string) *apps.Profile {
+	if _, err := apps.ByName(name); err == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.custom[name]
+}
+
+// fill applies the client defaults to an experiment before normalization.
+// A nil ReplayRanks picks up the client's replay defaults; an explicit
+// empty slice means node-only and stays that way (Normalize folds it into
+// NoReplay).
+func (c *Client) fill(e Experiment) Experiment {
+	if e.Sample == 0 {
+		e.Sample = c.opts.SampleInstrs
+	}
+	if e.Warmup == 0 {
+		e.Warmup = c.opts.WarmupInstrs
+	}
+	if e.Seed == 0 {
+		e.Seed = c.opts.Seed
+	}
+	kind := e.Kind
+	if kind == "" {
+		kind = KindNode
+	}
+	if e.Network == "" && kind != KindUnconventional {
+		// Unconventional experiments take no network; injecting the client
+		// default would fail their validation.
+		e.Network = c.opts.Network
+	}
+	if (kind == KindNode || kind == KindSweep) && e.ReplayRanks == nil && !e.NoReplay {
+		if c.opts.NoReplay {
+			e.NoReplay = true
+		} else {
+			e.ReplayRanks = c.opts.ReplayRanks // nil keeps the package default
+		}
+	}
+	return e
+}
+
+// acquire takes a job slot, honoring cancellation while queued.
+func (c *Client) acquire(ctx context.Context) error {
+	select {
+	case c.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (c *Client) release() { <-c.sem }
+
+// Run executes the experiment and returns its result. Requests are
+// validated up front: all validation failures wrap ErrExperiment and the
+// typed cause (ErrUnknownApp, ErrBadArch, ErrBadReplayRanks, ...), and no
+// user input reaches a panicking simulation path. Canceling ctx aborts the
+// run; a canceled sweep returns the partial dataset alongside an error
+// wrapping context.Canceled.
+func (c *Client) Run(ctx context.Context, e Experiment) (*Result, error) {
+	return c.RunStream(ctx, e, Observer{})
+}
+
+// RunStream is Run with streaming callbacks: sweep progress and per-
+// measurement notifications are delivered to obs while the experiment
+// executes. The final Result is returned as from Run.
+func (c *Client) RunStream(ctx context.Context, e Experiment, obs Observer) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ne, err := c.fill(e).normalize(c.resolveApp)
+	if err != nil {
+		return nil, err
+	}
+	c.requests.Add(1)
+	switch ne.Kind {
+	case KindNode:
+		return c.runNode(ctx, ne, obs)
+	case KindFullApp:
+		return c.runFullApp(ctx, ne)
+	case KindScaling:
+		return c.runScaling(ctx, ne)
+	case KindSweep:
+		return c.runSweep(ctx, ne, obs)
+	case KindUnconventional:
+		return c.runUnconventional(ctx, ne)
+	}
+	return nil, fmt.Errorf("%w %q", ErrBadKind, ne.Kind) // unreachable after normalize
+}
+
+// runNode serves one measurement: store first, then single-flight
+// coalescing of identical in-flight requests, then a one-point sweep under
+// a job slot.
+func (c *Client) runNode(ctx context.Context, ne Experiment, obs Observer) (*Result, error) {
+	app, err := c.resolveApp(ne.App)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownApp, err)
+	}
+	key := nodeKey(ne, ne.App, c.customProfile(ne.App), *ne.Arch, nil)
+
+	finish := func(m Measurement, cached bool) (*Result, error) {
+		if obs.Measurement != nil {
+			obs.Measurement(m)
+		}
+		if obs.Progress != nil {
+			hits := 0
+			if cached {
+				hits = 1
+			}
+			obs.Progress(1, 1, hits)
+		}
+		return &Result{Kind: KindNode, Cached: cached, Measurement: &m}, nil
+	}
+
+	if c.st != nil && !ne.Recompute {
+		if m, ok := c.st.Get(key); ok {
+			c.storeHits.Add(1)
+			return finish(m, true)
+		}
+	}
+
+	// Single flight: the first request under a key computes; duplicates
+	// arriving before it finishes wait on the same call.
+	c.mu.Lock()
+	if call, ok := c.flight[key]; ok {
+		c.mu.Unlock()
+		c.coalesced.Add(1)
+		select {
+		case <-call.done:
+			if call.err != nil {
+				return nil, call.err
+			}
+			return finish(call.m, true)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	cl := &call{done: make(chan struct{})}
+	c.flight[key] = cl
+	c.mu.Unlock()
+
+	// The leader computes under a context detached from its own request:
+	// coalesced waiters (and the store) want the result even if the leader
+	// disconnects, and a canceled leader must not hand its ctx error to
+	// waiters whose contexts are live.
+	cl.m, cl.err = c.simulateOne(context.WithoutCancel(ctx), app, ne, key)
+	c.mu.Lock()
+	delete(c.flight, key)
+	c.mu.Unlock()
+	close(cl.done)
+	if cl.err != nil {
+		return nil, cl.err
+	}
+	return finish(cl.m, false)
+}
+
+// replayOf reconstructs the runner's replay configuration from a
+// normalized experiment.
+func (c *Client) replayOf(ne Experiment) dse.ReplayConfig {
+	rc := dse.ReplayConfig{Disable: ne.NoReplay, Ranks: ne.ReplayRanks}
+	if !rc.Disable && ne.Network != "" {
+		m, _ := net.ByName(ne.Network) // normalized: resolves
+		rc.Network = m
+	}
+	return rc.Normalized()
+}
+
+// simulateOne runs a one-point sweep under a job slot and checkpoints the
+// result.
+func (c *Client) simulateOne(ctx context.Context, app *Application, ne Experiment, key string) (Measurement, error) {
+	if err := c.acquire(ctx); err != nil {
+		return Measurement{}, err
+	}
+	defer c.release()
+	p, err := ne.Arch.toPoint()
+	if err != nil {
+		return Measurement{}, err // unreachable: ne is normalized
+	}
+	d := dse.Run(ctx, dse.Options{
+		Apps:         []*apps.Profile{app},
+		Points:       []dse.ArchPoint{p},
+		SampleInstrs: ne.Sample,
+		WarmupInstrs: ne.Warmup,
+		Workers:      1,
+		Seed:         ne.Seed,
+		Replay:       c.replayOf(ne),
+	})
+	if err := ctx.Err(); err != nil {
+		return Measurement{}, err
+	}
+	if len(d.Measurements) != 1 {
+		return Measurement{}, fmt.Errorf("musa: expected 1 measurement, got %d", len(d.Measurements))
+	}
+	c.simulated.Add(1)
+	m := d.Measurements[0]
+	if c.st != nil {
+		if err := c.st.Put(key, m); err != nil {
+			return m, err
+		}
+	}
+	return m, nil
+}
+
+// runSweep executes a (possibly restricted) Table I sweep with incremental
+// store checkpointing. On cancellation it returns the partial dataset and
+// an error wrapping context.Canceled, so callers keep what was computed
+// and a repeated run resumes from the checkpoint.
+func (c *Client) runSweep(ctx context.Context, ne Experiment, obs Observer) (*Result, error) {
+	var selected []*apps.Profile
+	for _, name := range ne.Apps {
+		a, err := c.resolveApp(name)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrUnknownApp, err)
+		}
+		selected = append(selected, a)
+	}
+	var points []dse.ArchPoint
+	if ne.PointIndices != nil {
+		grid := tableIGrid()
+		for _, i := range ne.PointIndices {
+			points = append(points, grid[i]) // normalized: in range
+		}
+	}
+
+	if err := c.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer c.release()
+
+	opts := dse.Options{
+		Apps:         selected,
+		Points:       points,
+		SampleInstrs: ne.Sample,
+		WarmupInstrs: ne.Warmup,
+		Workers:      c.opts.Workers,
+		Seed:         ne.Seed,
+		Replay:       c.replayOf(ne),
+	}
+
+	var cached atomic.Int64
+	flush := func() error { return nil }
+	if c.st != nil {
+		keyOf := func(app string, p dse.ArchPoint) string {
+			return nodeKey(ne, app, c.customProfile(app), archOfPoint(p), nil)
+		}
+		flush = store.Bind(c.st, keyOf, &opts, ne.Recompute)
+	}
+	// Decorate the store wiring with the client counters and the observer.
+	// The runner invokes Lookup/OnMeasurement concurrently from workers;
+	// the Observer contract promises serialized callbacks, so the
+	// Measurement delivery takes a lock.
+	var obsMu sync.Mutex
+	deliver := func(m Measurement) {
+		if obs.Measurement == nil {
+			return
+		}
+		obsMu.Lock()
+		obs.Measurement(m)
+		obsMu.Unlock()
+	}
+	if lookup := opts.Lookup; lookup != nil {
+		opts.Lookup = func(app string, p dse.ArchPoint) (Measurement, bool) {
+			m, ok := lookup(app, p)
+			if ok {
+				cached.Add(1)
+				c.storeHits.Add(1)
+				deliver(m)
+			}
+			return m, ok
+		}
+	}
+	checkpoint := opts.OnMeasurement
+	opts.OnMeasurement = func(m Measurement) {
+		c.simulated.Add(1)
+		if checkpoint != nil {
+			checkpoint(m)
+		}
+		deliver(m)
+	}
+	if obs.Progress != nil {
+		opts.Progress = func(done, total int) {
+			obs.Progress(done, total, int(cached.Load()))
+		}
+	}
+
+	d := dse.Run(ctx, opts)
+	res := &Result{Kind: KindSweep, Sweep: d}
+	if err := ctx.Err(); err != nil {
+		// A checkpoint write failure must not mask the cancellation (or
+		// vice versa): callers branch on errors.Is(err, context.Canceled)
+		// to treat the dataset as a resumable partial.
+		return res, fmt.Errorf("musa: sweep canceled with %d of the measurements: %w",
+			len(d.Measurements), errors.Join(err, flush()))
+	}
+	return res, flush()
+}
+
+// runFullApp runs detailed mode end to end under a job slot.
+func (c *Client) runFullApp(ctx context.Context, ne Experiment) (*Result, error) {
+	app, err := c.resolveApp(ne.App)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownApp, err)
+	}
+	if err := c.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer c.release()
+	p, _ := ne.Arch.toPoint() // normalized: valid
+	model, _ := net.ByName(ne.Network)
+	cfg := p.NodeConfig(ne.Sample, ne.Warmup, ne.Seed)
+	full, err := core.DetailedFullAppCtx(ctx, app, cfg, ne.Ranks, model)
+	if err != nil {
+		return nil, fmt.Errorf("musa: full-app run canceled: %w", err)
+	}
+	c.simulated.Add(1)
+	return &Result{Kind: KindFullApp, FullApp: &full}, nil
+}
+
+// runScaling runs the burst-mode §V-A analysis under a job slot: the
+// hardware-agnostic region speedups and the whole-application scaling
+// including MPI overheads.
+func (c *Client) runScaling(ctx context.Context, ne Experiment) (*Result, error) {
+	app, err := c.resolveApp(ne.App)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownApp, err)
+	}
+	if err := c.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer c.release()
+	model, _ := net.ByName(ne.Network)
+	bopts := core.DefaultBurstOptions()
+	bopts.Seed = ne.Seed
+	region := core.RegionScaling(app, ne.CoreCounts, bopts)
+	full, err := core.FullAppScalingCtx(ctx, app, ne.Ranks, ne.CoreCounts, model, bopts)
+	if err != nil {
+		return nil, fmt.Errorf("musa: scaling run canceled: %w", err)
+	}
+	c.simulated.Add(1)
+	return &Result{Kind: KindScaling, RegionSpeedups: region, Scaling: full}, nil
+}
+
+// runUnconventional simulates the Table II configurations under a job slot.
+func (c *Client) runUnconventional(ctx context.Context, ne Experiment) (*Result, error) {
+	if err := c.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer c.release()
+	rows := dse.Unconventional(ne.Sample, ne.Warmup, ne.Seed)
+	c.simulated.Add(1)
+	return &Result{Kind: KindUnconventional, Unconventional: rows}, nil
+}

@@ -9,15 +9,18 @@
 //	musa-dse -all -csv -sample 100000 -apps hydro,lulesh
 //	musa-dse -all -cache-dir musa-cache   # checkpoint/reuse measurements
 //
-// With -cache-dir, every completed measurement is appended to the
+// The sweep is one KindSweep experiment run through the unified musa.Client
+// API. With -cache-dir, every completed measurement is appended to the
 // content-addressed result store as it finishes: a killed sweep resumes
 // from its checkpoint, and a repeated run over the same points is served
 // from the store. -resume=false forces recomputation (still overwriting
-// the store). The store is the same one musa-serve uses, so the CLI and
-// the server share one result pipeline.
+// the store). The store is the same one musa-serve uses — keys are the
+// canonical experiment encodings — so the CLI and the server share one
+// result pipeline.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -25,7 +28,6 @@ import (
 	"strings"
 
 	"musa"
-	"musa/internal/dse"
 	"musa/internal/report"
 )
 
@@ -54,8 +56,12 @@ func main() {
 
 	if *list {
 		tbl := report.NewTable("Table I design space (864 configurations)", "#", "configuration")
-		for i, p := range dse.Enumerate() {
-			tbl.AddRow(i, p.Label())
+		for i := 0; i < musa.PointCount(); i++ {
+			label, err := musa.PointLabel(i)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tbl.AddRow(i, label)
 		}
 		must(tbl.Write(os.Stdout))
 		return
@@ -64,49 +70,56 @@ func main() {
 		log.Fatal("nothing to do: pass -list, -fig N or -all")
 	}
 
-	opts := musa.SweepOptions{
-		SampleInstrs: *sample,
-		WarmupInstrs: *warmup,
-		Workers:      *workers,
-		Seed:         *seed,
-		CacheDir:     *cacheDir,
-		Recompute:    !*resume,
-		NoReplay:     *noReplay,
+	// One sweep experiment feeds every dataset-derived figure; the replay
+	// flags are parsed by the shared Experiment helper musa-serve also uses.
+	exp := musa.Experiment{
+		Kind:      musa.KindSweep,
+		Sample:    *sample,
+		Warmup:    *warmup,
+		Seed:      *seed,
+		Recompute: !*resume,
 	}
-	ranks, err := musa.ParseReplayRanks(*replayRanks)
+	if err := exp.SetReplayFlags(*replayRanks, *noReplay, *network); err != nil {
+		log.Fatal(err)
+	}
+	if *appsFlag != "" {
+		exp.Apps = strings.Split(*appsFlag, ",")
+	}
+	if err := exp.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	client, err := musa.NewClient(musa.ClientOptions{
+		CacheDir: *cacheDir,
+		Workers:  *workers,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts.ReplayRanks = ranks
-	if *network != "" {
-		m, err := musa.NetworkByName(*network)
-		if err != nil {
-			log.Fatal(err)
-		}
-		opts.Network = &m
-	}
-	if *appsFlag != "" {
-		opts.AppNames = strings.Split(*appsFlag, ",")
-	}
+	defer client.Close()
+
+	var obs musa.Observer
 	if !*quiet {
-		opts.Progress = func(done, total int) {
+		obs.Progress = func(done, total, cached int) {
 			if done%200 == 0 || done == total {
-				fmt.Fprintf(os.Stderr, "\rsweep: %d/%d", done, total)
+				fmt.Fprintf(os.Stderr, "\rsweep: %d/%d (%d cached)", done, total, cached)
 				if done == total {
 					fmt.Fprintln(os.Stderr)
 				}
 			}
 		}
 	}
+
 	// Figures 4 and 11 run their own simulations and ignore the sweep
 	// dataset; skip the sweep when nothing else was requested.
+	ctx := context.Background()
 	var d *musa.Sweep
 	if *all || (*figure != 4 && *figure != 11) {
-		var err error
-		d, err = musa.RunSweep(opts)
+		res, err := client.RunStream(ctx, exp, obs)
 		if err != nil {
 			log.Fatal(err)
 		}
+		d = res.Sweep
 	}
 
 	simOpts := musa.SimOptions{SampleInstrs: *sample, WarmupInstrs: *warmup, Seed: *seed}
@@ -120,12 +133,15 @@ func main() {
 			// The rank timeline honors the -apps (first entry), -ranks
 			// and -network flags instead of the sweep dataset.
 			timelineApp := "lulesh"
-			if len(opts.AppNames) > 0 {
-				timelineApp = opts.AppNames[0]
+			if len(exp.Apps) > 0 {
+				timelineApp = exp.Apps[0]
 			}
 			var model musa.NetworkModel
-			if opts.Network != nil {
-				model = *opts.Network
+			if *network != "" {
+				model, err = musa.NetworkByName(*network)
+				if err != nil {
+					log.Fatal(err)
+				}
 			}
 			fig, err = musa.RankTimeline(timelineApp, *timelineRanks, model, simOpts)
 		} else {

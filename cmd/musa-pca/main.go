@@ -1,13 +1,16 @@
 // musa-pca reproduces the paper's principal component analysis (§V-C,
 // Fig. 10): the correlation structure between architectural parameters and
-// execution time over the 64-core, 2 GHz slice of the design space.
+// execution time over the 64-core, 2 GHz slice of the design space. The
+// underlying sweep is a KindSweep experiment run through the unified
+// musa.Client API.
 //
 // Usage:
 //
-//	musa-pca [-apps hydro,lulesh] [-sample 100000]
+//	musa-pca [-apps hydro,lulesh] [-sample 100000] [-cache-dir musa-cache]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -25,28 +28,36 @@ func main() {
 	appsFlag := flag.String("apps", "hydro,lulesh", "applications to analyze")
 	sample := flag.Int64("sample", 0, "detailed sample micro-ops (0 = default)")
 	seed := flag.Uint64("seed", 1, "seed")
+	cacheDir := flag.String("cache-dir", "", "result store directory (empty = no persistence)")
 	flag.Parse()
 
+	client, err := musa.NewClient(musa.ClientOptions{CacheDir: *cacheDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
 	names := strings.Split(*appsFlag, ",")
-	d, err := musa.RunSweep(musa.SweepOptions{
-		AppNames:     names,
-		SampleInstrs: *sample,
-		Seed:         *seed,
+	res, err := client.Run(context.Background(), musa.Experiment{
+		Kind:   musa.KindSweep,
+		Apps:   names,
+		Sample: *sample,
+		Seed:   *seed,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	for _, app := range names {
-		res, err := musa.PCA(d, app)
+		pca, err := musa.PCA(res.Sweep, app)
 		if err != nil {
 			log.Fatal(err)
 		}
 		t := report.NewTable(
 			fmt.Sprintf("PCA %s — PC0 explains %.2f%%, PC1 %.2f%% of variance",
-				app, res.Explained[0]*100, res.Explained[1]*100),
+				app, pca.Explained[0]*100, pca.Explained[1]*100),
 			"variable", "PC0", "PC1")
-		for v, l := range res.Labels {
-			t.AddRow(l, res.Loadings[0][v], res.Loadings[1][v])
+		for v, l := range pca.Labels {
+			t.AddRow(l, pca.Loadings[0][v], pca.Loadings[1][v])
 		}
 		if err := t.Write(os.Stdout); err != nil {
 			log.Fatal(err)

@@ -1,7 +1,10 @@
 // musa-serve exposes the simulation pipeline as an HTTP service backed by
 // the content-addressed result store: repeated requests are cache hits,
 // duplicate in-flight requests coalesce into one computation, and batch
-// sweeps checkpoint incrementally so a restarted server resumes them.
+// sweeps checkpoint incrementally so a restarted server resumes them. The
+// handlers decode requests straight into musa.Experiment and execute them
+// through one shared musa.Client — the same pipeline (and cache keys) the
+// musa-dse CLI uses.
 //
 // Usage:
 //
@@ -15,7 +18,7 @@
 //	POST /dse          {"apps":["hydro"],"sample":60000} -> NDJSON stream
 //	GET  /figures/{n}  JSON data for figure n (1, 4-11)
 //	GET  /figures/4    rank timeline: ?app=lulesh&ranks=64&network=mn4
-//	GET  /stats        service counters, store size, replay configuration
+//	GET  /stats        client counters, store size, replay configuration
 //
 // Every measurement carries the cluster-level replay metrics (EndToEndNs,
 // MPIFraction, ParallelEff per configured rank count) unless -no-replay is
@@ -35,7 +38,6 @@ import (
 
 	"musa"
 	"musa/internal/serve"
-	"musa/internal/store"
 )
 
 func main() {
@@ -55,32 +57,31 @@ func main() {
 	network := flag.String("network", "", "interconnect model: mn4, hdr200 or eth10 (default mn4)")
 	flag.Parse()
 
-	ranks, err := musa.ParseReplayRanks(*replayRanks)
-	if err != nil {
+	// The replay flags share one parser with musa-dse: SetReplayFlags on a
+	// defaults experiment, validated before anything opens.
+	var defaults musa.Experiment
+	if err := defaults.SetReplayFlags(*replayRanks, *noReplay, *network); err != nil {
 		log.Fatal(err)
 	}
 
-	st, err := store.Open(*cacheDir, store.Options{LRUEntries: *lru})
-	if err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("store %s: %d measurements", *cacheDir, st.Len())
-
-	svc, err := serve.New(st, serve.Config{
+	client, err := musa.NewClient(musa.ClientOptions{
+		CacheDir:     *cacheDir,
+		LRUEntries:   *lru,
 		Workers:      *workers,
 		MaxJobs:      *maxJobs,
 		SampleInstrs: *sample,
 		WarmupInstrs: *warmup,
 		Seed:         *seed,
-		ReplayRanks:  ranks,
-		NoReplay:     *noReplay,
-		Network:      *network,
+		ReplayRanks:  defaults.ReplayRanks,
+		NoReplay:     defaults.NoReplay,
+		Network:      defaults.Network,
 	})
 	if err != nil {
-		st.Close()
 		log.Fatal(err)
 	}
-	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(svc)}
+	log.Printf("store %s: %d measurements", *cacheDir, client.StoreLen())
+
+	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(serve.New(client))}
 
 	// Graceful shutdown: stop accepting, drain in-flight requests (sweeps
 	// checkpoint through the store, so killing them loses nothing beyond
@@ -103,8 +104,8 @@ func main() {
 	if err := <-done; err != nil {
 		log.Printf("shutdown: %v", err)
 	}
-	if err := st.Close(); err != nil {
+	if err := client.Close(); err != nil {
 		log.Printf("store close: %v", err)
 	}
-	log.Printf("store %s: %d measurements", *cacheDir, st.Len())
+	log.Printf("store %s: %d measurements", *cacheDir, client.StoreLen())
 }

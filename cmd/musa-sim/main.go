@@ -8,10 +8,13 @@
 //	         -cache 64M:512K -channels 4 [-hbm] [-sample 300000] [-ranks 0]
 //
 // With -ranks N > 0 the full-application replay across N MPI ranks is run
-// as well (detailed mode end to end).
+// as well (detailed mode end to end). Both runs are Experiments executed
+// through the unified musa.Client API; invalid flags are reported as
+// errors, never panics.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -39,42 +42,58 @@ func main() {
 	ranks := flag.Int("ranks", 0, "also replay a full run across N MPI ranks")
 	flag.Parse()
 
-	app, err := musa.App(*appName)
+	client, err := musa.NewClient(musa.ClientOptions{MaxJobs: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer client.Close()
+
 	arch := musa.Arch{
 		Cores: *cores, CoreType: *coreType, FreqGHz: *freq,
 		VectorBits: *vector, CacheLabel: *cacheLabel, Channels: *channels, HBM: *hbm,
 	}
-	opts := musa.SimOptions{SampleInstrs: *sample, WarmupInstrs: *warmup, Seed: *seed}
+	ctx := context.Background()
 
-	res := musa.SimulateNodeOpts(app, arch, opts)
-	l1, l2, l3 := res.MPKI()
+	res, err := client.Run(ctx, musa.Experiment{
+		Kind: musa.KindNode, App: *appName, Arch: &arch,
+		Sample: *sample, Warmup: *warmup, Seed: *seed,
+		NoReplay: true, // the optional cluster view runs as its own full-app experiment
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := res.Measurement
 
 	tbl := report.NewTable(fmt.Sprintf("%s on %dx %s @ %.1f GHz, %d-bit SIMD, %s, %dch",
-		app.Name, *cores, *coreType, *freq, *vector, *cacheLabel, *channels),
+		m.App, *cores, *coreType, *freq, *vector, *cacheLabel, *channels),
 		"metric", "value")
-	tbl.AddRow("compute time (ms)", res.ComputeNs/1e6)
-	tbl.AddRow("IPC (sample core)", res.CoreRes.IPC())
-	tbl.AddRow("avg active cores", res.AvgActiveCores)
-	tbl.AddRow("L1 MPKI", l1)
-	tbl.AddRow("L2 MPKI", l2)
-	tbl.AddRow("L3 MPKI", l3)
-	tbl.AddRow("DRAM GReq/s", res.GMemReqPerSec/1e9)
-	tbl.AddRow("mem latency (ns)", res.MemLatencyNs)
-	tbl.AddRow("offered BW (GB/s)", res.OfferedBW/1e9)
-	tbl.AddRow("power core+L1 (W)", res.Power.CoreL1)
-	tbl.AddRow("power L2+L3 (W)", res.Power.L2L3)
-	tbl.AddRow("power memory (W)", res.Power.Memory)
-	tbl.AddRow("power total (W)", res.Power.Total())
-	tbl.AddRow("energy (J)", res.EnergyJ)
+	tbl.AddRow("compute time (ms)", m.TimeNs/1e6)
+	tbl.AddRow("IPC (sample core)", m.IPC)
+	tbl.AddRow("avg active cores", m.ActiveCores)
+	tbl.AddRow("L1 MPKI", m.L1MPKI)
+	tbl.AddRow("L2 MPKI", m.L2MPKI)
+	tbl.AddRow("L3 MPKI", m.L3MPKI)
+	tbl.AddRow("DRAM GReq/s", m.GMemReqPerSec/1e9)
+	tbl.AddRow("mem latency (ns)", m.MemLatencyNs)
+	tbl.AddRow("offered BW (GB/s)", m.OfferedBW/1e9)
+	tbl.AddRow("power core+L1 (W)", m.Power.CoreL1)
+	tbl.AddRow("power L2+L3 (W)", m.Power.L2L3)
+	tbl.AddRow("power memory (W)", m.Power.Memory)
+	tbl.AddRow("power total (W)", m.Power.Total())
+	tbl.AddRow("energy (J)", m.EnergyJ)
 	if err := tbl.Write(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 
 	if *ranks > 0 {
-		full := musa.SimulateFullApp(app, arch, *ranks, musa.MareNostrumNetwork(), opts)
+		fres, err := client.Run(ctx, musa.Experiment{
+			Kind: musa.KindFullApp, App: *appName, Arch: &arch,
+			Sample: *sample, Warmup: *warmup, Seed: *seed, Ranks: *ranks,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		full := fres.FullApp
 		t2 := report.NewTable(fmt.Sprintf("full application, %d ranks", *ranks), "metric", "value")
 		t2.AddRow("makespan (ms)", full.MakespanNs/1e6)
 		t2.AddRow("parallel efficiency", full.Replay.AvgParallelEfficiency())

@@ -1,6 +1,9 @@
 // musa-trace synthesizes, inspects and visualizes MUSA traces: burst traces
 // (JSON), detailed instruction traces (binary) and the text timelines that
-// substitute for the paper's Paraver screenshots (Figs. 3 and 4).
+// substitute for the paper's Paraver screenshots (Figs. 3 and 4). The
+// rank-level timeline is a KindScaling experiment run through the unified
+// musa.Client API (at one core per node the replay is the pure burst
+// trace).
 //
 // Usage:
 //
@@ -12,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -21,7 +25,6 @@ import (
 	"musa/internal/apps"
 	"musa/internal/core"
 	"musa/internal/isa"
-	"musa/internal/net"
 	"musa/internal/report"
 	"musa/internal/rts"
 	"musa/internal/trace"
@@ -35,6 +38,7 @@ func main() {
 	timeline := flag.String("timeline", "", "render a timeline: 'threads' (Fig. 3) or 'ranks' (Fig. 4)")
 	cores := flag.Int("cores", 64, "threads for the Fig. 3 timeline")
 	ranks := flag.Int("ranks", 64, "ranks for the Fig. 4 timeline / burst dump")
+	network := flag.String("network", "", "interconnect model for the ranks timeline (default mn4)")
 	dumpBurst := flag.String("dump-burst", "", "write the JSON burst trace to this file")
 	dumpDetailed := flag.String("dump-detailed", "", "write a binary detailed trace to this file")
 	n := flag.Int64("n", 100000, "detailed trace length (micro-ops)")
@@ -65,10 +69,18 @@ func main() {
 		must(report.WriteScheduleTimeline(os.Stdout, g, s, *cores))
 		return
 	case "ranks":
-		b := core.SampleBurst(app, *ranks, *seed)
-		res := net.Replay(b, net.MareNostrum4(), nil)
+		// One-core-per-node scaling experiment: the node speedup is exactly
+		// 1, so the replay below is the raw burst trace — the Fig. 4 view.
+		client, err := musa.NewClient(musa.ClientOptions{MaxJobs: 1, Network: *network})
+		must(err)
+		defer client.Close()
+		res, err := client.Run(context.Background(), musa.Experiment{
+			Kind: musa.KindScaling, App: app.Name,
+			Ranks: *ranks, CoreCounts: []int{1}, Seed: *seed,
+		})
+		must(err)
 		fmt.Printf("%s across %d ranks (compute '#', MPI wait 'w'); Fig. 4 view\n", app.Name, *ranks)
-		must(report.WriteReplayTimeline(os.Stdout, res))
+		must(report.WriteReplayTimeline(os.Stdout, res.Scaling[0].Replay))
 		return
 	case "":
 	default:

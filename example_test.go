@@ -1,0 +1,78 @@
+package musa_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"musa"
+)
+
+// Example_node runs one detailed node measurement — the minimal use of the
+// unified Experiment API. Invalid requests come back as typed errors
+// (musa.ErrUnknownApp, musa.ErrBadArch, ...), never panics.
+func Example_node() {
+	client, err := musa.NewClient(musa.ClientOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	arch := musa.DefaultArch()
+	res, err := client.Run(context.Background(), musa.Experiment{
+		Kind: musa.KindNode, App: "lulesh", Arch: &arch,
+		Sample: 20000, Warmup: 40000, NoReplay: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Kind, res.Measurement.App, res.Measurement.TimeNs > 0, res.Measurement.Power.Total() > 0)
+	// Output: node lulesh true true
+}
+
+// Example_sweep runs a restricted design-space sweep and aggregates it the
+// way the paper's figures do.
+func Example_sweep() {
+	client, err := musa.NewClient(musa.ClientOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	res, err := client.Run(context.Background(), musa.Experiment{
+		Kind: musa.KindSweep, Apps: []string{"btmz"},
+		PointIndices: []int{0, 1, 2, 3, 4, 5, 6, 7},
+		Sample:       20000, Warmup: 40000, NoReplay: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(res.Sweep.Measurements), res.Sweep.Measurements[0].App)
+	// Output: 8 btmz
+}
+
+// Example_runStream streams sweep progress and per-measurement
+// notifications through an Observer while the experiment executes.
+func Example_runStream() {
+	client, err := musa.NewClient(musa.ClientOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	var measurements int
+	var lastDone, lastTotal int
+	res, err := client.RunStream(context.Background(), musa.Experiment{
+		Kind: musa.KindSweep, Apps: []string{"spmz"},
+		PointIndices: []int{0, 1, 2, 3},
+		Sample:       20000, Warmup: 40000, NoReplay: true,
+	}, musa.Observer{
+		Progress:    func(done, total, cached int) { lastDone, lastTotal = done, total },
+		Measurement: func(m musa.Measurement) { measurements++ },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(measurements, lastDone, lastTotal, len(res.Sweep.Measurements))
+	// Output: 4 4 4 4
+}

@@ -4,11 +4,14 @@
 // so a new code can be characterized without any tracing infrastructure.
 //
 // Here we model a fictional "smoother": a memory-streaming stencil with
-// good vectorization, abundant fine-grained tasks, and light communication,
-// then check which architectural lever matters for it.
+// good vectorization, abundant fine-grained tasks, and light communication.
+// The profile is registered on a musa.Client, after which every experiment
+// kind can name it like a built-in (store keys embed the profile content,
+// so caching stays sound).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,7 +21,14 @@ import (
 )
 
 func main() {
-	smoother, err := musa.NewApplication(musa.Application{
+	client, err := musa.NewClient(musa.ClientOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	ctx := context.Background()
+
+	err = client.RegisterApplication(musa.Application{
 		Name: "smoother",
 		Mix: apps.Mix{
 			Load: 0.30, Store: 0.10,
@@ -48,10 +58,20 @@ func main() {
 		log.Fatal(err)
 	}
 
-	opts := musa.SimOptions{SampleInstrs: 120000, WarmupInstrs: 600000, Seed: 1}
-	base := musa.SimulateNodeOpts(smoother, musa.DefaultArch(), opts)
+	node := func(arch musa.Arch) *musa.Measurement {
+		res, err := client.Run(ctx, musa.Experiment{
+			Kind: musa.KindNode, App: "smoother", Arch: &arch,
+			Sample: 120000, Warmup: 600000, Seed: 1, NoReplay: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.Measurement
+	}
+
+	base := node(musa.DefaultArch())
 	fmt.Printf("baseline: %.2f ms, %.1f W, %.1f busy cores\n",
-		base.ComputeNs/1e6, base.Power.Total(), base.AvgActiveCores)
+		base.TimeNs/1e6, base.Power.Total(), base.ActiveCores)
 
 	// Which lever helps this code? Try wide SIMD vs more channels.
 	wide := musa.DefaultArch()
@@ -59,15 +79,22 @@ func main() {
 	channels := musa.DefaultArch()
 	channels.Channels = 8
 
-	rw := musa.SimulateNodeOpts(smoother, wide, opts)
-	rc := musa.SimulateNodeOpts(smoother, channels, opts)
+	rw := node(wide)
+	rc := node(channels)
 	fmt.Printf("512-bit SIMD:   %.2fx speedup, %.2fx energy\n",
-		base.ComputeNs/rw.ComputeNs, rw.EnergyJ/base.EnergyJ)
+		base.TimeNs/rw.TimeNs, rw.EnergyJ/base.EnergyJ)
 	fmt.Printf("8 channels:     %.2fx speedup, %.2fx energy\n",
-		base.ComputeNs/rc.ComputeNs, rc.EnergyJ/base.EnergyJ)
+		base.TimeNs/rc.TimeNs, rc.EnergyJ/base.EnergyJ)
 
 	// Full system run on 32 ranks.
-	full := musa.SimulateFullApp(smoother, wide, 32, musa.MareNostrumNetwork(), opts)
+	fres, err := client.Run(ctx, musa.Experiment{
+		Kind: musa.KindFullApp, App: "smoother", Arch: &wide,
+		Sample: 120000, Warmup: 600000, Seed: 1, Ranks: 32,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	full := fres.FullApp
 	fmt.Printf("32-rank run:    %.2f ms makespan, %.0f%% efficiency, %.0f J system energy\n",
 		full.MakespanNs/1e6, 100*full.Replay.AvgParallelEfficiency(), full.SystemEnergyJ)
 }

@@ -1,10 +1,12 @@
 // design_sweep: a focused mini design-space exploration over SIMD width and
 // cache configuration for two applications, printing the normalized
 // speedup/energy bars exactly as the full Fig. 5 / Fig. 6 harness does —
-// but small enough to run in seconds.
+// but small enough to run in seconds. The sweep is one KindSweep experiment
+// streamed through a musa.Client.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -14,15 +16,32 @@ import (
 )
 
 func main() {
-	d, err := musa.RunSweep(musa.SweepOptions{
-		AppNames:     []string{"spmz", "lulesh"},
-		SampleInstrs: 80000,
-		WarmupInstrs: 400000,
-		Seed:         1,
+	client, err := musa.NewClient(musa.ClientOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	res, err := client.RunStream(context.Background(), musa.Experiment{
+		Kind:   musa.KindSweep,
+		Apps:   []string{"spmz", "lulesh"},
+		Sample: 80000,
+		Warmup: 400000,
+		Seed:   1,
+	}, musa.Observer{
+		Progress: func(done, total, cached int) {
+			if done%400 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "\rsweep %d/%d", done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	d := res.Sweep
 
 	for _, f := range []struct {
 		name string

@@ -1,9 +1,12 @@
 // Quickstart: simulate one application on one node configuration and print
 // performance, cache behavior, power and energy — the minimal end-to-end
-// use of the MUSA-Go public API.
+// use of the MUSA-Go public API. Every scenario is a musa.Experiment run
+// through a musa.Client; invalid requests come back as typed errors, never
+// panics.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,33 +14,45 @@ import (
 )
 
 func main() {
-	// Pick one of the paper's five applications.
-	app, err := musa.App("lulesh")
+	client, err := musa.NewClient(musa.ClientOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer client.Close()
+	ctx := context.Background()
 
 	// The mid-range reference node: 64 medium cores, 2 GHz, 128-bit SIMD,
-	// 64 MB L3 / 512 kB L2, 4-channel DDR4-2333.
+	// 64 MB L3 / 512 kB L2, 4-channel DDR4-2333, running one of the paper's
+	// five applications.
 	arch := musa.DefaultArch()
+	res, err := client.Run(ctx, musa.Experiment{
+		Kind: musa.KindNode, App: "lulesh", Arch: &arch, NoReplay: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := res.Measurement
 
-	res := musa.SimulateNode(app, arch)
-
-	l1, l2, l3 := res.MPKI()
-	fmt.Printf("%s on %d cores @ %.1f GHz\n", app.Name, arch.Cores, arch.FreqGHz)
-	fmt.Printf("  compute time     %.2f ms\n", res.ComputeNs/1e6)
-	fmt.Printf("  busy cores       %.1f / %d\n", res.AvgActiveCores, arch.Cores)
-	fmt.Printf("  MPKI             L1 %.1f / L2 %.2f / L3 %.2f\n", l1, l2, l3)
+	fmt.Printf("%s on %d cores @ %.1f GHz\n", m.App, arch.Cores, arch.FreqGHz)
+	fmt.Printf("  compute time     %.2f ms\n", m.TimeNs/1e6)
+	fmt.Printf("  IPC              %.2f (sample core)\n", m.IPC)
+	fmt.Printf("  busy cores       %.1f / %d\n", m.ActiveCores, arch.Cores)
+	fmt.Printf("  MPKI             L1 %.1f / L2 %.2f / L3 %.2f\n", m.L1MPKI, m.L2MPKI, m.L3MPKI)
 	fmt.Printf("  DRAM traffic     %.2f GReq/s (%.1f GB/s offered)\n",
-		res.GMemReqPerSec/1e9, res.OfferedBW/1e9)
-	fmt.Printf("  node power       %.1f W (%s)\n", res.Power.Total(), res.Power)
-	fmt.Printf("  energy           %.1f J\n", res.EnergyJ)
+		m.GMemReqPerSec/1e9, m.OfferedBW/1e9)
+	fmt.Printf("  node power       %.1f W (%s)\n", m.Power.Total(), m.Power)
+	fmt.Printf("  energy           %.1f J\n", m.EnergyJ)
 
 	// Now the same workload with doubled memory channels — LULESH is the
 	// paper's bandwidth-bound code, so this should visibly help (Fig. 8).
 	arch8 := arch
 	arch8.Channels = 8
-	res8 := musa.SimulateNode(app, arch8)
+	res8, err := client.Run(ctx, musa.Experiment{
+		Kind: musa.KindNode, App: "lulesh", Arch: &arch8, NoReplay: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nwith 8 DDR4 channels: %.2f ms (%.2fx speedup)\n",
-		res8.ComputeNs/1e6, res.ComputeNs/res8.ComputeNs)
+		res8.Measurement.TimeNs/1e6, m.TimeNs/res8.Measurement.TimeNs)
 }

@@ -1,42 +1,60 @@
 // scaling_study: the paper's §V-A analysis for one application — burst-mode
 // region scaling, whole-application scaling with MPI, and the two trace
-// timelines (thread occupancy and rank barrier waiting).
+// timelines (thread occupancy and rank barrier waiting). The scaling views
+// come from one KindScaling experiment run through a musa.Client; the
+// replay result embedded in it renders the Fig. 4 rank timeline.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
 	"musa"
-	"musa/internal/core"
-	"musa/internal/net"
 	"musa/internal/report"
 	"musa/internal/rts"
 )
 
 func main() {
+	client, err := musa.NewClient(musa.ClientOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	ctx := context.Background()
+
 	app, err := musa.App("spec3d")
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	cores := []int{1, 2, 4, 8, 16, 32, 64}
-	sp := musa.RegionScaling(app, cores)
-	fmt.Printf("%s compute-region scaling (hardware agnostic):\n", app.Name)
-	for i, c := range cores {
-		bar := ""
-		for j := 0; j < int(sp[i]); j++ {
-			bar += "*"
-		}
-		fmt.Printf("  %3d cores: %6.2fx  %s\n", c, sp[i], bar)
+	res, err := client.Run(ctx, musa.Experiment{
+		Kind: musa.KindScaling, App: app.Name,
+		Ranks: 64, CoreCounts: cores,
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	full := musa.FullAppScaling(app, 64, []int{32, 64}, musa.MareNostrumNetwork())
+	fmt.Printf("%s compute-region scaling (hardware agnostic):\n", app.Name)
+	for i, c := range cores {
+		sp := res.RegionSpeedups[i]
+		bar := ""
+		for j := 0; j < int(sp); j++ {
+			bar += "*"
+		}
+		fmt.Printf("  %3d cores: %6.2fx  %s\n", c, sp, bar)
+	}
+
 	fmt.Printf("\nfull application over 64 ranks:\n")
-	for i, c := range []int{32, 64} {
+	for i, c := range cores {
+		if c != 32 && c != 64 {
+			continue
+		}
 		fmt.Printf("  %d cores/node: speedup %.1fx, efficiency %.0f%%, MPI %.0f%%\n",
-			c, full[i].Speedup, 100*full[i].Efficiency, 100*full[i].MPIFraction)
+			c, res.Scaling[i].Speedup, 100*res.Scaling[i].Efficiency, 100*res.Scaling[i].MPIFraction)
 	}
 
 	// Fig. 3 view: why efficiency is poor — most threads sit idle.
@@ -47,11 +65,17 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Fig. 4 view: barrier waiting across ranks.
+	// Fig. 4 view: barrier waiting across ranks — a one-core scaling
+	// experiment replays the raw burst trace over 32 ranks.
 	fmt.Printf("\nrank timeline over 32 ranks (compute '#', MPI wait 'w'):\n")
-	b := core.SampleBurst(app, 32, 1)
-	res := net.Replay(b, net.MareNostrum4(), nil)
-	if err := report.WriteReplayTimeline(os.Stdout, res); err != nil {
+	rres, err := client.Run(ctx, musa.Experiment{
+		Kind: musa.KindScaling, App: app.Name,
+		Ranks: 32, CoreCounts: []int{1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := report.WriteReplayTimeline(os.Stdout, rres.Scaling[0].Replay); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -10,6 +10,8 @@
 package core
 
 import (
+	"context"
+
 	"musa/internal/apps"
 	"musa/internal/net"
 	"musa/internal/node"
@@ -62,20 +64,33 @@ type FullAppResult struct {
 // compute durations rescaled by the node-level speedup obtained from the
 // runtime-system simulation at each core count.
 func FullAppScaling(app *apps.Profile, ranks int, coreCounts []int, model net.Model, opts BurstOptions) []FullAppResult {
+	out, _ := FullAppScalingCtx(context.Background(), app, ranks, coreCounts, model, opts)
+	return out
+}
+
+// FullAppScalingCtx is FullAppScaling with a cancellation checkpoint in
+// every replay pass; it returns ctx.Err() when canceled.
+func FullAppScalingCtx(ctx context.Context, app *apps.Profile, ranks int, coreCounts []int, model net.Model, opts BurstOptions) ([]FullAppResult, error) {
 	b := apps.BurstTrace(app, ranks, opts.Seed)
 
-	makespanAt := func(cores int) (float64, net.Result) {
+	makespanAt := func(cores int) (float64, net.Result, error) {
 		speedup := nodeSpeedup(app, cores, opts)
-		res := net.Replay(b, model, func(rank int, traced float64) float64 {
+		res, err := net.ReplayCtx(ctx, b, model, func(rank int, traced float64) float64 {
 			return traced / speedup
 		})
-		return res.MakespanNs, res
+		return res.MakespanNs, res, err
 	}
 
-	base, _ := makespanAt(1)
+	base, _, err := makespanAt(1)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]FullAppResult, len(coreCounts))
 	for i, c := range coreCounts {
-		mk, rep := makespanAt(c)
+		mk, rep, err := makespanAt(c)
+		if err != nil {
+			return nil, err
+		}
 		out[i] = FullAppResult{
 			MakespanNs:  mk,
 			Speedup:     base / mk,
@@ -84,7 +99,7 @@ func FullAppScaling(app *apps.Profile, ranks int, coreCounts []int, model net.Mo
 			Replay:      rep,
 		}
 	}
-	return out
+	return out, nil
 }
 
 // nodeSpeedup returns the burst-mode node-level speedup of the application's
@@ -121,6 +136,13 @@ type DetailedResult struct {
 // DetailedFullApp runs detailed mode end to end: node simulation, then the
 // 256-rank replay with compute rescaled by the measured node performance.
 func DetailedFullApp(app *apps.Profile, cfg node.Config, ranks int, model net.Model) DetailedResult {
+	res, _ := DetailedFullAppCtx(context.Background(), app, cfg, ranks, model)
+	return res
+}
+
+// DetailedFullAppCtx is DetailedFullApp with a cancellation checkpoint in
+// the replay stage; it returns ctx.Err() when canceled.
+func DetailedFullAppCtx(ctx context.Context, app *apps.Profile, cfg node.Config, ranks int, model net.Model) (DetailedResult, error) {
 	nres := node.Simulate(app, cfg)
 
 	// Traced per-iteration duration (what BurstTrace wrote per rank).
@@ -131,9 +153,12 @@ func DetailedFullApp(app *apps.Profile, cfg node.Config, ranks int, model net.Mo
 	scale := nres.IterationNs / tracedIter
 
 	b := apps.BurstTrace(app, ranks, cfg.Seed)
-	rep := net.Replay(b, model, func(rank int, traced float64) float64 {
+	rep, err := net.ReplayCtx(ctx, b, model, func(rank int, traced float64) float64 {
 		return traced * scale
 	})
+	if err != nil {
+		return DetailedResult{}, err
+	}
 
 	// Power: active compute power over compute time, idle power (zero
 	// activity: leakage + DRAM background) over the MPI-wait remainder.
@@ -154,7 +179,7 @@ func DetailedFullApp(app *apps.Profile, cfg node.Config, ranks int, model net.Mo
 		MakespanNs:    makespan,
 		NodeAvgPowerW: avgW,
 		SystemEnergyJ: avgW * makespan * 1e-9 * float64(ranks),
-	}
+	}, nil
 }
 
 // nodeParams converts a node.Config into power model parameters.

@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"sync/atomic"
@@ -15,8 +16,8 @@ func TestRunFullyDeterministic(t *testing.T) {
 	o := testOpts()
 	o.SampleInstrs = 20000
 	o.WarmupInstrs = 40000
-	a := Run(o)
-	b := Run(o)
+	a := Run(context.Background(), o)
+	b := Run(context.Background(), o)
 	if len(a.Measurements) == 0 {
 		t.Fatal("empty sweep")
 	}
@@ -46,7 +47,7 @@ func TestLookupServesWithoutSimulating(t *testing.T) {
 		cache[m.App+"|"+m.Arch.Label()] = m
 		mu.Unlock()
 	}
-	fresh := Run(o)
+	fresh := Run(context.Background(), o)
 	if len(cache) != len(fresh.Measurements) {
 		t.Fatalf("OnMeasurement saw %d of %d measurements", len(cache), len(fresh.Measurements))
 	}
@@ -59,7 +60,7 @@ func TestLookupServesWithoutSimulating(t *testing.T) {
 		m, ok := cache[app+"|"+p.Label()]
 		return m, ok
 	}
-	cached := Run(o)
+	cached := Run(context.Background(), o)
 	if n := simulated.Load(); n != 0 {
 		t.Fatalf("fully cached run simulated %d points", n)
 	}
@@ -83,7 +84,7 @@ func TestPartialLookupMatchesFresh(t *testing.T) {
 		cache[m.App+"|"+m.Arch.Label()] = m
 		mu.Unlock()
 	}
-	fresh := Run(o)
+	fresh := Run(context.Background(), o)
 	o.OnMeasurement = nil
 
 	var flip atomic.Int64
@@ -96,29 +97,29 @@ func TestPartialLookupMatchesFresh(t *testing.T) {
 		m, ok := cache[app+"|"+p.Label()]
 		return m, ok
 	}
-	mixed := Run(o)
+	mixed := Run(context.Background(), o)
 	if !reflect.DeepEqual(fresh.Measurements, mixed.Measurements) {
 		t.Fatal("half-cached dataset differs from fresh dataset")
 	}
 }
 
-// TestCancelStopsEarlyAndCheckpoints closes Cancel partway through and
-// checks that Run returns only the checkpointed subset.
+// TestCancelStopsEarlyAndCheckpoints cancels the context partway through
+// and checks that Run returns only the checkpointed subset.
 func TestCancelStopsEarlyAndCheckpoints(t *testing.T) {
 	o := testOpts()
 	o.SampleInstrs = 20000
 	o.WarmupInstrs = 40000
 	o.Workers = 2
 
-	cancel := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	var seen atomic.Int64
 	o.OnMeasurement = func(Measurement) {
 		if seen.Add(1) == 5 {
-			close(cancel)
+			cancel()
 		}
 	}
-	o.Cancel = cancel
-	d := Run(o)
+	d := Run(ctx, o)
 	total := len(testOpts().Apps) * len(testOpts().Points)
 	if len(d.Measurements) >= total {
 		t.Fatalf("canceled run still completed all %d points", total)

@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"testing"
 
 	"musa/internal/apps"
@@ -105,7 +106,7 @@ func TestClusterMetricsProperty(t *testing.T) {
 	o.Points = o.Points[:6]
 	o.SampleInstrs = 20000
 	o.WarmupInstrs = 40000
-	d := Run(o)
+	d := Run(context.Background(), o)
 	if len(d.Measurements) == 0 {
 		t.Fatal("empty sweep")
 	}
@@ -139,7 +140,7 @@ func TestReplayDisabled(t *testing.T) {
 	o.SampleInstrs = 20000
 	o.WarmupInstrs = 40000
 	o.Replay = ReplayConfig{Disable: true}
-	d := Run(o)
+	d := Run(context.Background(), o)
 	for _, m := range d.Measurements {
 		if m.Cluster != nil || m.EndToEndNs != 0 || m.MPIFraction != 0 || m.ParallelEff != 0 {
 			t.Fatalf("replay-disabled measurement has cluster data: %+v", m)
@@ -148,7 +149,7 @@ func TestReplayDisabled(t *testing.T) {
 }
 
 func TestRunAndNormalize(t *testing.T) {
-	d := Run(testOpts())
+	d := Run(context.Background(), testOpts())
 	want := len(testOpts().Points) * 2
 	if len(d.Measurements) != want {
 		t.Fatalf("%d measurements, want %d", len(d.Measurements), want)
@@ -205,8 +206,8 @@ func TestRunDeterministic(t *testing.T) {
 	opts := testOpts()
 	opts.Apps = []*apps.Profile{apps.BTMZ()}
 	opts.Points = opts.Points[:6]
-	a := Run(opts)
-	b := Run(opts)
+	a := Run(context.Background(), opts)
+	b := Run(context.Background(), opts)
 	if len(a.Measurements) != len(b.Measurements) {
 		t.Fatal("sizes differ")
 	}
@@ -218,7 +219,7 @@ func TestRunDeterministic(t *testing.T) {
 }
 
 func TestBestConfig(t *testing.T) {
-	d := Run(testOpts())
+	d := Run(context.Background(), testOpts())
 	best, ok := BestConfig(d, "spmz", func(a ArchPoint) bool { return a.Cores == 64 })
 	if !ok {
 		t.Fatal("no best config")
@@ -237,7 +238,7 @@ func TestBestConfig(t *testing.T) {
 }
 
 func TestPCAFor(t *testing.T) {
-	d := Run(testOpts())
+	d := Run(context.Background(), testOpts())
 	res, err := PCAFor(d, "lulesh")
 	if err != nil {
 		t.Fatal(err)
@@ -270,7 +271,7 @@ func TestFigure1Rows(t *testing.T) {
 			Cache: CacheConfigs()[1], Channels: 4, Mem: DDR4,
 		})
 	}
-	d := Run(Options{
+	d := Run(context.Background(), Options{
 		Apps:         []*apps.Profile{apps.Hydro(), apps.SPMZ()},
 		Points:       pts,
 		SampleInstrs: 60000,

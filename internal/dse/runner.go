@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"slices"
@@ -33,6 +34,8 @@ type Measurement struct {
 	// TimeNs is the per-rank compute time of the full traced execution —
 	// the performance metric every figure normalizes.
 	TimeNs float64
+	// IPC is the sampled core's retired instructions per cycle.
+	IPC float64
 	// Power is the average node power breakdown during compute.
 	Power power.Breakdown
 	// EnergyJ is node energy-to-solution over the compute phase.
@@ -142,11 +145,6 @@ type Options struct {
 	// the incremental-checkpoint write path. Called concurrently from
 	// workers.
 	OnMeasurement func(m Measurement)
-	// Cancel, if non-nil, aborts the sweep when closed: workers finish the
-	// point in flight, skip the rest, and Run returns the partial dataset.
-	// Combined with OnMeasurement checkpointing, a canceled sweep resumes
-	// where it left off.
-	Cancel <-chan struct{}
 
 	// Replay configures the cluster-level MPI replay appended to every
 	// measurement (zero value = replay at 64 and 256 ranks against the
@@ -199,8 +197,15 @@ type annGroupKey struct {
 }
 
 // Run executes the sweep in parallel and returns the dataset, sorted
-// deterministically (by app, then arch label).
-func Run(opts Options) *Dataset {
+// deterministically (by app, then arch label). Canceling ctx aborts the
+// sweep: workers finish the point in flight, skip the rest, and Run returns
+// the partial dataset (combined with OnMeasurement checkpointing, a
+// canceled sweep resumes where it left off). The caller observes the
+// cancellation through ctx.Err().
+func Run(ctx context.Context, opts Options) *Dataset {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts.fill()
 
 	// Pre-build DRAM latency models per (app, channels, mem kind).
@@ -246,20 +251,24 @@ func Run(opts Options) *Dataset {
 	// clusterStage fills the cluster-level fields of m: the burst trace's
 	// compute durations are rescaled by the measured node speedup (the
 	// multi-scale handoff of paper §II) and replayed at every configured
-	// rank count.
-	clusterStage := func(m *Measurement, app *apps.Profile, res node.Result) {
+	// rank count. It reports false when ctx was canceled mid-replay — the
+	// partially replayed measurement must be dropped, not checkpointed.
+	clusterStage := func(m *Measurement, app *apps.Profile, res node.Result) bool {
 		var tracedIter float64
 		for _, spec := range app.Regions {
 			tracedIter += spec.LaneWork() / apps.RefLaneThroughput * 1e9
 		}
 		if tracedIter <= 0 {
-			return
+			return true
 		}
 		scale := res.IterationNs / tracedIter
 		rescale := func(rank int, traced float64) float64 { return traced * scale }
 		m.Cluster = make([]ClusterStat, 0, len(opts.Replay.Ranks))
 		for _, ranks := range opts.Replay.Ranks {
-			rep := net.Replay(burstFor(app, ranks), opts.Replay.Network, rescale)
+			rep, err := net.ReplayCtx(ctx, burstFor(app, ranks), opts.Replay.Network, rescale)
+			if err != nil {
+				return false
+			}
 			m.Cluster = append(m.Cluster, ClusterStat{
 				Ranks:       ranks,
 				EndToEndNs:  rep.MakespanNs,
@@ -272,6 +281,7 @@ func Run(opts Options) *Dataset {
 		m.EndToEndNs = last.EndToEndNs
 		m.MPIFraction = last.MPIFraction
 		m.ParallelEff = last.ParallelEff
+		return true
 	}
 
 	// Group points by annotation key.
@@ -312,15 +322,7 @@ func Run(opts Options) *Dataset {
 	var done int
 	var doneMu sync.Mutex
 
-	canceled := func() bool {
-		// A nil Cancel channel never selects; default wins.
-		select {
-		case <-opts.Cancel:
-			return true
-		default:
-			return false
-		}
-	}
+	canceled := func() bool { return ctx.Err() != nil }
 	bump := func() {
 		if opts.Progress != nil {
 			// The callback runs under the lock so Progress calls are
@@ -364,6 +366,7 @@ func Run(opts Options) *Dataset {
 					App:           app.Name,
 					Arch:          p,
 					TimeNs:        res.ComputeNs,
+					IPC:           res.CoreRes.IPC(),
 					Power:         res.Power,
 					EnergyJ:       res.EnergyJ,
 					L1MPKI:        l1,
@@ -374,8 +377,8 @@ func Run(opts Options) *Dataset {
 					MemLatencyNs:  res.MemLatencyNs,
 					OfferedBW:     res.OfferedBW,
 				}
-				if !opts.Replay.Disable {
-					clusterStage(&m, app, res)
+				if !opts.Replay.Disable && !clusterStage(&m, app, res) {
+					break // canceled mid-replay: drop the partial point
 				}
 				ms = append(ms, m)
 				if opts.OnMeasurement != nil {

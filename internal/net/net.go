@@ -8,6 +8,7 @@
 package net
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -163,6 +164,16 @@ type ComputeScale func(rank int, tracedNs float64) float64
 //   - collectives are synchronizing: every rank waits for the last one,
 //     then pays a log2(ranks) tree cost.
 func Replay(b *trace.Burst, m Model, scale ComputeScale) Result {
+	res, _ := ReplayCtx(context.Background(), b, m, scale)
+	return res
+}
+
+// ReplayCtx is Replay with a cancellation checkpoint at every relaxation
+// pass: when ctx is canceled mid-replay the partial state is discarded and
+// ctx.Err() returned, so a canceled sweep does not block on a large replay.
+// Trace or model validation failures still panic — they are programmer
+// errors, not user input (callers validate requests before replaying).
+func ReplayCtx(ctx context.Context, b *trace.Burst, m Model, scale ComputeScale) (Result, error) {
 	if err := m.Validate(); err != nil {
 		panic(err)
 	}
@@ -221,6 +232,9 @@ func Replay(b *trace.Burst, m Model, scale ComputeScale) Result {
 		remaining += len(rt.Events)
 	}
 	for remaining > 0 {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		progressed := false
 		for r := 0; r < n; r++ {
 			for cursor[r] < len(b.Ranks[r].Events) {
@@ -389,7 +403,7 @@ func Replay(b *trace.Burst, m Model, scale ComputeScale) Result {
 			res.MakespanNs = clock[r]
 		}
 	}
-	return res
+	return res, nil
 }
 
 func log2ceil(n int) float64 {

@@ -4,106 +4,68 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
 	"musa"
-	"musa/internal/apps"
-	"musa/internal/cpu"
-	"musa/internal/dse"
 	"musa/internal/store"
 )
-
-// ArchSpec is the wire form of an architectural point — the same knobs as
-// musa.Arch, with the Table I grid's vocabulary.
-type ArchSpec struct {
-	Cores      int     `json:"cores"`
-	CoreType   string  `json:"coreType"`
-	FreqGHz    float64 `json:"freqGHz"`
-	VectorBits int     `json:"vectorBits"`
-	CacheLabel string  `json:"cacheLabel"`
-	Channels   int     `json:"channels"`
-	HBM        bool    `json:"hbm"`
-}
-
-// ToPoint validates the spec and converts it to an ArchPoint.
-func (a ArchSpec) ToPoint() (dse.ArchPoint, error) {
-	core, err := cpu.ByName(a.CoreType)
-	if err != nil {
-		return dse.ArchPoint{}, err
-	}
-	var cache dse.CacheCfg
-	found := false
-	for _, c := range dse.CacheConfigs() {
-		if c.Label == a.CacheLabel {
-			cache, found = c, true
-		}
-	}
-	if !found {
-		return dse.ArchPoint{}, fmt.Errorf("serve: unknown cache label %q (want 32M:256K, 64M:512K or 96M:1M)", a.CacheLabel)
-	}
-	mem := dse.DDR4
-	if a.HBM {
-		mem = dse.HBM
-	}
-	p := dse.ArchPoint{
-		Cores: a.Cores, Core: core, FreqGHz: a.FreqGHz,
-		VectorBits: a.VectorBits, Cache: cache, Channels: a.Channels, Mem: mem,
-	}
-	// Validate through the node config so an invalid request becomes a 400
-	// instead of a panic inside a simulation worker.
-	if err := p.NodeConfig(0, 0, 1).Validate(); err != nil {
-		return dse.ArchPoint{}, err
-	}
-	return p, nil
-}
-
-// specOf renders a point back into its wire form.
-func specOf(p dse.ArchPoint) ArchSpec {
-	return ArchSpec{
-		Cores: p.Cores, CoreType: p.Core.Name, FreqGHz: p.FreqGHz,
-		VectorBits: p.VectorBits, CacheLabel: p.Cache.Label,
-		Channels: p.Channels, HBM: p.Mem == dse.HBM,
-	}
-}
 
 // NewHandler returns the musa-serve HTTP API:
 //
 //	GET  /apps         the five application models
 //	GET  /points       the Table I design space
-//	POST /simulate     one measurement (store-backed, coalesced)
-//	POST /dse          batch sweep; streams NDJSON progress then the result
+//	POST /simulate     one node experiment (store-backed, coalesced)
+//	POST /dse          sweep experiment; streams NDJSON progress then the result
 //	GET  /figures/{n}  JSON figure data (1, 4-11; 4 is the rank timeline)
-//	GET  /stats        service and store counters, replay configuration
+//	GET  /stats        client and store counters, replay configuration
+//
+// POST bodies are musa.Experiment wire encodings; the handlers force the
+// endpoint's Kind and reject everything a Normalize pass rejects with 400.
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /apps", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"apps": SortedApps()})
+		var names []string
+		for _, a := range musa.Applications() {
+			names = append(names, a.Name)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"apps": names})
 	})
 	mux.HandleFunc("GET /points", func(w http.ResponseWriter, r *http.Request) {
-		grid := dse.Enumerate()
 		type pt struct {
 			Index int    `json:"index"`
 			Label string `json:"label"`
-			ArchSpec
+			musa.Arch
 		}
-		pts := make([]pt, len(grid))
-		for i, p := range grid {
-			pts[i] = pt{Index: i, Label: p.Label(), ArchSpec: specOf(p)}
+		pts := make([]pt, musa.PointCount())
+		for i := range pts {
+			a, err := musa.PointArch(i)
+			if err != nil {
+				httpError(w, http.StatusInternalServerError, err)
+				return
+			}
+			label, err := musa.PointLabel(i)
+			if err != nil {
+				httpError(w, http.StatusInternalServerError, err)
+				return
+			}
+			pts[i] = pt{Index: i, Label: label, Arch: a}
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"count": len(pts), "points": pts})
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		rc := svc.Replay()
+		c := svc.Client()
+		ranks, network, disabled := c.ReplayDefaults()
 		writeJSON(w, http.StatusOK, map[string]any{
-			"service": svc.Stats(),
-			"stored":  svc.Store().Len(),
+			"service": c.Stats(),
+			"stored":  c.StoreLen(),
 			"replay": map[string]any{
-				"disabled": rc.Disable,
-				"ranks":    rc.Ranks,
-				"network":  rc.Network,
+				"disabled": disabled,
+				"ranks":    ranks,
+				"network":  network,
 			},
 			"schemaVersion": store.SchemaVersion,
 		})
@@ -114,123 +76,77 @@ func NewHandler(svc *Service) http.Handler {
 	return mux
 }
 
-type simulateRequest struct {
-	App        string    `json:"app"`
-	Point      *ArchSpec `json:"point,omitempty"`
-	PointIndex *int      `json:"pointIndex,omitempty"`
-	Sample     int64     `json:"sample,omitempty"`
-	Warmup     int64     `json:"warmup,omitempty"`
-	Seed       uint64    `json:"seed,omitempty"`
-	// ReplayRanks overrides the cluster-stage rank counts (null = service
-	// default); noReplay turns the replay stage off for this request;
-	// network names the interconnect model ("mn4", "hdr200", "eth10").
-	ReplayRanks []int  `json:"replayRanks,omitempty"`
-	NoReplay    bool   `json:"noReplay,omitempty"`
-	Network     string `json:"network,omitempty"`
-}
-
-func (sr simulateRequest) point() (dse.ArchPoint, error) {
-	switch {
-	case sr.Point != nil && sr.PointIndex != nil:
-		return dse.ArchPoint{}, errors.New("serve: give either point or pointIndex, not both")
-	case sr.Point != nil:
-		return sr.Point.ToPoint()
-	case sr.PointIndex != nil:
-		return PointByIndex(*sr.PointIndex)
+// experimentStatus maps an execution error onto its HTTP status: every
+// validation failure wraps musa.ErrExperiment and is the client's fault.
+func experimentStatus(err error) int {
+	if errors.Is(err, musa.ErrExperiment) {
+		return http.StatusBadRequest
 	}
-	return dse.ArchPoint{}, errors.New("serve: missing point or pointIndex")
+	return http.StatusInternalServerError
 }
 
 func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
-	var req simulateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	var e musa.Experiment
+	if err := json.NewDecoder(r.Body).Decode(&e); err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	p, err := req.point()
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+	if e.Kind != "" && e.Kind != musa.KindNode {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("%w: /simulate runs %q experiments, got %q", musa.ErrBadKind, musa.KindNode, e.Kind))
 		return
 	}
-	if _, err := apps.ByName(req.App); err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	sr := store.Request{
-		App: req.App, Arch: p,
-		SampleInstrs: req.Sample, WarmupInstrs: req.Warmup, Seed: req.Seed,
-	}
-	switch {
-	case req.NoReplay:
-		sr.ReplayRanks = []int{} // explicit empty: node-only, no defaults
-	case req.ReplayRanks != nil:
-		// Validate before the list reaches a sweep worker: a negative
-		// count would panic trace synthesis, a huge one would OOM it.
-		if err := dse.ValidateReplayRanks(req.ReplayRanks); err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		sr.ReplayRanks = req.ReplayRanks
-	}
-	if req.Network != "" {
-		network, err := ResolveNetwork(req.Network)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		sr.Network = network
-	}
+	e.Kind = musa.KindNode
 	start := time.Now()
-	m, cached, err := s.Simulate(r.Context(), sr)
+	res, err := s.c.Run(r.Context(), e)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		httpError(w, experimentStatus(err), err)
 		return
 	}
+	m := res.Measurement
 	writeJSON(w, http.StatusOK, map[string]any{
 		"app":         m.App,
 		"label":       m.Arch.Label(),
-		"cached":      cached,
+		"cached":      res.Cached,
 		"elapsedMs":   float64(time.Since(start).Microseconds()) / 1e3,
 		"measurement": m,
 	})
 }
 
-type dseRequest struct {
-	Apps          []string `json:"apps,omitempty"`
-	PointIndices  []int    `json:"pointIndices,omitempty"`
-	Sample        int64    `json:"sample,omitempty"`
-	Warmup        int64    `json:"warmup,omitempty"`
-	Seed          uint64   `json:"seed,omitempty"`
-	ProgressEvery int      `json:"progressEvery,omitempty"`
-	// Summary suppresses per-measurement output in the final event.
-	Summary bool `json:"summary,omitempty"`
-	// ReplayRanks / noReplay / network configure the cluster stage, as in
-	// /simulate.
-	ReplayRanks []int  `json:"replayRanks,omitempty"`
-	NoReplay    bool   `json:"noReplay,omitempty"`
-	Network     string `json:"network,omitempty"`
-}
-
 func (s *Service) handleDSE(w http.ResponseWriter, r *http.Request) {
-	var req dseRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	var points []dse.ArchPoint
-	for _, i := range req.PointIndices {
-		p, err := PointByIndex(i)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		points = append(points, p)
-	}
-	if err := dse.ValidateReplayRanks(req.ReplayRanks); err != nil {
+	var e musa.Experiment
+	if err := json.Unmarshal(body, &e); err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	every := req.ProgressEvery
+	// Stream-control fields ride alongside the experiment on the wire.
+	var ctl struct {
+		ProgressEvery int `json:"progressEvery"`
+		// Summary suppresses per-measurement output in the final event.
+		Summary bool `json:"summary"`
+	}
+	if err := json.Unmarshal(body, &ctl); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if e.Kind != "" && e.Kind != musa.KindSweep {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("%w: /dse runs %q experiments, got %q", musa.ErrBadKind, musa.KindSweep, e.Kind))
+		return
+	}
+	e.Kind = musa.KindSweep
+	// Validate before committing to the 200 NDJSON stream: a malformed
+	// request must fail with a plain 400, not a mid-stream error event.
+	if err := e.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	every := ctl.ProgressEvery
 	if every <= 0 {
 		every = 50
 	}
@@ -262,30 +178,28 @@ func (s *Service) handleDSE(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	var last Progress
-	d, err := s.Sweep(r.Context(), SweepRequest{
-		Apps: req.Apps, Points: points,
-		SampleInstrs: req.Sample, WarmupInstrs: req.Warmup, Seed: req.Seed,
-		ReplayRanks: req.ReplayRanks, NoReplay: req.NoReplay, Network: req.Network,
-	}, func(p Progress) {
-		last = p
-		if p.Done%every == 0 || p.Done == p.Total {
-			emit(map[string]any{"type": "progress", "done": p.Done, "total": p.Total, "cached": p.Cached})
-		}
+	var done, total, cached int
+	res, err := s.c.RunStream(r.Context(), e, musa.Observer{
+		Progress: func(d, t, c int) {
+			done, total, cached = d, t, c
+			if d%every == 0 || d == t {
+				emit(map[string]any{"type": "progress", "done": d, "total": t, "cached": c})
+			}
+		},
 	})
 	if err != nil {
 		emit(map[string]any{"type": "error", "error": err.Error(),
-			"done": last.Done, "total": last.Total, "cached": last.Cached})
+			"done": done, "total": total, "cached": cached})
 		return
 	}
 	out := map[string]any{
 		"type":      "result",
-		"count":     len(d.Measurements),
-		"cached":    last.Cached,
+		"count":     len(res.Sweep.Measurements),
+		"cached":    cached,
 		"elapsedMs": float64(time.Since(start).Microseconds()) / 1e3,
 	}
-	if !req.Summary {
-		out["measurements"] = d.Measurements
+	if !ctl.Summary {
+		out["measurements"] = res.Sweep.Measurements
 	}
 	emit(out)
 }
@@ -350,17 +264,19 @@ func (s *Service) handleFigure(w http.ResponseWriter, r *http.Request) {
 	}
 
 	simOpts := musa.SimOptions{SampleInstrs: sample, WarmupInstrs: warmup, Seed: uint64(seed)}
-	var d *dse.Dataset
+	var d *musa.Sweep
 	if n != 11 {
 		// Every figure but the Table II one aggregates the sweep dataset;
 		// repeat visits are store hits.
-		d, err = s.Sweep(r.Context(), SweepRequest{
-			Apps: appNames, SampleInstrs: sample, WarmupInstrs: warmup, Seed: uint64(seed),
-		}, nil)
+		res, err := s.c.Run(r.Context(), musa.Experiment{
+			Kind: musa.KindSweep, Apps: appNames,
+			Sample: sample, Warmup: warmup, Seed: uint64(seed),
+		})
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+			httpError(w, experimentStatus(err), err)
 			return
 		}
+		d = res.Sweep
 	}
 	fig, err := musa.Figure(d, n, simOpts)
 	if err != nil {
@@ -398,7 +314,11 @@ func (s *Service) handleRankTimeline(w http.ResponseWriter, r *http.Request, app
 		}
 		ranks = n
 	}
-	network, err := ResolveNetwork(q.Get("network"))
+	networkName := q.Get("network")
+	if networkName == "" {
+		networkName = "mn4"
+	}
+	network, err := musa.NetworkByName(networkName)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return

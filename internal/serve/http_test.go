@@ -9,6 +9,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"musa"
 )
 
 func testServer(t *testing.T) (*httptest.Server, *Service) {
@@ -91,6 +93,7 @@ func TestSimulateEndpointCaches(t *testing.T) {
 		Cached bool   `json:"cached"`
 		M      struct {
 			TimeNs float64 `json:"TimeNs"`
+			IPC    float64 `json:"IPC"`
 		} `json:"measurement"`
 	}
 	if code := postJSON(t, ts.URL+"/simulate", body, &first); code != http.StatusOK {
@@ -99,26 +102,32 @@ func TestSimulateEndpointCaches(t *testing.T) {
 	if first.Cached || first.M.TimeNs <= 0 || first.App != "lulesh" {
 		t.Fatalf("first simulate response malformed: %+v", first)
 	}
+	if first.M.IPC <= 0 {
+		t.Fatalf("measurement carries no IPC: %+v", first.M)
+	}
 	if code := postJSON(t, ts.URL+"/simulate", body, &second); code != http.StatusOK {
 		t.Fatalf("second /simulate -> %d", code)
 	}
 	if !second.Cached || second.M.TimeNs != first.M.TimeNs {
 		t.Fatalf("second request not served from store: %+v", second)
 	}
-	if svc.Stats().Simulated != 1 {
-		t.Fatalf("two identical requests simulated %d times", svc.Stats().Simulated)
+	if svc.Client().Stats().Simulated != 1 {
+		t.Fatalf("two identical requests simulated %d times", svc.Client().Stats().Simulated)
 	}
 
-	// Explicit arch spec addresses the same content as its grid index.
-	spec := fmt.Sprintf(`{"app":"lulesh","point":%s}`, specJSON(t, ts, 10))
-	var third struct {
-		Cached bool `json:"cached"`
-	}
-	if code := postJSON(t, ts.URL+"/simulate", spec, &third); code != http.StatusOK {
-		t.Fatalf("spec /simulate -> %d", code)
-	}
-	if !third.Cached {
-		t.Fatal("equivalent explicit spec missed the store")
+	// Explicit arch spec addresses the same content as its grid index —
+	// both through the modern "arch" key and the legacy "point" alias.
+	for _, key := range []string{"arch", "point"} {
+		spec := fmt.Sprintf(`{"app":"lulesh","%s":%s}`, key, specJSON(t, ts, 10))
+		var cached struct {
+			Cached bool `json:"cached"`
+		}
+		if code := postJSON(t, ts.URL+"/simulate", spec, &cached); code != http.StatusOK {
+			t.Fatalf("%s /simulate -> %d", key, code)
+		}
+		if !cached.Cached {
+			t.Fatalf("equivalent explicit %s spec missed the store", key)
+		}
 	}
 }
 
@@ -129,7 +138,7 @@ func specJSON(t *testing.T, ts *httptest.Server, i int) string {
 		Points []json.RawMessage `json:"points"`
 	}
 	getJSON(t, ts.URL+"/points", &points)
-	var spec ArchSpec
+	var spec musa.Arch
 	if err := json.Unmarshal(points.Points[i], &spec); err != nil {
 		t.Fatal(err)
 	}
@@ -262,6 +271,8 @@ func TestSimulateEndpointRejectsBadRequests(t *testing.T) {
 		`{"app":"nope","pointIndex":0}`,                   // unknown app
 		`{"app":"lulesh","pointIndex":1,"point":{}}`,      // both forms
 		`{"app":"lulesh","point":{"coreType":"mystery"}}`, // bad core
+		`{"app":"lulesh","arch":{},"point":{}}`,           // both arch spellings
+		`{"app":"lulesh","pointIndex":0,"kind":"sweep"}`,  // wrong kind for /simulate
 		`not json`, // parse error
 	} {
 		if code := postJSON(t, ts.URL+"/simulate", body, nil); code != http.StatusBadRequest {
@@ -374,8 +385,8 @@ func TestDSEEndpointStreamsAndResumes(t *testing.T) {
 	if final.Type != "result" || final.Cached != 4 {
 		t.Fatalf("repeated batch not fully cached: %+v", final)
 	}
-	if svc.Stats().Simulated != 4 {
-		t.Fatalf("repeated batch re-simulated: %d total simulations", svc.Stats().Simulated)
+	if svc.Client().Stats().Simulated != 4 {
+		t.Fatalf("repeated batch re-simulated: %d total simulations", svc.Client().Stats().Simulated)
 	}
 }
 
@@ -419,11 +430,19 @@ func TestFigureEndpoint(t *testing.T) {
 func TestStatsEndpoint(t *testing.T) {
 	ts, _ := testServer(t)
 	var stats struct {
-		Service Stats `json:"service"`
-		Stored  int   `json:"stored"`
+		Service musa.ClientStats `json:"service"`
+		Stored  int              `json:"stored"`
+		Replay  struct {
+			Disabled bool   `json:"disabled"`
+			Ranks    []int  `json:"ranks"`
+			Network  string `json:"network"`
+		} `json:"replay"`
 	}
 	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
 		t.Fatalf("/stats -> %d", code)
+	}
+	if stats.Replay.Disabled || len(stats.Replay.Ranks) != 2 || stats.Replay.Network != "mn4" {
+		t.Fatalf("replay defaults malformed: %+v", stats.Replay)
 	}
 	postJSON(t, ts.URL+"/simulate", `{"app":"hydro","pointIndex":0}`, nil)
 	getJSON(t, ts.URL+"/stats", &stats)

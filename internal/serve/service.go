@@ -1,390 +1,26 @@
-// Package serve is the simulation service layer: a job scheduler on top of
-// dse.Run with single-flight coalescing of duplicate in-flight requests,
-// bounded job concurrency, and incremental checkpointing of sweeps through
-// the content-addressed result store (internal/store). The HTTP API of
-// cmd/musa-serve (http.go) and the musa-dse CLI share this one pipeline.
+// Package serve is the HTTP face of the simulation pipeline: its handlers
+// decode requests straight into musa.Experiment — the one validated request
+// type of the public API — and execute them through musa.Client, which owns
+// the content-addressed result store, single-flight coalescing of duplicate
+// in-flight requests and the bounded job pool. cmd/musa-serve and the
+// musa-dse CLI therefore share one pipeline and one cache.
 package serve
 
 import (
-	"context"
-	"fmt"
-	"sync"
-	"sync/atomic"
-
-	"musa/internal/apps"
-	"musa/internal/dse"
-	"musa/internal/net"
-	"musa/internal/store"
+	"musa"
 )
 
-// Config tunes a Service.
-type Config struct {
-	// Workers bounds dse.Run parallelism inside one job (0 = GOMAXPROCS).
-	Workers int
-	// MaxJobs bounds concurrently executing simulation jobs across all
-	// requests (0 = 2). Requests beyond the bound queue.
-	MaxJobs int
-	// SampleInstrs / WarmupInstrs / Seed are applied to requests that leave
-	// the corresponding field zero (zero sample/warmup fall through to the
-	// simulator defaults).
-	SampleInstrs int64
-	WarmupInstrs int64
-	Seed         uint64
-
-	// ReplayRanks sets the default cluster-stage rank counts per
-	// measurement (nil = 64 and 256); NoReplay disables the replay stage
-	// by default. Requests can override both.
-	ReplayRanks []int
-	NoReplay    bool
-	// Network names the default interconnect model ("" = "mn4").
-	Network string
-}
-
-// Stats counts what the service did since start.
-type Stats struct {
-	// Requests is the number of single-measurement requests served.
-	Requests int64
-	// StoreHits counts measurements served from the result store.
-	StoreHits int64
-	// Coalesced counts requests that piggybacked on an identical in-flight
-	// computation instead of simulating again.
-	Coalesced int64
-	// Simulated counts measurements actually computed.
-	Simulated int64
-}
-
-// call is one in-flight single-measurement computation that duplicate
-// requests wait on.
-type call struct {
-	done chan struct{}
-	m    dse.Measurement
-	err  error
-}
-
-// Service schedules simulation jobs against a shared result store.
+// Service wraps the shared musa.Client for the HTTP handlers.
 type Service struct {
-	st  *store.Store
-	cfg Config
-	sem chan struct{}
-	// replay is the normalized default replay configuration (per-request
-	// overrides start from it); network is the resolved default model,
-	// valid even when the replay default is disabled, so rank-list
-	// overrides on a NoReplay server still hash and replay consistently.
-	replay  dse.ReplayConfig
-	network net.Model
-
-	mu     sync.Mutex
-	flight map[string]*call
-
-	requests, storeHits, coalesced, simulated atomic.Int64
+	c *musa.Client
 }
 
-// ResolveNetwork maps a network scenario name onto its model ("" = the
-// default "mn4").
-func ResolveNetwork(name string) (net.Model, error) {
-	if name == "" {
-		name = "mn4"
-	}
-	return net.ByName(name)
+// New returns a service executing requests through c. The client (and its
+// store) stays owned by the caller; the service does not close it.
+func New(c *musa.Client) *Service {
+	return &Service{c: c}
 }
 
-// New returns a service backed by st (which must be non-nil; the service
-// does not close it). It fails on an unresolvable default network name.
-func New(st *store.Store, cfg Config) (*Service, error) {
-	maxJobs := cfg.MaxJobs
-	if maxJobs <= 0 {
-		maxJobs = 2
-	}
-	network, err := ResolveNetwork(cfg.Network)
-	if err != nil {
-		return nil, err
-	}
-	return &Service{
-		st:  st,
-		cfg: cfg,
-		sem: make(chan struct{}, maxJobs),
-		replay: dse.ReplayConfig{
-			Disable: cfg.NoReplay,
-			Ranks:   cfg.ReplayRanks,
-			Network: network,
-		}.Normalized(),
-		network: network,
-		flight:  map[string]*call{},
-	}, nil
-}
-
-// Replay exposes the service's default replay configuration (the /stats
-// endpoint reports it).
-func (s *Service) Replay() dse.ReplayConfig { return s.replay }
-
-// Store exposes the backing result store (read-mostly: the HTTP layer
-// reports its size).
-func (s *Service) Store() *store.Store { return s.st }
-
-// Stats returns a snapshot of the service counters.
-func (s *Service) Stats() Stats {
-	return Stats{
-		Requests:  s.requests.Load(),
-		StoreHits: s.storeHits.Load(),
-		Coalesced: s.coalesced.Load(),
-		Simulated: s.simulated.Load(),
-	}
-}
-
-// fill applies the service defaults to a request and normalizes it. A nil
-// ReplayRanks picks up the service's replay defaults; an explicit empty
-// slice means node-only and stays that way.
-func (s *Service) fill(r store.Request) store.Request {
-	if r.SampleInstrs == 0 {
-		r.SampleInstrs = s.cfg.SampleInstrs
-	}
-	if r.WarmupInstrs == 0 {
-		r.WarmupInstrs = s.cfg.WarmupInstrs
-	}
-	if r.Seed == 0 {
-		r.Seed = s.cfg.Seed
-	}
-	if r.ReplayRanks == nil && !s.replay.Disable {
-		r.ReplayRanks = s.replay.Ranks
-	}
-	if len(r.ReplayRanks) > 0 && r.Network == (net.Model{}) {
-		// s.network, not s.replay.Network: the latter is zeroed on a
-		// NoReplay server, which would make /simulate and /dse hash the
-		// same mn4-replayed measurement to different keys.
-		r.Network = s.network
-	}
-	return r.Normalize()
-}
-
-// replayOf reconstructs the runner's replay configuration from a filled
-// request.
-func replayOf(r store.Request) dse.ReplayConfig {
-	return dse.ReplayConfig{
-		Disable: len(r.ReplayRanks) == 0,
-		Ranks:   r.ReplayRanks,
-		Network: r.Network,
-	}.Normalized()
-}
-
-// acquire takes a job slot, honoring cancellation while queued.
-func (s *Service) acquire(ctx context.Context) error {
-	select {
-	case s.sem <- struct{}{}:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
-}
-
-func (s *Service) release() { <-s.sem }
-
-// Simulate returns the measurement for one request, serving from the store
-// when possible and coalescing duplicate in-flight requests into a single
-// computation. The second return reports whether the result came from the
-// store or an in-flight duplicate rather than a fresh simulation.
-func (s *Service) Simulate(ctx context.Context, req store.Request) (dse.Measurement, bool, error) {
-	s.requests.Add(1)
-	req = s.fill(req)
-	app, err := apps.ByName(req.App)
-	if err != nil {
-		return dse.Measurement{}, false, err
-	}
-	key := store.Key(req)
-	if m, ok := s.st.Get(key); ok {
-		s.storeHits.Add(1)
-		return m, true, nil
-	}
-
-	// Single flight: the first request under a key computes; duplicates
-	// arriving before it finishes wait on the same call.
-	s.mu.Lock()
-	if c, ok := s.flight[key]; ok {
-		s.mu.Unlock()
-		s.coalesced.Add(1)
-		select {
-		case <-c.done:
-			return c.m, true, c.err
-		case <-ctx.Done():
-			return dse.Measurement{}, false, ctx.Err()
-		}
-	}
-	c := &call{done: make(chan struct{})}
-	s.flight[key] = c
-	s.mu.Unlock()
-
-	// The leader computes under a context detached from its own request:
-	// coalesced waiters (and the store) want the result even if the leader
-	// disconnects, and a canceled leader must not hand its ctx error to
-	// waiters whose contexts are live.
-	c.m, c.err = s.simulateOne(context.WithoutCancel(ctx), app, req, key)
-	s.mu.Lock()
-	delete(s.flight, key)
-	s.mu.Unlock()
-	close(c.done)
-	return c.m, false, c.err
-}
-
-// simulateOne runs a one-point sweep under a job slot and checkpoints the
-// result.
-func (s *Service) simulateOne(ctx context.Context, app *apps.Profile, req store.Request, key string) (dse.Measurement, error) {
-	if err := s.acquire(ctx); err != nil {
-		return dse.Measurement{}, err
-	}
-	defer s.release()
-	d := dse.Run(dse.Options{
-		Apps:         []*apps.Profile{app},
-		Points:       []dse.ArchPoint{req.Arch},
-		SampleInstrs: req.SampleInstrs,
-		WarmupInstrs: req.WarmupInstrs,
-		Workers:      1,
-		Seed:         req.Seed,
-		Replay:       replayOf(req),
-	})
-	if len(d.Measurements) != 1 {
-		return dse.Measurement{}, fmt.Errorf("serve: expected 1 measurement, got %d", len(d.Measurements))
-	}
-	s.simulated.Add(1)
-	m := d.Measurements[0]
-	if err := s.st.Put(key, m); err != nil {
-		return m, err
-	}
-	return m, nil
-}
-
-// SweepRequest describes a batch sweep.
-type SweepRequest struct {
-	// Apps restricts the sweep (nil = all five applications).
-	Apps []string
-	// Points restricts the sweep (nil = the full Table I grid).
-	Points []dse.ArchPoint
-	// SampleInstrs / WarmupInstrs / Seed follow the service defaults when
-	// zero.
-	SampleInstrs int64
-	WarmupInstrs int64
-	Seed         uint64
-
-	// ReplayRanks overrides the cluster-stage rank counts (nil = service
-	// default); NoReplay disables the replay stage for this sweep; Network
-	// names the interconnect model ("" = service default).
-	ReplayRanks []int
-	NoReplay    bool
-	Network     string
-}
-
-// Progress is one sweep progress notification.
-type Progress struct {
-	// Done of Total measurements are complete; Cached of those were served
-	// from the result store.
-	Done, Total, Cached int
-}
-
-// Sweep runs the batch, serving finished points from the store and
-// checkpointing each fresh measurement as it completes. Cancelling ctx
-// aborts the sweep after the points in flight; the checkpoint makes a
-// subsequent identical Sweep resume where this one stopped. The returned
-// error is ctx.Err() on cancellation, or the first store write error.
-func (s *Service) Sweep(ctx context.Context, req SweepRequest, progress func(Progress)) (*dse.Dataset, error) {
-	// Resolve the sweep's replay configuration: request overrides layered
-	// over the service defaults. An explicit rank list enables the replay
-	// stage even on a NoReplay server, mirroring the /simulate path.
-	rc := s.replay
-	if req.NoReplay {
-		rc = dse.ReplayConfig{Disable: true}
-	} else {
-		if req.ReplayRanks != nil {
-			if err := dse.ValidateReplayRanks(req.ReplayRanks); err != nil {
-				return nil, err
-			}
-			rc.Ranks = req.ReplayRanks
-			rc.Disable = false
-			if rc.Network == (net.Model{}) {
-				rc.Network = s.network // zeroed when the default is NoReplay
-			}
-		}
-		if req.Network != "" {
-			network, err := ResolveNetwork(req.Network)
-			if err != nil {
-				return nil, err
-			}
-			rc.Network = network
-		}
-		rc = rc.Normalized()
-	}
-	base := s.fill(store.Request{
-		SampleInstrs: req.SampleInstrs,
-		WarmupInstrs: req.WarmupInstrs,
-		Seed:         req.Seed,
-		ReplayRanks:  append([]int{}, rc.Ranks...), // empty (not nil) when disabled
-		Network:      rc.Network,
-	})
-	var selected []*apps.Profile
-	for _, name := range req.Apps {
-		a, err := apps.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		selected = append(selected, a)
-	}
-
-	if err := s.acquire(ctx); err != nil {
-		return nil, err
-	}
-	defer s.release()
-
-	opts := dse.Options{
-		Apps:         selected,
-		Points:       req.Points,
-		SampleInstrs: base.SampleInstrs,
-		WarmupInstrs: base.WarmupInstrs,
-		Workers:      s.cfg.Workers,
-		Seed:         base.Seed,
-		Cancel:       ctx.Done(),
-		Replay:       rc,
-	}
-	flush := store.Bind(s.st, base, &opts, false)
-	// Decorate the store wiring with the service counters.
-	var cached atomic.Int64
-	lookup := opts.Lookup
-	opts.Lookup = func(app string, p dse.ArchPoint) (dse.Measurement, bool) {
-		m, ok := lookup(app, p)
-		if ok {
-			cached.Add(1)
-			s.storeHits.Add(1)
-		}
-		return m, ok
-	}
-	checkpoint := opts.OnMeasurement
-	opts.OnMeasurement = func(m dse.Measurement) {
-		s.simulated.Add(1)
-		checkpoint(m)
-	}
-	if progress != nil {
-		opts.Progress = func(done, total int) {
-			progress(Progress{Done: done, Total: total, Cached: int(cached.Load())})
-		}
-	}
-	d := dse.Run(opts)
-	if err := ctx.Err(); err != nil {
-		return d, err
-	}
-	return d, flush()
-}
-
-// SortedApps returns the built-in application names in plotting order (the
-// /apps endpoint and point listings rely on a stable order).
-func SortedApps() []string {
-	var names []string
-	for _, a := range apps.All() {
-		names = append(names, a.Name)
-	}
-	return names
-}
-
-// PointByIndex resolves an index into the full Table I grid.
-func PointByIndex(i int) (dse.ArchPoint, error) {
-	grid := dse.Enumerate()
-	if i < 0 || i >= len(grid) {
-		return dse.ArchPoint{}, fmt.Errorf("serve: point index %d out of range [0,%d)", i, len(grid))
-	}
-	return grid[i], nil
-}
+// Client exposes the underlying client (the /stats endpoint reports its
+// counters and store size).
+func (s *Service) Client() *musa.Client { return s.c }

@@ -2,13 +2,12 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"reflect"
 	"sync"
 	"testing"
 
-	"musa/internal/cpu"
-	"musa/internal/dse"
-	"musa/internal/store"
+	"musa"
 )
 
 // testSample sizes keep simulations cheap; determinism makes the results
@@ -18,14 +17,10 @@ const (
 	testWarmup = 40000
 )
 
-func testService(t *testing.T, dir string) *Service {
+func testClient(t *testing.T, dir string) *musa.Client {
 	t.Helper()
-	st, err := store.Open(dir, store.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { st.Close() })
-	svc, err := New(st, Config{
+	c, err := musa.NewClient(musa.ClientOptions{
+		CacheDir:     dir,
 		Workers:      2,
 		MaxJobs:      4,
 		SampleInstrs: testSample,
@@ -38,109 +33,108 @@ func testService(t *testing.T, dir string) *Service {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return svc
+	t.Cleanup(func() { c.Close() })
+	return c
 }
 
-func testPoints(n int) []dse.ArchPoint {
-	var pts []dse.ArchPoint
-	for _, f := range dse.Frequencies() {
-		for _, v := range dse.VectorWidths() {
-			for _, ch := range dse.ChannelCounts() {
-				pts = append(pts, dse.ArchPoint{
-					Cores: 32, Core: cpu.Medium(), FreqGHz: f,
-					VectorBits: v, Cache: dse.CacheConfigs()[0], Channels: ch, Mem: dse.DDR4,
-				})
-			}
-		}
+func testService(t *testing.T, dir string) *Service {
+	t.Helper()
+	return New(testClient(t, dir))
+}
+
+// indices returns the first n Table I grid indices.
+func indices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
 	}
-	if n < len(pts) {
-		pts = pts[:n]
-	}
-	return pts
+	return out
 }
 
 func TestSweepReplayOverrideOnNoReplayServer(t *testing.T) {
-	// A server configured node-only must still honor an explicit rank-list
-	// override, mirroring the /simulate path.
-	st, err := store.Open(t.TempDir(), store.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { st.Close() })
-	svc, err := New(st, Config{
-		Workers: 2, MaxJobs: 2,
+	// A client configured node-only must still honor an explicit rank-list
+	// override, mirroring the single-measurement path.
+	c, err := musa.NewClient(musa.ClientOptions{
+		CacheDir: t.TempDir(),
+		Workers:  2, MaxJobs: 2,
 		SampleInstrs: testSample, WarmupInstrs: testWarmup, Seed: 1,
 		NoReplay: true,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { c.Close() })
 
-	d, err := svc.Sweep(context.Background(), SweepRequest{
-		Apps: []string{"hydro"}, Points: testPoints(2),
-	}, nil)
+	res, err := c.Run(context.Background(), musa.Experiment{
+		Kind: musa.KindSweep, Apps: []string{"hydro"}, PointIndices: indices(2),
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, m := range d.Measurements {
+	for _, m := range res.Sweep.Measurements {
 		if m.Cluster != nil {
 			t.Fatalf("NoReplay default produced cluster data: %+v", m)
 		}
 	}
 
-	d, err = svc.Sweep(context.Background(), SweepRequest{
-		Apps: []string{"hydro"}, Points: testPoints(2), ReplayRanks: []int{4},
-	}, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, m := range d.Measurements {
-		if len(m.Cluster) != 1 || m.Cluster[0].Ranks != 4 {
-			t.Fatalf("rank-list override ignored on NoReplay server: %+v", m.Cluster)
-		}
-	}
-
-	if _, err := svc.Sweep(context.Background(), SweepRequest{
-		Apps: []string{"hydro"}, Points: testPoints(1), ReplayRanks: []int{-3},
-	}, nil); err == nil {
-		t.Fatal("negative rank count accepted by Sweep")
-	}
-
-	// A single-point request with the same override must hash to the same
-	// key the sweep stored under (both default to the mn4 network even
-	// though the server's replay default is disabled).
-	_, cached, err := svc.Simulate(context.Background(), store.Request{
-		App: "hydro", Arch: testPoints(2)[0], ReplayRanks: []int{4},
+	res, err = c.Run(context.Background(), musa.Experiment{
+		Kind: musa.KindSweep, Apps: []string{"hydro"}, PointIndices: indices(2),
+		ReplayRanks: []int{4},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !cached {
-		t.Fatal("simulate override missed the measurement the sweep stored")
+	for _, m := range res.Sweep.Measurements {
+		if len(m.Cluster) != 1 || m.Cluster[0].Ranks != 4 {
+			t.Fatalf("rank-list override ignored on NoReplay client: %+v", m.Cluster)
+		}
+	}
+
+	if _, err := c.Run(context.Background(), musa.Experiment{
+		Kind: musa.KindSweep, Apps: []string{"hydro"}, PointIndices: indices(1),
+		ReplayRanks: []int{-3},
+	}); !errors.Is(err, musa.ErrBadReplayRanks) {
+		t.Fatalf("negative rank count: err = %v, want ErrBadReplayRanks", err)
+	}
+
+	// A single-point request with the same override must hash to the same
+	// key the sweep stored under (both default to the mn4 network even
+	// though the client's replay default is disabled).
+	idx := 0
+	res, err = c.Run(context.Background(), musa.Experiment{
+		App: "hydro", PointIndex: &idx, ReplayRanks: []int{4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached {
+		t.Fatal("single-point override missed the measurement the sweep stored")
 	}
 }
 
-func TestSimulateCoalescesDuplicates(t *testing.T) {
-	svc := testService(t, t.TempDir())
-	req := store.Request{App: "lulesh", Arch: testPoints(1)[0]}
+func TestRunCoalescesDuplicates(t *testing.T) {
+	c := testClient(t, t.TempDir())
+	idx := 0
+	req := musa.Experiment{App: "lulesh", PointIndex: &idx}
 
 	const dup = 8
-	results := make([]dse.Measurement, dup)
+	results := make([]musa.Measurement, dup)
 	var wg sync.WaitGroup
 	for i := 0; i < dup; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			m, _, err := svc.Simulate(context.Background(), req)
+			res, err := c.Run(context.Background(), req)
 			if err != nil {
 				t.Error(err)
+				return
 			}
-			results[i] = m
+			results[i] = *res.Measurement
 		}(i)
 	}
 	wg.Wait()
 
-	st := svc.Stats()
+	st := c.Stats()
 	if st.Simulated != 1 {
 		t.Fatalf("%d duplicate requests ran %d simulations, want 1", dup, st.Simulated)
 	}
@@ -155,87 +149,100 @@ func TestSimulateCoalescesDuplicates(t *testing.T) {
 	}
 
 	// A later identical request is a store hit.
-	_, cached, err := svc.Simulate(context.Background(), req)
+	res, err := c.Run(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !cached {
+	if !res.Cached {
 		t.Fatal("repeated request was not served from the store")
 	}
-	if svc.Stats().Simulated != 1 {
+	if c.Stats().Simulated != 1 {
 		t.Fatal("repeated request re-simulated")
 	}
 }
 
-func TestSimulateRejectsUnknownApp(t *testing.T) {
-	svc := testService(t, t.TempDir())
-	_, _, err := svc.Simulate(context.Background(), store.Request{App: "nope", Arch: testPoints(1)[0]})
-	if err == nil {
-		t.Fatal("unknown application accepted")
+func TestRunRejectsUnknownApp(t *testing.T) {
+	c := testClient(t, t.TempDir())
+	idx := 0
+	_, err := c.Run(context.Background(), musa.Experiment{App: "nope", PointIndex: &idx})
+	if !errors.Is(err, musa.ErrUnknownApp) {
+		t.Fatalf("unknown application: err = %v, want ErrUnknownApp", err)
+	}
+	if _, err := c.Run(context.Background(), musa.Experiment{
+		Kind: musa.KindSweep, Apps: []string{"nope"},
+	}); !errors.Is(err, musa.ErrUnknownApp) {
+		t.Fatalf("unknown sweep application: err = %v, want ErrUnknownApp", err)
 	}
 }
 
 func TestSweepResumesFromCheckpoint(t *testing.T) {
 	dir := t.TempDir()
-	req := SweepRequest{Apps: []string{"spmz"}, Points: testPoints(12)}
+	req := musa.Experiment{
+		Kind: musa.KindSweep, Apps: []string{"spmz"}, PointIndices: indices(12),
+	}
 
 	// First attempt: cancel partway through. Completed points are already
-	// checkpointed in the store.
-	svc := testService(t, dir)
+	// checkpointed in the store, and the partial dataset comes back with an
+	// error wrapping context.Canceled.
+	c := testClient(t, dir)
 	ctx, cancel := context.WithCancel(context.Background())
-	_, err := svc.Sweep(ctx, req, func(p Progress) {
-		if p.Done == 4 {
-			cancel()
-		}
+	defer cancel()
+	res, err := c.RunStream(ctx, req, musa.Observer{
+		Progress: func(done, total, cached int) {
+			if done == 4 {
+				cancel()
+			}
+		},
 	})
-	if err == nil {
-		t.Fatal("canceled sweep reported success")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled sweep: err = %v, want wrapped context.Canceled", err)
 	}
-	partial := svc.Stats().Simulated
+	if res == nil || res.Sweep == nil {
+		t.Fatal("canceled sweep did not return the partial dataset")
+	}
+	partial := c.Stats().Simulated
 	if partial == 0 || partial >= 12 {
 		t.Fatalf("canceled sweep simulated %d of 12 points, want a strict subset", partial)
 	}
+	if int64(len(res.Sweep.Measurements)) != partial {
+		t.Fatalf("partial dataset has %d measurements but %d were simulated",
+			len(res.Sweep.Measurements), partial)
+	}
 	// The store directory is single-holder (flock); release it before the
-	// next service takes over, as a restarted process would.
-	svc.Store().Close()
+	// next client takes over, as a restarted process would.
+	c.Close()
 
-	// A fresh service over the same store resumes: only the missing points
+	// A fresh client over the same store resumes: only the missing points
 	// are simulated.
-	svc2 := testService(t, dir)
-	var last Progress
-	d, err := svc2.Sweep(context.Background(), req, func(p Progress) { last = p })
+	c2 := testClient(t, dir)
+	var lastCached int
+	res2, err := c2.RunStream(context.Background(), req, musa.Observer{
+		Progress: func(done, total, cached int) { lastCached = cached },
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(d.Measurements) != 12 {
-		t.Fatalf("resumed sweep returned %d measurements, want 12", len(d.Measurements))
+	if len(res2.Sweep.Measurements) != 12 {
+		t.Fatalf("resumed sweep returned %d measurements, want 12", len(res2.Sweep.Measurements))
 	}
-	st2 := svc2.Stats()
-	if int64(last.Cached) != partial || st2.Simulated != 12-partial {
+	st2 := c2.Stats()
+	if int64(lastCached) != partial || st2.Simulated != 12-partial {
 		t.Fatalf("resume reused %d and simulated %d, want %d reused and %d simulated",
-			last.Cached, st2.Simulated, partial, 12-partial)
+			lastCached, st2.Simulated, partial, 12-partial)
 	}
-
-	svc2.Store().Close()
+	c2.Close()
 
 	// Third run: everything is cached, nothing simulates, and the dataset
 	// is identical.
-	svc3 := testService(t, dir)
-	d3, err := svc3.Sweep(context.Background(), req, nil)
+	c3 := testClient(t, dir)
+	res3, err := c3.Run(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n := svc3.Stats().Simulated; n != 0 {
+	if n := c3.Stats().Simulated; n != 0 {
 		t.Fatalf("fully cached sweep simulated %d points", n)
 	}
-	if !reflect.DeepEqual(d.Measurements, d3.Measurements) {
+	if !reflect.DeepEqual(res2.Sweep.Measurements, res3.Sweep.Measurements) {
 		t.Fatal("cached sweep dataset differs from the computed one")
-	}
-}
-
-func TestSweepRejectsUnknownApp(t *testing.T) {
-	svc := testService(t, t.TempDir())
-	if _, err := svc.Sweep(context.Background(), SweepRequest{Apps: []string{"nope"}}, nil); err == nil {
-		t.Fatal("unknown application accepted")
 	}
 }

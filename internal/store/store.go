@@ -1,6 +1,7 @@
 // Package store persists design-space-exploration measurements in a
-// content-addressed result store. A simulation request — (application,
-// ArchPoint, sample/warmup sizes, seed) — hashes to a stable key; completed
+// content-addressed result store. A simulation request hashes to a stable
+// key — since schema v3 the key is the SHA-256 of the canonical
+// musa.Experiment encoding, computed by the caller — and completed
 // measurements are appended to a JSONL log on disk as they finish, so a
 // killed sweep resumes from its checkpoint and repeated sweeps become cache
 // hits. An LRU front keeps hot entries in memory; misses fall back to the
@@ -11,100 +12,39 @@ package store
 import (
 	"bufio"
 	"container/list"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
-	"slices"
 	"strconv"
 	"strings"
 	"sync"
 	"syscall"
 
 	"musa/internal/dse"
-	"musa/internal/net"
 )
 
-// SchemaVersion identifies the on-disk measurement encoding. It is bumped
-// whenever dse.Measurement or the request key fields change shape — v2
-// added the cluster-level replay fields (EndToEndNs, MPIFraction,
-// ParallelEff, Cluster) and the replay configuration in the request key.
+// SchemaVersion identifies the on-disk measurement encoding and the key
+// derivation. It is bumped whenever dse.Measurement or the request key
+// fields change shape — v2 added the cluster-level replay fields, v3 moved
+// key derivation onto the canonical musa.Experiment encoding (and added the
+// per-measurement IPC field), so v2 keys no longer address v3 results.
 // Open refuses a store written under a different version instead of
-// silently misreading it (an old log would unmarshal with zeroed cluster
-// fields and serve them as cache hits).
-const SchemaVersion = 2
+// silently misreading it (an old log would unmarshal with zeroed fields, or
+// simply never hit, and quietly poison resumed sweeps).
+const SchemaVersion = 3
 
 // schemaName is the version marker's file name inside the store directory.
 const schemaName = "schema"
 
-// Request identifies one simulation measurement. Two requests with equal
-// normalized fields address the same result; dse.Run is deterministic for a
-// fixed request (see TestRunDeterministic), which is what makes the
-// content-addressed store sound.
-type Request struct {
-	App          string
-	Arch         dse.ArchPoint
-	SampleInstrs int64
-	WarmupInstrs int64
-	Seed         uint64
-
-	// ReplayRanks and Network identify the cluster-level replay stage the
-	// measurement was produced under (empty ReplayRanks = node-only
-	// measurement, Network zeroed). Different replay configurations hash
-	// to different keys.
-	ReplayRanks []int
-	Network     net.Model
-}
-
-// Normalize maps a request onto its canonical form, mirroring the defaults
-// the runner applies (seed 0 means seed 1; zero sample/warmup mean the
-// package defaults and are kept as written). Replay ranks are sorted and
-// deduplicated — [256,64] and [64,256] address the same measurement — and
-// a request without replay ranks is node-only: its network model is zeroed
-// so it cannot influence the key.
-func (r Request) Normalize() Request {
-	if r.Seed == 0 {
-		r.Seed = 1
-	}
-	if len(r.ReplayRanks) == 0 {
-		r.ReplayRanks = nil
-		r.Network = net.Model{}
-	} else {
-		ranks := append([]int(nil), r.ReplayRanks...)
-		slices.Sort(ranks)
-		r.ReplayRanks = slices.Compact(ranks)
-	}
-	return r
-}
-
-// Key returns the content address of a request: the hex SHA-256 of its
-// canonical JSON encoding. Struct fields marshal in declaration order, so
-// the encoding — and therefore the key — is deterministic.
-func Key(r Request) string {
-	b, err := json.Marshal(r.Normalize())
-	if err != nil {
-		// Request is a tree of plain exported fields; Marshal cannot fail.
-		panic(fmt.Sprintf("store: marshal request: %v", err))
-	}
-	sum := sha256.Sum256(b)
-	return hex.EncodeToString(sum[:])
-}
-
 // Bind wires st into a sweep's options: unless recompute is set, o.Lookup
 // serves stored measurements, and o.OnMeasurement checkpoints each freshly
-// simulated one. base carries the request fields shared by every point of
-// the sweep (sample/warmup sizes and seed); App and Arch are filled per
-// point. The returned function reports the first checkpoint write error
-// and must be called after dse.Run returns.
-func Bind(st *Store, base Request, o *dse.Options, recompute bool) func() error {
-	base = base.Normalize()
-	keyOf := func(app string, p dse.ArchPoint) string {
-		r := base
-		r.App, r.Arch = app, p
-		return Key(r)
-	}
+// simulated one. keyOf maps each sweep point onto its content address — the
+// canonical-experiment key shared with single-measurement requests, so a
+// sweep's checkpoints are hits for later single-point requests and vice
+// versa. The returned function reports the first checkpoint write error and
+// must be called after dse.Run returns.
+func Bind(st *Store, keyOf func(app string, p dse.ArchPoint) string, o *dse.Options, recompute bool) func() error {
 	if !recompute {
 		o.Lookup = func(app string, p dse.ArchPoint) (dse.Measurement, bool) {
 			return st.Get(keyOf(app, p))

@@ -1,14 +1,15 @@
 package store
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"musa/internal/cpu"
 	"musa/internal/dse"
-	"musa/internal/net"
 	"musa/internal/power"
 )
 
@@ -21,7 +22,7 @@ func testPoint(freq float64) dse.ArchPoint {
 
 func testMeasurement(app string, freq, t float64) dse.Measurement {
 	return dse.Measurement{
-		App: app, Arch: testPoint(freq), TimeNs: t,
+		App: app, Arch: testPoint(freq), TimeNs: t, IPC: 1.1,
 		Power: power.Breakdown{CoreL1: 10, L2L3: 5, Memory: 3}, EnergyJ: t * 18e-9,
 		L1MPKI: 1.5, L2MPKI: 0.7, L3MPKI: 0.2, GMemReqPerSec: 1e9,
 		Cluster: []dse.ClusterStat{
@@ -32,51 +33,10 @@ func testMeasurement(app string, freq, t float64) dse.Measurement {
 	}
 }
 
-func TestKeyDeterministicAndDiscriminating(t *testing.T) {
-	r := Request{App: "lulesh", Arch: testPoint(2.0), SampleInstrs: 1000, Seed: 1}
-	if Key(r) != Key(r) {
-		t.Fatal("same request hashed to different keys")
-	}
-	zeroSeed := r
-	zeroSeed.Seed = 0
-	if Key(zeroSeed) != Key(r) {
-		t.Fatal("seed 0 must normalize to seed 1")
-	}
-	variants := []Request{
-		{App: "hydro", Arch: r.Arch, SampleInstrs: 1000, Seed: 1},
-		{App: "lulesh", Arch: testPoint(2.5), SampleInstrs: 1000, Seed: 1},
-		{App: "lulesh", Arch: r.Arch, SampleInstrs: 2000, Seed: 1},
-		{App: "lulesh", Arch: r.Arch, SampleInstrs: 1000, WarmupInstrs: 1, Seed: 1},
-		{App: "lulesh", Arch: r.Arch, SampleInstrs: 1000, Seed: 2},
-		{App: "lulesh", Arch: r.Arch, SampleInstrs: 1000, Seed: 1,
-			ReplayRanks: []int{64, 256}, Network: net.MareNostrum4()},
-		{App: "lulesh", Arch: r.Arch, SampleInstrs: 1000, Seed: 1,
-			ReplayRanks: []int{128}, Network: net.MareNostrum4()},
-		{App: "lulesh", Arch: r.Arch, SampleInstrs: 1000, Seed: 1,
-			ReplayRanks: []int{64, 256}, Network: net.HDR200()},
-	}
-	seen := map[string]bool{Key(r): true}
-	for i, v := range variants {
-		k := Key(v)
-		if seen[k] {
-			t.Fatalf("variant %d collided with another request key", i)
-		}
-		seen[k] = true
-	}
-	// A node-only request must not be influenced by a stray network model.
-	stray := r
-	stray.Network = net.HDR200()
-	if Key(stray) != Key(r) {
-		t.Fatal("network model leaked into a node-only request key")
-	}
-	// Rank order and duplicates must not change the key: the replay runs
-	// the sorted unique set either way.
-	a, b := r, r
-	a.ReplayRanks, a.Network = []int{256, 64}, net.MareNostrum4()
-	b.ReplayRanks, b.Network = []int{64, 256, 64}, net.MareNostrum4()
-	if Key(a) != Key(b) {
-		t.Fatal("replay rank order/duplicates changed the request key")
-	}
+// testKey stands in for the canonical-experiment keys the musa package
+// computes; the store itself only sees opaque content addresses.
+func testKey(app string, freq float64) string {
+	return fmt.Sprintf("key-%s-%.1f", app, freq)
 }
 
 func TestOpenRefusesMismatchedSchema(t *testing.T) {
@@ -85,22 +45,31 @@ func TestOpenRefusesMismatchedSchema(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	k := Key(Request{App: "hydro", Arch: testPoint(2.0), Seed: 1})
-	if err := st.Put(k, testMeasurement("hydro", 2.0, 7)); err != nil {
+	if err := st.Put(testKey("hydro", 2.0), testMeasurement("hydro", 2.0, 7)); err != nil {
 		t.Fatal(err)
 	}
 	st.Close()
 
-	// A store stamped with an older schema version must be refused.
-	if err := os.WriteFile(filepath.Join(dir, schemaName), []byte("1\n"), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := Open(dir, Options{}); err == nil {
-		t.Fatal("Open accepted a store written under schema v1")
+	// A store stamped with an older schema version must be refused with an
+	// error that names both versions: v2 keys were derived from the old
+	// store.Request encoding and no longer address v3 results.
+	for _, old := range []string{"1\n", "2\n"} {
+		if err := os.WriteFile(filepath.Join(dir, schemaName), []byte(old), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Open(dir, Options{})
+		if err == nil {
+			t.Fatalf("Open accepted a store written under schema %q", old)
+		}
+		want := fmt.Sprintf("schema v%s", old[:1])
+		if got := err.Error(); !strings.Contains(got, want) || !strings.Contains(got, fmt.Sprintf("v%d", SchemaVersion)) {
+			t.Fatalf("refusal error %q does not name both versions", got)
+		}
 	}
 
 	// Restoring the current version makes it readable again.
-	if err := os.WriteFile(filepath.Join(dir, schemaName), []byte("2\n"), 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, schemaName),
+		[]byte(fmt.Sprintf("%d\n", SchemaVersion)), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	st2, err := Open(dir, Options{})
@@ -132,8 +101,8 @@ func TestRoundTripAndReopen(t *testing.T) {
 	}
 	m1 := testMeasurement("lulesh", 2.0, 100)
 	m2 := testMeasurement("hydro", 2.5, 200)
-	k1 := Key(Request{App: m1.App, Arch: m1.Arch, Seed: 1})
-	k2 := Key(Request{App: m2.App, Arch: m2.Arch, Seed: 1})
+	k1 := testKey(m1.App, 2.0)
+	k2 := testKey(m2.App, 2.5)
 	if err := st.Put(k1, m1); err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +148,7 @@ func TestLRUEvictionFallsBackToDisk(t *testing.T) {
 	keys := make([]string, len(freqs))
 	for i, f := range freqs {
 		m := testMeasurement("spmz", f, 100*float64(i+1))
-		keys[i] = Key(Request{App: m.App, Arch: m.Arch, Seed: 1})
+		keys[i] = testKey(m.App, f)
 		if err := st.Put(keys[i], m); err != nil {
 			t.Fatal(err)
 		}
@@ -203,13 +172,13 @@ func TestCompactionDropsSupersededRecords(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	k := Key(Request{App: "btmz", Arch: testPoint(2.0), Seed: 1})
+	k := testKey("btmz", 2.0)
 	for i := 0; i < 3; i++ {
 		if err := st.Put(k, testMeasurement("btmz", 2.0, float64(i))); err != nil {
 			t.Fatal(err)
 		}
 	}
-	other := Key(Request{App: "btmz", Arch: testPoint(3.0), Seed: 1})
+	other := testKey("btmz", 3.0)
 	if err := st.Put(other, testMeasurement("btmz", 3.0, 9)); err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +229,7 @@ func TestTruncatedTrailingRecordIsDropped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	k := Key(Request{App: "spec3d", Arch: testPoint(2.0), Seed: 1})
+	k := testKey("spec3d", 2.0)
 	if err := st.Put(k, testMeasurement("spec3d", 2.0, 42)); err != nil {
 		t.Fatal(err)
 	}

@@ -5,17 +5,24 @@
 // replay — and the paper's 864-point design-space exploration with power
 // and energy estimation.
 //
-// Quick start:
+// Quick start — every scenario is one Experiment run through one Client:
 //
-//	app, _ := musa.App("lulesh")
-//	res := musa.SimulateNode(app, musa.DefaultArch())
-//	fmt.Println(res.ComputeNs, res.Power.Total())
+//	client, _ := musa.NewClient(musa.ClientOptions{})
+//	defer client.Close()
+//	arch := musa.DefaultArch()
+//	res, err := client.Run(context.Background(), musa.Experiment{
+//		Kind: musa.KindNode, App: "lulesh", Arch: &arch,
+//	})
+//	fmt.Println(res.Measurement.TimeNs, res.Measurement.Power.Total(), err)
 //
-// See the examples/ directory and DESIGN.md for the full methodology.
+// See the examples/ directory, the Example tests and DESIGN.md for the full
+// methodology.
 package musa
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 
 	"musa/internal/apps"
 	"musa/internal/core"
@@ -39,23 +46,24 @@ func App(name string) (*Application, error) { return apps.ByName(name) }
 func Applications() []*Application { return apps.All() }
 
 // Arch describes a compute-node architecture, mirroring Table I of the
-// paper plus the unconventional extensions of Table II.
+// paper plus the unconventional extensions of Table II. The JSON tags are
+// the wire form the HTTP API and the canonical experiment encoding use.
 type Arch struct {
 	// Cores per socket: 1, 32 or 64 in the paper's sweep.
-	Cores int
+	Cores int `json:"cores"`
 	// CoreType is one of "lowend", "medium", "high", "aggressive".
-	CoreType string
+	CoreType string `json:"coreType"`
 	// FreqGHz: 1.5, 2.0, 2.5 or 3.0 in the sweep.
-	FreqGHz float64
+	FreqGHz float64 `json:"freqGHz"`
 	// VectorBits: 128, 256, 512 (sweep); 64, 1024, 2048 (Table II).
-	VectorBits int
+	VectorBits int `json:"vectorBits"`
 	// CacheLabel is "32M:256K", "64M:512K" or "96M:1M" (L3 total : L2 per
 	// core).
-	CacheLabel string
+	CacheLabel string `json:"cacheLabel"`
 	// Channels is the DDR channel count (4 or 8; 16 for MEM+/MEM++).
-	Channels int
+	Channels int `json:"channels"`
 	// HBM selects HBM2 instead of DDR4-2333 (the MEM++ configuration).
-	HBM bool
+	HBM bool `json:"hbm,omitempty"`
 }
 
 // DefaultArch returns the mid-range reference configuration used by the
@@ -68,11 +76,25 @@ func DefaultArch() Arch {
 	}
 }
 
-// toPoint converts an Arch into the internal representation.
+// CacheLabels lists the valid Table I cache configuration labels
+// (shared L3 total : private L2 per core).
+func CacheLabels() []string {
+	cfgs := dse.CacheConfigs()
+	labels := make([]string, len(cfgs))
+	for i, c := range cfgs {
+		labels[i] = c.Label
+	}
+	return labels
+}
+
+// toPoint converts an Arch into the internal representation. Every failure
+// wraps ErrBadArch — this is the one validation path shared by
+// Experiment.Normalize, the deprecated Simulate* wrappers and the HTTP
+// layer.
 func (a Arch) toPoint() (dse.ArchPoint, error) {
 	coreCfg, err := cpu.ByName(a.CoreType)
 	if err != nil {
-		return dse.ArchPoint{}, err
+		return dse.ArchPoint{}, fmt.Errorf("%w: %v", ErrBadArch, err)
 	}
 	var cacheCfg dse.CacheCfg
 	found := false
@@ -80,19 +102,66 @@ func (a Arch) toPoint() (dse.ArchPoint, error) {
 		if c.Label == a.CacheLabel {
 			cacheCfg = c
 			found = true
+			break
 		}
 	}
 	if !found {
-		return dse.ArchPoint{}, fmt.Errorf("musa: unknown cache label %q (want 32M:256K, 64M:512K or 96M:1M)", a.CacheLabel)
+		return dse.ArchPoint{}, fmt.Errorf("%w: unknown cache label %q (valid: %s)",
+			ErrBadArch, a.CacheLabel, strings.Join(CacheLabels(), ", "))
 	}
 	mem := dse.DDR4
 	if a.HBM {
 		mem = dse.HBM
 	}
-	return dse.ArchPoint{
+	p := dse.ArchPoint{
 		Cores: a.Cores, Core: coreCfg, FreqGHz: a.FreqGHz,
 		VectorBits: a.VectorBits, Cache: cacheCfg, Channels: a.Channels, Mem: mem,
-	}, nil
+	}
+	// Validate the numeric knobs through the node config so an invalid
+	// request becomes a typed error instead of a panic inside a simulation
+	// worker.
+	if err := p.NodeConfig(0, 0, 1).Validate(); err != nil {
+		return dse.ArchPoint{}, fmt.Errorf("%w: %v", ErrBadArch, err)
+	}
+	return p, nil
+}
+
+// archOfPoint renders an internal grid point back into its public knobs.
+func archOfPoint(p dse.ArchPoint) Arch {
+	return Arch{
+		Cores: p.Cores, CoreType: p.Core.Name, FreqGHz: p.FreqGHz,
+		VectorBits: p.VectorBits, CacheLabel: p.Cache.Label,
+		Channels: p.Channels, HBM: p.Mem == dse.HBM,
+	}
+}
+
+// tableIGrid caches the enumerated Table I design space: the grid is
+// immutable and index lookups (point resolution, /points rendering, sweep
+// PointIndices validation) would otherwise rebuild all 864 points per call.
+var tableIGrid = sync.OnceValue(dse.Enumerate)
+
+// PointArch returns the public form of grid point i of the Table I design
+// space (the /points HTTP listing and Experiment.PointIndex use the same
+// indexing).
+func PointArch(i int) (Arch, error) {
+	grid := tableIGrid()
+	if i < 0 || i >= len(grid) {
+		return Arch{}, fmt.Errorf("%w: index %d out of range [0,%d)", ErrBadPoint, i, len(grid))
+	}
+	return archOfPoint(grid[i]), nil
+}
+
+// PointCount returns the size of the Table I design space (864).
+func PointCount() int { return len(tableIGrid()) }
+
+// PointLabel renders the compact label of grid point i (the same label
+// measurements carry in Measurement.Arch.Label()).
+func PointLabel(i int) (string, error) {
+	grid := tableIGrid()
+	if i < 0 || i >= len(grid) {
+		return "", fmt.Errorf("%w: index %d out of range [0,%d)", ErrBadPoint, i, len(grid))
+	}
+	return grid[i].Label(), nil
 }
 
 // SimOptions tune simulation fidelity and determinism.
@@ -117,6 +186,10 @@ type NodeResult = node.Result
 
 // SimulateNode runs the detailed node-level simulation of app on arch with
 // default options.
+//
+// Deprecated: build an Experiment with KindNode and use Client.Run, which
+// validates the request instead of panicking and serves repeated requests
+// from the result store.
 func SimulateNode(app *Application, arch Arch) NodeResult {
 	return SimulateNodeOpts(app, arch, SimOptions{})
 }
@@ -124,6 +197,10 @@ func SimulateNode(app *Application, arch Arch) NodeResult {
 // SimulateNodeOpts runs the detailed node-level simulation with explicit
 // options. It panics on invalid architecture parameters (use Arch values
 // from the Table I grid).
+//
+// Deprecated: build an Experiment with KindNode and use Client.Run, which
+// validates the request instead of panicking and serves repeated requests
+// from the result store.
 func SimulateNodeOpts(app *Application, arch Arch, opts SimOptions) NodeResult {
 	p, err := arch.toPoint()
 	if err != nil {
@@ -153,6 +230,9 @@ type FullAppResult = core.DetailedResult
 
 // SimulateFullApp runs detailed mode end to end on `ranks` MPI ranks (the
 // paper uses 256) — node simulation plus network replay.
+//
+// Deprecated: build an Experiment with KindFullApp and use Client.Run,
+// which validates the request instead of panicking.
 func SimulateFullApp(app *Application, arch Arch, ranks int, model NetworkModel, opts SimOptions) FullAppResult {
 	p, err := arch.toPoint()
 	if err != nil {
@@ -173,6 +253,8 @@ type FullAppScalingResult = core.FullAppResult
 
 // FullAppScaling runs the burst-mode whole-application scaling analysis
 // including MPI overheads (Fig. 2b).
+//
+// Deprecated: build an Experiment with KindScaling and use Client.Run.
 func FullAppScaling(app *Application, ranks int, coreCounts []int, model NetworkModel) []FullAppScalingResult {
 	return core.FullAppScaling(app, ranks, coreCounts, model, core.DefaultBurstOptions())
 }

@@ -1,11 +1,10 @@
 package musa
 
 import (
-	"fmt"
-	"strconv"
-	"strings"
+	"context"
 
 	"musa/internal/dse"
+	"musa/internal/net"
 	"musa/internal/stats"
 	"musa/internal/store"
 )
@@ -15,6 +14,9 @@ import (
 type Sweep = dse.Dataset
 
 // SweepOptions configures RunSweep.
+//
+// Deprecated: build an Experiment with KindSweep and use Client.Run or
+// Client.RunStream; context.Context replaces the Cancel channel there.
 type SweepOptions struct {
 	// AppNames restricts the sweep (nil = all five applications).
 	AppNames []string
@@ -64,7 +66,26 @@ func (o SweepOptions) replayConfig() dse.ReplayConfig {
 
 // RunSweep executes the full 864-configuration Table I sweep (per selected
 // application) and returns the dataset every figure is derived from.
+//
+// Deprecated: build an Experiment with KindSweep and use Client.Run or
+// Client.RunStream. RunSweep remains as a thin wrapper over the same
+// pipeline; its store keys are the canonical-experiment keys, so caches are
+// shared with Client and musa-serve.
 func RunSweep(opts SweepOptions) (*Sweep, error) {
+	ctx := context.Background()
+	if opts.Cancel != nil {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		go func() {
+			select {
+			case <-opts.Cancel:
+				cancel()
+			case <-ctx.Done():
+			}
+		}()
+	}
+
 	rc := opts.replayConfig()
 	o := dse.Options{
 		SampleInstrs: opts.SampleInstrs,
@@ -72,7 +93,6 @@ func RunSweep(opts SweepOptions) (*Sweep, error) {
 		Workers:      opts.Workers,
 		Seed:         opts.Seed,
 		Progress:     opts.Progress,
-		Cancel:       opts.Cancel,
 		Replay:       rc,
 	}
 	if opts.AppNames != nil {
@@ -85,29 +105,47 @@ func RunSweep(opts SweepOptions) (*Sweep, error) {
 		}
 	}
 	if opts.CacheDir == "" {
-		return dse.Run(o), nil
+		return dse.Run(ctx, o), nil
 	}
 
 	st, err := store.Open(opts.CacheDir, store.Options{})
 	if err != nil {
 		return nil, err
 	}
-	base := store.Request{
-		SampleInstrs: opts.SampleInstrs,
-		WarmupInstrs: opts.WarmupInstrs,
-		Seed:         opts.Seed,
-	}
-	if !rc.Disable {
-		base.ReplayRanks = rc.Ranks
-		base.Network = rc.Network
-	}
-	flush := store.Bind(st, base, &o, opts.Recompute)
-	d := dse.Run(o)
+	flush := store.Bind(st, sweepKeyFunc(o, rc), &o, opts.Recompute)
+	d := dse.Run(ctx, o)
 	err = flush()
 	if cerr := st.Close(); err == nil {
 		err = cerr
 	}
 	return d, err
+}
+
+// sweepKeyFunc maps each sweep point onto its canonical-experiment store
+// key — the same key a single-point Client.Run request computes, so the
+// deprecated wrapper, the Client and musa-serve share one cache. The
+// replay network is encoded as its resolved model, so a custom model (only
+// reachable through this deprecated path) hashes by content rather than
+// colliding with a named scenario.
+func sweepKeyFunc(o dse.Options, rc dse.ReplayConfig) func(app string, p dse.ArchPoint) string {
+	base := Experiment{
+		Kind:   KindNode,
+		Sample: o.SampleInstrs, Warmup: o.WarmupInstrs, Seed: o.Seed,
+	}
+	if o.Seed == 0 {
+		base.Seed = 1
+	}
+	var model *net.Model
+	if rc.Disable {
+		base.NoReplay = true
+	} else {
+		base.ReplayRanks = rc.Ranks
+		m := rc.Network
+		model = &m
+	}
+	return func(app string, p dse.ArchPoint) string {
+		return nodeKey(base, app, nil, archOfPoint(p), model)
+	}
 }
 
 // ClusterMeasurement re-exports the cluster-level replay outcome attached
@@ -125,25 +163,10 @@ const MaxReplayRanks = dse.MaxReplayRanks
 func ValidateReplayRanks(ranks []int) error { return dse.ValidateReplayRanks(ranks) }
 
 // ParseReplayRanks parses a comma-separated rank-count list ("" = nil,
-// meaning the default) and validates it — the shared flag parser of the
-// musa-dse and musa-serve CLIs.
-func ParseReplayRanks(s string) ([]int, error) {
-	if s == "" {
-		return nil, nil
-	}
-	var out []int
-	for _, f := range strings.Split(s, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil {
-			return nil, fmt.Errorf("musa: bad replay rank count %q", f)
-		}
-		out = append(out, n)
-	}
-	if err := ValidateReplayRanks(out); err != nil {
-		return nil, err
-	}
-	return out, nil
-}
+// meaning the default) and validates it — the shared flag parser behind
+// Experiment.SetReplayFlags and therefore the musa-dse and musa-serve
+// CLIs. Failures wrap ErrBadReplayRanks.
+func ParseReplayRanks(s string) ([]int, error) { return parseReplayRanks(s) }
 
 // Feature re-exports the swept architectural dimensions.
 type Feature = dse.Feature
