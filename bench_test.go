@@ -45,17 +45,74 @@ func benchDataset(b *testing.B) *Sweep {
 	b.Helper()
 	benchOnce.Do(func() {
 		fmt.Fprintln(os.Stderr, "building shared 864-configuration sweep dataset (once)...")
-		var err error
-		benchData, err = RunSweep(SweepOptions{
-			SampleInstrs: benchSample,
-			WarmupInstrs: benchWarmup,
-			Seed:         1,
+		client, err := NewClient(ClientOptions{})
+		if err != nil {
+			panic(err)
+		}
+		defer client.Close()
+		res, err := client.Run(context.Background(), Experiment{
+			Kind:   KindSweep,
+			Sample: benchSample,
+			Warmup: benchWarmup,
+			Seed:   1,
 		})
 		if err != nil {
 			panic(err)
 		}
+		benchData = res.Sweep
 	})
 	return benchData
+}
+
+// benchReducedIndices returns the Table I indices of the reduced CI sweep:
+// the 64-core, 2 GHz slice (72 configurations).
+func benchReducedIndices(b *testing.B) []int {
+	b.Helper()
+	var idx []int
+	for i := 0; i < PointCount(); i++ {
+		a, err := PointArch(i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if a.Cores == 64 && a.FreqGHz == 2.0 {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// BenchmarkClientSweepReduced is the CI regression-gate benchmark: a
+// reduced sweep (one application, the 64-core 2 GHz slice) through the
+// supported Client.Run API with a result store attached, so every
+// iteration pays the canonical-experiment key derivation and store
+// checkpointing of a real run. Recompute keeps iterations comparable: the
+// store is written, never read.
+func BenchmarkClientSweepReduced(b *testing.B) {
+	client, err := NewClient(ClientOptions{CacheDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	exp := Experiment{
+		Kind:         KindSweep,
+		Apps:         []string{"lulesh"},
+		PointIndices: benchReducedIndices(b),
+		Sample:       benchSample,
+		Warmup:       benchWarmup,
+		Seed:         1,
+		ReplayRanks:  []int{64},
+		Recompute:    true,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := client.Run(context.Background(), exp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Sweep.Measurements) != len(exp.PointIndices) {
+			b.Fatalf("%d measurements", len(res.Sweep.Measurements))
+		}
+	}
 }
 
 var printed sync.Map
@@ -417,7 +474,10 @@ func BenchmarkAblationContention(b *testing.B) {
 func BenchmarkAblationFusionWindow(b *testing.B) {
 	app, _ := App("spmz")
 	for _, minRun := range []int{1, 4, 16, 64} {
-		b.Run(fmt.Sprintf("minrun-%d", minRun), func(b *testing.B) {
+		// name=value instead of name-value: a trailing -N would be
+		// indistinguishable from the GOMAXPROCS suffix go test appends,
+		// collapsing distinct sub-benchmarks in the CI bench artifact.
+		b.Run(fmt.Sprintf("minrun=%d", minRun), func(b *testing.B) {
 			var fused int64
 			for i := 0; i < b.N; i++ {
 				src := &isa.LimitStream{S: apps.NewDetailedStream(app, 1), N: 60000}

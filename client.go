@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"musa/internal/apps"
 	"musa/internal/core"
@@ -16,7 +17,8 @@ import (
 
 // ClientOptions configures a Client. Zero values mean: no persistent store,
 // GOMAXPROCS sweep workers, 2 concurrent jobs, package-default fidelity,
-// seed 1, cluster replay at 64 and 256 ranks against the "mn4" network.
+// seed 1, cluster replay at 64 and 256 ranks against the "mn4" network,
+// in-process execution (no fleet workers).
 type ClientOptions struct {
 	// CacheDir, if non-empty, opens the content-addressed result store
 	// there: node and sweep measurements are checkpointed as they complete
@@ -25,11 +27,29 @@ type ClientOptions struct {
 	CacheDir string
 	// LRUEntries bounds the store's in-memory front (0 = store default).
 	LRUEntries int
-	// Workers bounds dse.Run parallelism inside one job (0 = GOMAXPROCS).
-	Workers int
+	// SweepWorkers bounds dse.Run parallelism inside one job
+	// (0 = GOMAXPROCS).
+	SweepWorkers int
 	// MaxJobs bounds concurrently executing simulation jobs across all
 	// requests (0 = 2). Requests beyond the bound queue.
 	MaxJobs int
+
+	// Workers lists remote musa-serve base URLs (e.g. "http://h1:8080").
+	// When non-empty, sweep experiments are split into per-annotation-group
+	// shards and dispatched across the fleet over the /shard endpoint, with
+	// the local process as the retry/hedge pool; all other kinds, and sweeps
+	// over client-registered custom applications, still run in process. The
+	// merged dataset is byte-identical to the in-process run.
+	Workers []string
+	// ShardTimeout bounds one remote shard request; a shard that times out
+	// is re-dispatched onto the local pool (0 = 10m, negative = unbounded).
+	ShardTimeout time.Duration
+	// HedgeAfter, if positive, re-dispatches a still-running remote shard
+	// onto the local pool after this long, and lets the local pool start
+	// draining still-queued shards after the same delay; the first result
+	// per shard wins and the merged dataset still holds exactly one
+	// measurement per point.
+	HedgeAfter time.Duration
 
 	// SampleInstrs / WarmupInstrs / Seed are applied to experiments that
 	// leave the corresponding field zero.
@@ -52,8 +72,14 @@ type ClientStats struct {
 	// Coalesced counts node experiments that piggybacked on an identical
 	// in-flight computation instead of simulating again.
 	Coalesced int64
-	// Simulated counts measurements actually computed.
+	// Simulated counts measurements actually computed in this process.
 	Simulated int64
+	// Remote counts measurements computed by fleet workers on behalf of
+	// this client's sweeps.
+	Remote int64
+	// Redispatched counts sweep shards re-dispatched onto the local pool
+	// after a fleet worker failed, timed out or was hedged.
+	Redispatched int64
 }
 
 // Measurement re-exports the sweep measurement: one (application,
@@ -112,12 +138,14 @@ type Client struct {
 	st      *store.Store // nil without CacheDir
 	network NetworkModel // resolved default network
 	sem     chan struct{}
+	fleet   *fleet // nil without Workers
 
 	mu     sync.Mutex
 	flight map[string]*call
 	custom map[string]*Application
 
 	requests, storeHits, coalesced, simulated atomic.Int64
+	remote, redispatched                      atomic.Int64
 }
 
 // NewClient validates the options, opens the result store when CacheDir is
@@ -147,6 +175,13 @@ func NewClient(opts ClientOptions) (*Client, error) {
 		flight:  map[string]*call{},
 		custom:  map[string]*Application{},
 	}
+	if len(opts.Workers) > 0 {
+		f, err := newFleet(opts.Workers, opts.ShardTimeout, opts.HedgeAfter)
+		if err != nil {
+			return nil, err
+		}
+		c.fleet = f
+	}
 	if opts.CacheDir != "" {
 		st, err := store.Open(opts.CacheDir, store.Options{LRUEntries: opts.LRUEntries})
 		if err != nil {
@@ -169,12 +204,21 @@ func (c *Client) Close() error {
 // Stats returns a snapshot of the client counters.
 func (c *Client) Stats() ClientStats {
 	return ClientStats{
-		Requests:  c.requests.Load(),
-		StoreHits: c.storeHits.Load(),
-		Coalesced: c.coalesced.Load(),
-		Simulated: c.simulated.Load(),
+		Requests:     c.requests.Load(),
+		StoreHits:    c.storeHits.Load(),
+		Coalesced:    c.coalesced.Load(),
+		Simulated:    c.simulated.Load(),
+		Remote:       c.remote.Load(),
+		Redispatched: c.redispatched.Load(),
 	}
 }
+
+// MaxJobs returns the client's concurrent-job bound — the capacity a
+// musa-serve worker advertises on /capacity.
+func (c *Client) MaxJobs() int { return cap(c.sem) }
+
+// InFlight returns the number of simulation jobs currently holding a slot.
+func (c *Client) InFlight() int { return len(c.sem) }
 
 // StoreLen returns the number of measurements in the result store (0
 // without one).
@@ -446,6 +490,12 @@ func (c *Client) simulateOne(ctx context.Context, app *Application, ne Experimen
 // an error wrapping context.Canceled, so callers keep what was computed
 // and a repeated run resumes from the checkpoint.
 func (c *Client) runSweep(ctx context.Context, ne Experiment, obs Observer) (*Result, error) {
+	// A configured fleet takes over built-in-application sweeps; custom
+	// applications are registered only on this client, so the workers could
+	// not resolve them — those sweeps stay in process.
+	if c.fleet != nil && c.fleetEligible(ne) {
+		return c.runSweepFleet(ctx, ne, obs)
+	}
 	var selected []*apps.Profile
 	for _, name := range ne.Apps {
 		a, err := c.resolveApp(name)
@@ -472,7 +522,7 @@ func (c *Client) runSweep(ctx context.Context, ne Experiment, obs Observer) (*Re
 		Points:       points,
 		SampleInstrs: ne.Sample,
 		WarmupInstrs: ne.Warmup,
-		Workers:      c.opts.Workers,
+		Workers:      c.opts.SweepWorkers,
 		Seed:         ne.Seed,
 		Replay:       c.replayOf(ne),
 	}

@@ -10,7 +10,7 @@ import (
 func testClientOpts(dir string) ClientOptions {
 	return ClientOptions{
 		CacheDir:     dir,
-		Workers:      2,
+		SweepWorkers: 2,
 		MaxJobs:      2,
 		SampleInstrs: 20000,
 		WarmupInstrs: 40000,

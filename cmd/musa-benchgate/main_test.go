@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: musa
+cpu: whatever
+BenchmarkClientSweepReduced-8   	       1	2045670000 ns/op
+BenchmarkSweepReplayOverhead/node-only-8 	       1	 901000000 ns/op
+BenchmarkSweepReplayOverhead/replay-8    	       2	1202000000 ns/op
+some unrelated line
+BenchmarkAblationFusionWindow/minrun=16-8 	       1	   8399523 ns/op
+BenchmarkTable1DesignSpace  	       1	    164989 ns/op
+PASS
+ok  	musa	12.345s
+`
+
+func TestParse(t *testing.T) {
+	got, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != "musa-bench/v1" {
+		t.Fatalf("schema = %q", got.Schema)
+	}
+	want := []Bench{
+		// Only the GOMAXPROCS suffix is stripped; the name=value convention
+		// keeps sub-benchmark parameters out of its way.
+		{Name: "BenchmarkAblationFusionWindow/minrun=16", Iters: 1, NsPerOp: 8399523},
+		{Name: "BenchmarkClientSweepReduced", Iters: 1, NsPerOp: 2045670000},
+		{Name: "BenchmarkSweepReplayOverhead/node-only", Iters: 1, NsPerOp: 901000000},
+		{Name: "BenchmarkSweepReplayOverhead/replay", Iters: 2, NsPerOp: 1202000000},
+		{Name: "BenchmarkTable1DesignSpace", Iters: 1, NsPerOp: 164989},
+	}
+	if len(got.Benchmarks) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %+v", len(got.Benchmarks), len(want), got.Benchmarks)
+	}
+	for i, w := range want {
+		if got.Benchmarks[i] != w {
+			t.Errorf("benchmark %d = %+v, want %+v", i, got.Benchmarks[i], w)
+		}
+	}
+}
+
+func TestGate(t *testing.T) {
+	base := &BenchFile{Benchmarks: []Bench{
+		{Name: "A", NsPerOp: 1000},
+		{Name: "B", NsPerOp: 1000},
+		{Name: "Gone", NsPerOp: 1000},
+	}}
+	cur := &BenchFile{Benchmarks: []Bench{
+		{Name: "A", NsPerOp: 1249}, // +24.9%: inside the gate
+		{Name: "B", NsPerOp: 1251}, // +25.1%: regression
+		{Name: "New", NsPerOp: 5},  // not in baseline: note only
+	}}
+	report, failed := Gate(base, cur, 0.25)
+	if !failed {
+		t.Fatal("gate passed despite a >25% regression and a missing benchmark")
+	}
+	joined := strings.Join(report, "\n")
+	for _, want := range []string{"ok   A", "FAIL B", "FAIL Gone", "note New"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("report missing %q:\n%s", want, joined)
+		}
+	}
+
+	// Identical results pass.
+	if _, failed := Gate(base, base, 0.25); failed {
+		t.Fatal("gate failed on identical results")
+	}
+	// An improvement passes.
+	fast := &BenchFile{Benchmarks: []Bench{{Name: "A", NsPerOp: 10}, {Name: "B", NsPerOp: 10}, {Name: "Gone", NsPerOp: 10}}}
+	if _, failed := Gate(base, fast, 0.25); failed {
+		t.Fatal("gate failed on an improvement")
+	}
+}

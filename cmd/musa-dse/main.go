@@ -90,8 +90,8 @@ func main() {
 	}
 
 	client, err := musa.NewClient(musa.ClientOptions{
-		CacheDir: *cacheDir,
-		Workers:  *workers,
+		CacheDir:     *cacheDir,
+		SweepWorkers: *workers,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -14,8 +14,10 @@
 //
 //	GET  /apps         the five application models
 //	GET  /points       the 864-point Table I design space
+//	GET  /capacity     advertised -max-jobs and in-flight jobs (fleet probe)
 //	POST /simulate     {"app":"lulesh","pointIndex":42} -> one measurement
 //	POST /dse          {"apps":["hydro"],"sample":60000} -> NDJSON stream
+//	POST /shard        {"apps":["hydro"],"pointIndices":[0,1]} -> plain JSON
 //	GET  /figures/{n}  JSON data for figure n (1, 4-11)
 //	GET  /figures/4    rank timeline: ?app=lulesh&ranks=64&network=mn4
 //	GET  /stats        client counters, store size, replay configuration
@@ -67,7 +69,7 @@ func main() {
 	client, err := musa.NewClient(musa.ClientOptions{
 		CacheDir:     *cacheDir,
 		LRUEntries:   *lru,
-		Workers:      *workers,
+		SweepWorkers: *workers,
 		MaxJobs:      *maxJobs,
 		SampleInstrs: *sample,
 		WarmupInstrs: *warmup,
@@ -80,6 +82,7 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("store %s: %d measurements", *cacheDir, client.StoreLen())
+	log.Printf("advertising capacity: %d concurrent jobs (/capacity)", client.MaxJobs())
 
 	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(serve.New(client))}
 

@@ -1,0 +1,550 @@
+package musa
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"musa/internal/apps"
+	"musa/internal/dse"
+)
+
+// This file is the distributed sweep scheduler: a sweep experiment is split
+// into per-(application, annotation-group) shards, each shard is dispatched
+// to a musa-serve worker over POST /shard, and the results are merged back
+// into the same deterministic (app, arch-label) order the in-process runner
+// produces. The local process is the retry and hedge pool: a shard whose
+// worker fails, times out or runs past HedgeAfter is re-dispatched in
+// process exactly once, and the first result per shard wins, so the merged
+// dataset holds exactly one measurement per point either way.
+
+// ErrBadWorker reports an unusable fleet worker URL in ClientOptions.
+var ErrBadWorker = errors.New("musa: bad fleet worker URL")
+
+const (
+	defaultShardTimeout = 10 * time.Minute
+	capacityProbeWindow = 5 * time.Second
+	// maxWorkerSlots clamps an advertised /capacity so a misconfigured
+	// worker cannot make the coordinator open hundreds of connections.
+	maxWorkerSlots = 16
+)
+
+// fleet is the validated remote-worker configuration of a Client.
+type fleet struct {
+	bases      []string // normalized base URLs, no trailing slash
+	timeout    time.Duration
+	hedgeAfter time.Duration
+	httpc      *http.Client
+}
+
+// newFleet validates the worker base URLs (http/https with a host) and
+// normalizes the dispatch knobs.
+func newFleet(workers []string, shardTimeout, hedgeAfter time.Duration) (*fleet, error) {
+	f := &fleet{
+		timeout:    shardTimeout,
+		hedgeAfter: hedgeAfter,
+		httpc:      &http.Client{},
+	}
+	if f.timeout == 0 {
+		f.timeout = defaultShardTimeout
+	}
+	for _, w := range workers {
+		u, err := url.Parse(strings.TrimRight(w, "/"))
+		if err != nil {
+			return nil, fmt.Errorf("%w %q: %v", ErrBadWorker, w, err)
+		}
+		if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("%w %q: want http(s)://host[:port]", ErrBadWorker, w)
+		}
+		f.bases = append(f.bases, u.String())
+	}
+	return f, nil
+}
+
+// capacity probes GET {base}/capacity and returns the advertised concurrent
+// job count, clamped to [1, maxWorkerSlots].
+func (f *fleet) capacity(ctx context.Context, base string) (int, error) {
+	ctx, cancel := context.WithTimeout(ctx, capacityProbeWindow)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/capacity", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := f.httpc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("musa: %s/capacity: %s", base, resp.Status)
+	}
+	var out struct {
+		MaxJobs int `json:"maxJobs"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&out); err != nil {
+		return 0, fmt.Errorf("musa: %s/capacity: %v", base, err)
+	}
+	if out.MaxJobs < 1 {
+		return 1, nil
+	}
+	return min(out.MaxJobs, maxWorkerSlots), nil
+}
+
+// postShard sends one shard sub-experiment to a worker and returns its
+// measurements. The request is bounded by the fleet's shard timeout.
+func (f *fleet) postShard(ctx context.Context, base string, e Experiment) ([]Measurement, error) {
+	if f.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, f.timeout)
+		defer cancel()
+	}
+	body, err := json.Marshal(e)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/shard", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := f.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+		return nil, fmt.Errorf("musa: %s/shard: %s: %s", base, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var out struct {
+		Measurements []Measurement `json:"measurements"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("musa: %s/shard: %v", base, err)
+	}
+	return out.Measurements, nil
+}
+
+// shardJob is one dispatch unit: the points of one (application,
+// annotation-group) pair that were not already in the result store.
+type shardJob struct {
+	app     string
+	indices []int             // ascending Table I grid indices
+	keys    map[string]string // arch label -> store key, also the expected-point set
+
+	// done guards completion: the first finisher (remote or the local
+	// retry/hedge) records the shard's measurements, every later finisher
+	// is dropped, so each point is measured exactly once in the merge.
+	done atomic.Bool
+	// redone guards re-dispatch: a shard is handed to the local pool at
+	// most once, whether because its worker failed, timed out, or ran past
+	// the hedge deadline.
+	redone atomic.Bool
+}
+
+// planShards groups each application's remaining grid indices into
+// per-annotation-group shards (dse.AnnGroup — the grouping under which
+// dse.Run shares one annotation pass, so dispatching a whole group keeps a
+// remote worker as efficient as the local runner). The plan is
+// deterministic: applications in the given order, groups in first-seen
+// (ascending index) order. keyOf maps a unit onto its store key; the shard
+// keeps the label->key map both to warm the coordinator store and to
+// validate a worker's reply.
+func planShards(appNames []string, remaining map[string][]int, keyOf func(app string, i int) string) []*shardJob {
+	grid := tableIGrid()
+	var out []*shardJob
+	for _, app := range appNames {
+		groups := map[dse.AnnGroup]*shardJob{}
+		for _, i := range remaining[app] {
+			gk := grid[i].AnnGroup()
+			j := groups[gk]
+			if j == nil {
+				j = &shardJob{app: app, keys: map[string]string{}}
+				groups[gk] = j
+				out = append(out, j)
+			}
+			j.indices = append(j.indices, i)
+			j.keys[grid[i].Label()] = keyOf(app, i)
+		}
+	}
+	return out
+}
+
+// validateShardReply checks a worker's measurements against the shard: one
+// measurement per requested point, no strays, no duplicates. A mismatching
+// reply is treated like a failed worker and the shard is re-dispatched.
+func (j *shardJob) validateShardReply(ms []Measurement) error {
+	if len(ms) != len(j.indices) {
+		return fmt.Errorf("musa: shard %s: %d measurements for %d points", j.app, len(ms), len(j.indices))
+	}
+	seen := make(map[string]bool, len(ms))
+	for _, m := range ms {
+		label := m.Arch.Label()
+		if m.App != j.app {
+			return fmt.Errorf("musa: shard %s: stray app %q", j.app, m.App)
+		}
+		if _, ok := j.keys[label]; !ok {
+			return fmt.Errorf("musa: shard %s: stray point %s", j.app, label)
+		}
+		if seen[label] {
+			return fmt.Errorf("musa: shard %s: duplicate point %s", j.app, label)
+		}
+		seen[label] = true
+	}
+	return nil
+}
+
+// shardExperiment builds the wire sub-experiment of a shard: the normalized
+// sweep restricted to the shard's application and points. Every field a
+// worker could otherwise default is explicit — seed, replay ranks and
+// network come normalized, and an implicit (zero) fidelity is materialized
+// to the package defaults the local pool would simulate with — so a worker
+// started with its own -sample/-warmup/-replay defaults computes exactly
+// the measurements the coordinator expects.
+func shardExperiment(ne Experiment, j *shardJob) Experiment {
+	sample := ne.Sample
+	if sample == 0 {
+		sample = apps.SampleSize // the node simulator's default sample
+	}
+	warmup := ne.Warmup
+	if warmup == 0 {
+		warmup = 2 * sample // the node simulator's default warmup
+	}
+	return Experiment{
+		Kind: KindSweep, Apps: []string{j.app}, PointIndices: j.indices,
+		Sample: sample, Warmup: warmup, Seed: ne.Seed,
+		ReplayRanks: ne.ReplayRanks, NoReplay: ne.NoReplay, Network: ne.Network,
+		Recompute: ne.Recompute,
+	}
+}
+
+// fleetEligible reports whether a normalized sweep can be dispatched to the
+// fleet: every application must be a built-in (workers cannot resolve this
+// client's registered custom profiles).
+func (c *Client) fleetEligible(ne Experiment) bool {
+	for _, name := range ne.Apps {
+		if c.customProfile(name) != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// runShardLocal executes one shard in process — the retry and hedge path.
+// The shard is one annotation group, which dse.Run walks sequentially, so
+// parallelism comes from the number of local pool goroutines instead.
+func (c *Client) runShardLocal(ctx context.Context, ne Experiment, j *shardJob) ([]Measurement, error) {
+	app, err := c.resolveApp(j.app)
+	if err != nil {
+		return nil, err // unreachable: ne is normalized
+	}
+	grid := tableIGrid()
+	points := make([]dse.ArchPoint, len(j.indices))
+	for k, i := range j.indices {
+		points[k] = grid[i]
+	}
+	d := dse.Run(ctx, dse.Options{
+		Apps:         []*apps.Profile{app},
+		Points:       points,
+		SampleInstrs: ne.Sample,
+		WarmupInstrs: ne.Warmup,
+		Workers:      1,
+		Seed:         ne.Seed,
+		Replay:       c.replayOf(ne),
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(d.Measurements) != len(points) {
+		return nil, fmt.Errorf("musa: local shard %s: %d measurements for %d points",
+			j.app, len(d.Measurements), len(points))
+	}
+	c.simulated.Add(int64(len(d.Measurements)))
+	return d.Measurements, nil
+}
+
+// runSweepFleet is the distributed counterpart of runSweep. The store is
+// consulted up front (cached points are never dispatched), the remaining
+// points are sharded and spread across the fleet with per-worker bounded
+// in-flight requests, and every completed shard — remote or local — is
+// checkpointed into the coordinator's store under the same node keys the
+// in-process runner writes. On cancellation it returns the partial dataset
+// with an error wrapping ctx.Err(), exactly like the in-process path.
+func (c *Client) runSweepFleet(ctx context.Context, ne Experiment, obs Observer) (*Result, error) {
+	appNames := ne.Apps
+	if appNames == nil {
+		for _, a := range apps.All() {
+			appNames = append(appNames, a.Name)
+		}
+		sort.Strings(appNames)
+	}
+	indices := ne.PointIndices
+	if indices == nil {
+		indices = make([]int, PointCount())
+		for i := range indices {
+			indices[i] = i
+		}
+	}
+	grid := tableIGrid()
+	// keyOf is memoized: the store pre-check and the shard planner both ask
+	// for every key, and each derivation is a canonical-JSON marshal + hash.
+	// Only runSweepFleet's goroutine calls it, so a plain map suffices.
+	keyMemo := make(map[string]string, len(appNames)*len(indices))
+	keyOf := func(app string, i int) string {
+		mk := app + "\x00" + strconv.Itoa(i)
+		if k, ok := keyMemo[mk]; ok {
+			return k
+		}
+		k := nodeKey(ne, app, nil, archOfPoint(grid[i]), nil)
+		keyMemo[mk] = k
+		return k
+	}
+
+	if err := c.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer c.release()
+
+	// Serialized observer delivery and shared result assembly.
+	total := len(appNames) * len(indices)
+	var resMu sync.Mutex
+	var collected []Measurement
+	var done, cachedCount int
+	var firstErr error
+	record := func(ms []Measurement, cached bool, err error) {
+		resMu.Lock()
+		collected = append(collected, ms...)
+		done += len(ms)
+		if cached {
+			cachedCount += len(ms)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		// Both callbacks run under the lock: the Observer contract promises
+		// each is serialized with itself.
+		if obs.Measurement != nil {
+			for _, m := range ms {
+				obs.Measurement(m)
+			}
+		}
+		if obs.Progress != nil && len(ms) > 0 {
+			obs.Progress(done, total, cachedCount)
+		}
+		resMu.Unlock()
+	}
+
+	// Store pre-check: known points are served locally and never dispatched.
+	remaining := map[string][]int{}
+	for _, app := range appNames {
+		var hits []Measurement
+		for _, i := range indices {
+			if c.st != nil && !ne.Recompute {
+				if m, ok := c.st.Get(keyOf(app, i)); ok {
+					c.storeHits.Add(1)
+					hits = append(hits, m)
+					continue
+				}
+			}
+			remaining[app] = append(remaining[app], i)
+		}
+		record(hits, true, nil)
+	}
+
+	shards := planShards(appNames, remaining, keyOf)
+	if len(shards) > 0 {
+		// dispatchCtx kills straggler requests (lost hedges, slower
+		// duplicates) as soon as every shard has completed once.
+		dispatchCtx, cancelDispatch := context.WithCancel(ctx)
+		defer cancelDispatch()
+
+		jobs := make(chan *shardJob, len(shards))
+		for _, j := range shards {
+			jobs <- j
+		}
+		close(jobs)
+		redo := make(chan *shardJob, len(shards))
+
+		var remainingShards atomic.Int64
+		remainingShards.Store(int64(len(shards)))
+		allDone := make(chan struct{})
+		complete := func(j *shardJob, ms []Measurement, err error) bool {
+			if !j.done.CompareAndSwap(false, true) {
+				return false
+			}
+			var putErr error
+			if err == nil && c.st != nil {
+				for _, m := range ms {
+					if e := c.st.Put(j.keys[m.Arch.Label()], m); e != nil && putErr == nil {
+						putErr = e
+					}
+				}
+			}
+			record(ms, false, errors.Join(err, putErr))
+			if remainingShards.Add(-1) == 0 {
+				close(allDone)
+			}
+			return true
+		}
+		// redispatch hands a shard to the local pool at most once; redo is
+		// buffered for every shard, so this never blocks a worker loop.
+		redispatch := func(j *shardJob) {
+			if j.redone.CompareAndSwap(false, true) {
+				c.redispatched.Add(1)
+				redo <- j
+			}
+		}
+
+		// Probe worker capacities concurrently; an unreachable worker takes
+		// no shards this run (its would-be shards just spread elsewhere).
+		slots := make([]int, len(c.fleet.bases))
+		var probe sync.WaitGroup
+		for i, base := range c.fleet.bases {
+			probe.Add(1)
+			go func() {
+				defer probe.Done()
+				if n, err := c.fleet.capacity(dispatchCtx, base); err == nil {
+					slots[i] = n
+				}
+			}()
+		}
+		probe.Wait()
+		totalSlots := 0
+		for _, n := range slots {
+			totalSlots += n
+		}
+
+		var wg sync.WaitGroup
+		for i, base := range c.fleet.bases {
+			for s := 0; s < slots[i]; s++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-dispatchCtx.Done():
+							return
+						case j, ok := <-jobs:
+							if !ok {
+								return
+							}
+							var hedge *time.Timer
+							if c.fleet.hedgeAfter > 0 {
+								hedge = time.AfterFunc(c.fleet.hedgeAfter, func() { redispatch(j) })
+							}
+							ms, err := c.fleet.postShard(dispatchCtx, base, shardExperiment(ne, j))
+							if hedge != nil {
+								hedge.Stop()
+							}
+							if err == nil {
+								err = j.validateShardReply(ms)
+							}
+							if err != nil {
+								if dispatchCtx.Err() != nil {
+									return
+								}
+								redispatch(j)
+								continue
+							}
+							if complete(j, ms, nil) {
+								c.remote.Add(int64(len(ms)))
+							}
+						}
+					}
+				}()
+			}
+		}
+
+		// The local pool drains the redo queue; with no reachable worker it
+		// is also the primary consumer, so the sweep always completes. With
+		// hedging enabled it additionally joins primary consumption after
+		// the hedge delay — otherwise shards still queued behind stalled
+		// workers would starve (hedge timers only cover picked-up shards).
+		primary := jobs
+		if totalSlots > 0 {
+			primary = nil
+		}
+		nLocal := c.opts.SweepWorkers
+		if nLocal <= 0 {
+			nLocal = runtime.GOMAXPROCS(0)
+		}
+		for w := 0; w < nLocal; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				jobsCh := primary
+				var join <-chan time.Time
+				if jobsCh == nil && c.fleet.hedgeAfter > 0 {
+					join = time.After(c.fleet.hedgeAfter)
+				}
+				for {
+					var j *shardJob
+					select {
+					case <-dispatchCtx.Done():
+						return
+					case <-allDone:
+						return
+					case <-join:
+						jobsCh, join = jobs, nil
+						continue
+					case j = <-redo:
+					case j2, ok := <-jobsCh:
+						if !ok {
+							jobsCh = nil // closed: stop selecting it
+							continue
+						}
+						j = j2
+					}
+					if j.done.Load() {
+						continue // lost hedge: the remote reply already won
+					}
+					ms, err := c.runShardLocal(dispatchCtx, ne, j)
+					if err != nil {
+						if dispatchCtx.Err() != nil {
+							return
+						}
+						complete(j, nil, err) // local execution cannot be retried
+						continue
+					}
+					complete(j, ms, nil)
+				}
+			}()
+		}
+
+		select {
+		case <-allDone:
+		case <-ctx.Done():
+		}
+		cancelDispatch()
+		wg.Wait()
+	}
+
+	resMu.Lock()
+	ms := collected
+	err := firstErr
+	resMu.Unlock()
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].App != ms[j].App {
+			return ms[i].App < ms[j].App
+		}
+		return ms[i].Arch.Label() < ms[j].Arch.Label()
+	})
+	res := &Result{Kind: KindSweep, Sweep: &Sweep{Measurements: ms}}
+	if cerr := ctx.Err(); cerr != nil {
+		return res, fmt.Errorf("musa: sweep canceled with %d of the measurements: %w",
+			len(ms), errors.Join(cerr, err))
+	}
+	return res, err
+}

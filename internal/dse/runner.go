@@ -185,15 +185,28 @@ func (d *Dataset) ByApp(app string) []Measurement {
 	return d.byApp[app]
 }
 
-// annGroupKey identifies configurations that share cache behavior and can
-// therefore share one annotation pass: same application, core count (L3
-// partition), vector width (fused footprints) and cache configuration.
+// AnnGroup identifies configurations that share cache behavior and can
+// therefore share one annotation pass: same core count (L3 partition),
+// vector width (fused footprints), cache configuration and memory kind
+// (the latency model). The fleet shard planner groups dispatch units by
+// it, so this is the one definition of "annotation group" — growing it
+// here keeps remote shards exactly as efficient as the local runner.
+type AnnGroup struct {
+	Cores int
+	Vec   int
+	Cache string
+	Mem   MemKind
+}
+
+// AnnGroup returns the point's annotation-group signature.
+func (p ArchPoint) AnnGroup() AnnGroup {
+	return AnnGroup{Cores: p.Cores, Vec: p.VectorBits, Cache: p.Cache.Label, Mem: p.Mem}
+}
+
+// annGroupKey scopes an annotation group to one application.
 type annGroupKey struct {
-	app   string
-	cores int
-	vec   int
-	cache string
-	mem   MemKind // spec only matters for the latency model, grouped too
+	app string
+	AnnGroup
 }
 
 // Run executes the sweep in parallel and returns the dataset, sorted
@@ -290,7 +303,7 @@ func Run(ctx context.Context, opts Options) *Dataset {
 	for _, a := range opts.Apps {
 		appByName[a.Name] = a
 		for _, p := range opts.Points {
-			k := annGroupKey{a.Name, p.Cores, p.VectorBits, p.Cache.Label, p.Mem}
+			k := annGroupKey{a.Name, p.AnnGroup()}
 			groups[k] = append(groups[k], p)
 		}
 	}
@@ -303,13 +316,13 @@ func Run(ctx context.Context, opts Options) *Dataset {
 		if a.app != b.app {
 			return a.app < b.app
 		}
-		if a.cores != b.cores {
-			return a.cores < b.cores
+		if a.Cores != b.Cores {
+			return a.Cores < b.Cores
 		}
-		if a.vec != b.vec {
-			return a.vec < b.vec
+		if a.Vec != b.Vec {
+			return a.Vec < b.Vec
 		}
-		return a.cache < b.cache
+		return a.Cache < b.Cache
 	})
 
 	total := 0

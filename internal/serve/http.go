@@ -18,8 +18,10 @@ import (
 //
 //	GET  /apps         the five application models
 //	GET  /points       the Table I design space
+//	GET  /capacity     advertised MaxJobs and in-flight jobs (fleet probe)
 //	POST /simulate     one node experiment (store-backed, coalesced)
 //	POST /dse          sweep experiment; streams NDJSON progress then the result
+//	POST /shard        sweep subset for a fleet coordinator; plain JSON reply
 //	GET  /figures/{n}  JSON figure data (1, 4-11; 4 is the rank timeline)
 //	GET  /stats        client and store counters, replay configuration
 //
@@ -70,8 +72,17 @@ func NewHandler(svc *Service) http.Handler {
 			"schemaVersion": store.SchemaVersion,
 		})
 	})
+	mux.HandleFunc("GET /capacity", func(w http.ResponseWriter, r *http.Request) {
+		c := svc.Client()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"maxJobs":  c.MaxJobs(),
+			"inFlight": c.InFlight(),
+			"stored":   c.StoreLen(),
+		})
+	})
 	mux.HandleFunc("POST /simulate", svc.handleSimulate)
 	mux.HandleFunc("POST /dse", svc.handleDSE)
+	mux.HandleFunc("POST /shard", svc.handleShard)
 	mux.HandleFunc("GET /figures/{n}", svc.handleFigure)
 	return mux
 }
@@ -202,6 +213,41 @@ func (s *Service) handleDSE(w http.ResponseWriter, r *http.Request) {
 		out["measurements"] = res.Sweep.Measurements
 	}
 	emit(out)
+}
+
+// handleShard executes a sweep subset on behalf of a fleet coordinator and
+// returns the measurements as one plain JSON document: unlike the
+// NDJSON-streaming /dse endpoint, a shard reply must be all-or-nothing so
+// the coordinator can either merge it or re-dispatch the whole shard.
+// Execution goes through the same Client as every other endpoint, so shards
+// hit this worker's store and coalesce with its in-flight work.
+func (s *Service) handleShard(w http.ResponseWriter, r *http.Request) {
+	var e musa.Experiment
+	if err := json.NewDecoder(r.Body).Decode(&e); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if e.Kind != "" && e.Kind != musa.KindSweep {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("%w: /shard runs %q experiments, got %q", musa.ErrBadKind, musa.KindSweep, e.Kind))
+		return
+	}
+	e.Kind = musa.KindSweep
+	start := time.Now()
+	var cached int
+	res, err := s.c.RunStream(r.Context(), e, musa.Observer{
+		Progress: func(d, t, c int) { cached = c },
+	})
+	if err != nil {
+		httpError(w, experimentStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":        len(res.Sweep.Measurements),
+		"cached":       cached,
+		"elapsedMs":    float64(time.Since(start).Microseconds()) / 1e3,
+		"measurements": res.Sweep.Measurements,
+	})
 }
 
 func (s *Service) handleFigure(w http.ResponseWriter, r *http.Request) {

@@ -450,3 +450,65 @@ func TestStatsEndpoint(t *testing.T) {
 		t.Fatalf("stats after one simulate: %+v stored=%d", stats.Service, stats.Stored)
 	}
 }
+
+func TestCapacityEndpoint(t *testing.T) {
+	ts, svc := testServer(t)
+	var cap struct {
+		MaxJobs  int `json:"maxJobs"`
+		InFlight int `json:"inFlight"`
+		Stored   int `json:"stored"`
+	}
+	if code := getJSON(t, ts.URL+"/capacity", &cap); code != http.StatusOK {
+		t.Fatalf("/capacity -> %d", code)
+	}
+	if cap.MaxJobs != svc.Client().MaxJobs() || cap.MaxJobs != 4 {
+		t.Fatalf("/capacity maxJobs = %d, want %d", cap.MaxJobs, svc.Client().MaxJobs())
+	}
+	if cap.InFlight != 0 {
+		t.Fatalf("/capacity inFlight = %d on an idle server", cap.InFlight)
+	}
+}
+
+func TestShardEndpoint(t *testing.T) {
+	ts, svc := testServer(t)
+
+	var out struct {
+		Count        int                `json:"count"`
+		Cached       int                `json:"cached"`
+		Measurements []musa.Measurement `json:"measurements"`
+	}
+	req := `{"apps":["btmz"],"pointIndices":[0,1,2],"seed":1}`
+	if code := postJSON(t, ts.URL+"/shard", req, &out); code != http.StatusOK {
+		t.Fatalf("/shard -> %d", code)
+	}
+	if out.Count != 3 || len(out.Measurements) != 3 {
+		t.Fatalf("/shard returned %d/%d measurements, want 3", out.Count, len(out.Measurements))
+	}
+	for _, m := range out.Measurements {
+		if m.App != "btmz" || m.TimeNs <= 0 {
+			t.Fatalf("malformed shard measurement: %+v", m)
+		}
+	}
+	if svc.Client().StoreLen() != 3 {
+		t.Fatalf("shard did not checkpoint into the worker store: %d entries", svc.Client().StoreLen())
+	}
+
+	// The same shard again is a pure store read.
+	if code := postJSON(t, ts.URL+"/shard", req, &out); code != http.StatusOK {
+		t.Fatalf("/shard (repeat) -> %d", code)
+	}
+	if out.Cached != 3 {
+		t.Fatalf("repeated shard cached = %d, want 3", out.Cached)
+	}
+
+	// Kind is forced to sweep; anything else is the caller's error.
+	if code := postJSON(t, ts.URL+"/shard", `{"kind":"node","app":"btmz","pointIndex":0}`, nil); code != http.StatusBadRequest {
+		t.Fatalf("/shard with kind=node -> %d, want 400", code)
+	}
+	if code := postJSON(t, ts.URL+"/shard", `{"apps":["nope"]}`, nil); code != http.StatusBadRequest {
+		t.Fatalf("/shard with unknown app -> %d, want 400", code)
+	}
+	if code := postJSON(t, ts.URL+"/shard", `not json`, nil); code != http.StatusBadRequest {
+		t.Fatalf("/shard with bad body -> %d, want 400", code)
+	}
+}

@@ -21,7 +21,7 @@ func testClient(t *testing.T, dir string) *musa.Client {
 	t.Helper()
 	c, err := musa.NewClient(musa.ClientOptions{
 		CacheDir:     dir,
-		Workers:      2,
+		SweepWorkers: 2,
 		MaxJobs:      4,
 		SampleInstrs: testSample,
 		WarmupInstrs: testWarmup,
@@ -55,8 +55,8 @@ func TestSweepReplayOverrideOnNoReplayServer(t *testing.T) {
 	// A client configured node-only must still honor an explicit rank-list
 	// override, mirroring the single-measurement path.
 	c, err := musa.NewClient(musa.ClientOptions{
-		CacheDir: t.TempDir(),
-		Workers:  2, MaxJobs: 2,
+		CacheDir:     t.TempDir(),
+		SweepWorkers: 2, MaxJobs: 2,
 		SampleInstrs: testSample, WarmupInstrs: testWarmup, Seed: 1,
 		NoReplay: true,
 	})
