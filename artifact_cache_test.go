@@ -1,0 +1,139 @@
+package musa_test
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"musa"
+)
+
+// artifactTestExperiment is a small sweep spanning one annotation group:
+// cheap enough for tests, real enough to exercise every artifact kind.
+func artifactTestExperiment() musa.Experiment {
+	return musa.Experiment{
+		Kind: musa.KindSweep, Apps: []string{"btmz"}, PointIndices: []int{0, 1, 2},
+		Sample: 20000, Warmup: 40000, Seed: 1, ReplayRanks: []int{4},
+	}
+}
+
+// TestSweepColdVsWarmArtifacts is the tentpole invariant: a warm-cache run
+// must be byte-identical to a cold run — same measurements (canonical
+// JSON), same store keys — while rebuilding nothing. The cold client
+// populates a persistent artifact directory; the warm client reuses it
+// against a fresh result store, so every measurement is recomputed from
+// cached artifacts.
+func TestSweepColdVsWarmArtifacts(t *testing.T) {
+	artDir := t.TempDir()
+	exp := artifactTestExperiment()
+	ctx := context.Background()
+
+	cold, err := musa.NewClient(musa.ClientOptions{
+		CacheDir: t.TempDir(), ArtifactCache: artDir, SweepWorkers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := cold.Run(ctx, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(res1.Sweep.Measurements)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := cold.ArtifactStats()
+	if cs.Annotations.Misses == 0 || cs.Annotations.Puts == 0 {
+		t.Fatalf("cold run did not build and persist annotations: %+v", cs)
+	}
+	if cs.Entries == 0 || cs.BytesWritten == 0 {
+		t.Fatalf("cold run persisted nothing: %+v", cs)
+	}
+	if err := cold.ArtifactErr(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := musa.NewClient(musa.ClientOptions{
+		CacheDir: t.TempDir(), ArtifactCache: artDir, SweepWorkers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	res2, err := warm.Run(ctx, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(res2.Sweep.Measurements)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("warm dataset differs from cold:\n%s\nvs\n%s", got, want)
+	}
+	ws := warm.ArtifactStats()
+	if ws.Annotations.Misses != 0 || ws.Annotations.Hits == 0 {
+		t.Fatalf("warm run rebuilt annotations: %+v", ws.Annotations)
+	}
+	if ws.LatencyModels.Misses != 0 || ws.Bursts.Misses != 0 {
+		t.Fatalf("warm run rebuilt latency models or bursts: %+v", ws)
+	}
+
+	// Store-key identity: the warm run checkpointed its recomputed
+	// measurements under the same canonical node keys, so a single-point
+	// node request over a swept point is a store hit.
+	i := exp.PointIndices[0]
+	node, err := warm.Run(ctx, musa.Experiment{
+		Kind: musa.KindNode, App: "btmz", PointIndex: &i,
+		Sample: exp.Sample, Warmup: exp.Warmup, Seed: exp.Seed,
+		ReplayRanks: exp.ReplayRanks,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !node.Cached {
+		t.Fatal("warm-run store keys diverge from the canonical node keys")
+	}
+}
+
+// TestArtifactCacheOffIsCold pins the NoArtifacts escape hatch: a client
+// with the cache disabled reports zero artifact activity and still
+// produces the identical dataset.
+func TestArtifactCacheOffIsCold(t *testing.T) {
+	exp := artifactTestExperiment()
+	ctx := context.Background()
+
+	on, err := musa.NewClient(musa.ClientOptions{SweepWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer on.Close()
+	off, err := musa.NewClient(musa.ClientOptions{SweepWorkers: 2, NoArtifacts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer off.Close()
+	if on.ArtifactsEnabled() == false || off.ArtifactsEnabled() {
+		t.Fatal("ArtifactsEnabled does not reflect the options")
+	}
+
+	r1, err := on.Run(ctx, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := off.Run(ctx, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := json.Marshal(r1.Sweep.Measurements)
+	j2, _ := json.Marshal(r2.Sweep.Measurements)
+	if string(j1) != string(j2) {
+		t.Fatal("artifact cache changed the dataset")
+	}
+	if st := off.ArtifactStats(); st != (musa.ArtifactStats{}) {
+		t.Fatalf("disabled cache reports activity: %+v", st)
+	}
+}

@@ -81,19 +81,11 @@ func benchReducedIndices(b *testing.B) []int {
 	return idx
 }
 
-// BenchmarkClientSweepReduced is the CI regression-gate benchmark: a
-// reduced sweep (one application, the 64-core 2 GHz slice) through the
-// supported Client.Run API with a result store attached, so every
-// iteration pays the canonical-experiment key derivation and store
-// checkpointing of a real run. Recompute keeps iterations comparable: the
-// store is written, never read.
-func BenchmarkClientSweepReduced(b *testing.B) {
-	client, err := NewClient(ClientOptions{CacheDir: b.TempDir()})
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer client.Close()
-	exp := Experiment{
+// benchReducedExperiment is the reduced CI sweep shared by the cold and
+// warm client benchmarks. Recompute keeps iterations comparable: the
+// result store is written, never read.
+func benchReducedExperiment(b *testing.B) Experiment {
+	return Experiment{
 		Kind:         KindSweep,
 		Apps:         []string{"lulesh"},
 		PointIndices: benchReducedIndices(b),
@@ -103,6 +95,23 @@ func BenchmarkClientSweepReduced(b *testing.B) {
 		ReplayRanks:  []int{64},
 		Recompute:    true,
 	}
+}
+
+// BenchmarkClientSweepReduced is the CI regression-gate benchmark: a
+// reduced sweep (one application, the 64-core 2 GHz slice) through the
+// supported Client.Run API with a result store attached, so every
+// iteration pays the canonical-experiment key derivation and store
+// checkpointing of a real run. NoArtifacts keeps it the true cold path —
+// every iteration rebuilds annotations, latency models and burst traces —
+// so it stays the baseline BenchmarkClientSweepWarmArtifacts is read
+// against.
+func BenchmarkClientSweepReduced(b *testing.B) {
+	client, err := NewClient(ClientOptions{CacheDir: b.TempDir(), NoArtifacts: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	exp := benchReducedExperiment(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := client.Run(context.Background(), exp)
@@ -112,6 +121,47 @@ func BenchmarkClientSweepReduced(b *testing.B) {
 		if len(res.Sweep.Measurements) != len(exp.PointIndices) {
 			b.Fatalf("%d measurements", len(res.Sweep.Measurements))
 		}
+	}
+}
+
+// BenchmarkClientSweepWarmArtifacts is the warm-start counterpart of
+// BenchmarkClientSweepReduced: the identical experiment over an artifact
+// cache pre-populated by an untimed priming run, so every iteration
+// re-simulates each point from cached annotations, DRAM latency curves and
+// burst traces instead of rebuilding them. The gap between the two
+// benchmarks in BENCH_5.json is the artifact-reuse speedup;
+// TestSweepColdVsWarmArtifacts proves the datasets are byte-identical.
+func BenchmarkClientSweepWarmArtifacts(b *testing.B) {
+	artDir := b.TempDir()
+	exp := benchReducedExperiment(b)
+	prime, err := NewClient(ClientOptions{CacheDir: b.TempDir(), ArtifactCache: artDir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := prime.Run(context.Background(), exp); err != nil {
+		b.Fatal(err)
+	}
+	if err := prime.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	client, err := NewClient(ClientOptions{CacheDir: b.TempDir(), ArtifactCache: artDir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := client.Run(context.Background(), exp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Sweep.Measurements) != len(exp.PointIndices) {
+			b.Fatalf("%d measurements", len(res.Sweep.Measurements))
+		}
+	}
+	if st := client.ArtifactStats(); st.Annotations.Misses != 0 {
+		b.Fatalf("warm benchmark rebuilt %d annotations", st.Annotations.Misses)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,6 +28,19 @@ type ClientOptions struct {
 	CacheDir string
 	// LRUEntries bounds the store's in-memory front (0 = store default).
 	LRUEntries int
+	// ArtifactCache is the persistent artifact-cache directory: sweep
+	// intermediates (annotated samples, DRAM latency models, burst traces)
+	// are cached there by content address and reused across runs and
+	// processes — a warm run is byte-identical to a cold one, just faster.
+	// Empty derives "<CacheDir>/artifacts" when CacheDir is set; without a
+	// CacheDir the artifact cache is in-memory only (still shared across
+	// this client's requests). Unlike the result store, the directory may
+	// be shared between processes.
+	ArtifactCache string
+	// NoArtifacts disables the artifact cache entirely: every run rebuilds
+	// its intermediates from scratch (the cold path, kept for benchmarks
+	// and A/B comparisons).
+	NoArtifacts bool
 	// SweepWorkers bounds dse.Run parallelism inside one job
 	// (0 = GOMAXPROCS).
 	SweepWorkers int
@@ -80,11 +94,18 @@ type ClientStats struct {
 	// Redispatched counts sweep shards re-dispatched onto the local pool
 	// after a fleet worker failed, timed out or was hedged.
 	Redispatched int64
+	// ArtifactsPushed counts artifacts this coordinator shipped to fleet
+	// workers ahead of shard dispatch.
+	ArtifactsPushed int64
 }
 
 // Measurement re-exports the sweep measurement: one (application,
 // configuration) simulation outcome including the cluster replay metrics.
 type Measurement = dse.Measurement
+
+// ArtifactStats re-exports the artifact-cache counter snapshot (per-kind
+// hit/miss/put counts, blob byte traffic, resident entry count).
+type ArtifactStats = store.ArtifactStats
 
 // Result is the outcome of one experiment; the field matching the
 // experiment's Kind is set.
@@ -135,8 +156,9 @@ type call struct {
 // concurrent use.
 type Client struct {
 	opts    ClientOptions
-	st      *store.Store // nil without CacheDir
-	network NetworkModel // resolved default network
+	st      *store.Store         // nil without CacheDir
+	art     *store.ArtifactCache // nil with NoArtifacts
+	network NetworkModel         // resolved default network
 	sem     chan struct{}
 	fleet   *fleet // nil without Workers
 
@@ -145,7 +167,7 @@ type Client struct {
 	custom map[string]*Application
 
 	requests, storeHits, coalesced, simulated atomic.Int64
-	remote, redispatched                      atomic.Int64
+	remote, redispatched, artifactsPushed     atomic.Int64
 }
 
 // NewClient validates the options, opens the result store when CacheDir is
@@ -163,6 +185,11 @@ func NewClient(opts ClientOptions) (*Client, error) {
 		if err := ValidateReplayRanks(opts.ReplayRanks); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadReplayRanks, err)
 		}
+	}
+	if opts.NoArtifacts && opts.ArtifactCache != "" {
+		// Silently ignoring the directory would let an operator believe
+		// artifacts persist while every run rebuilds from scratch.
+		return nil, errors.New("musa: conflicting options: NoArtifacts with an explicit ArtifactCache directory")
 	}
 	maxJobs := opts.MaxJobs
 	if maxJobs <= 0 {
@@ -189,6 +216,20 @@ func NewClient(opts ClientOptions) (*Client, error) {
 		}
 		c.st = st
 	}
+	if !opts.NoArtifacts {
+		dir := opts.ArtifactCache
+		if dir == "" && opts.CacheDir != "" {
+			dir = filepath.Join(opts.CacheDir, "artifacts")
+		}
+		art, err := store.OpenArtifacts(dir)
+		if err != nil {
+			if c.st != nil {
+				c.st.Close()
+			}
+			return nil, err
+		}
+		c.art = art
+	}
 	return c, nil
 }
 
@@ -204,12 +245,13 @@ func (c *Client) Close() error {
 // Stats returns a snapshot of the client counters.
 func (c *Client) Stats() ClientStats {
 	return ClientStats{
-		Requests:     c.requests.Load(),
-		StoreHits:    c.storeHits.Load(),
-		Coalesced:    c.coalesced.Load(),
-		Simulated:    c.simulated.Load(),
-		Remote:       c.remote.Load(),
-		Redispatched: c.redispatched.Load(),
+		Requests:        c.requests.Load(),
+		StoreHits:       c.storeHits.Load(),
+		Coalesced:       c.coalesced.Load(),
+		Simulated:       c.simulated.Load(),
+		Remote:          c.remote.Load(),
+		Redispatched:    c.redispatched.Load(),
+		ArtifactsPushed: c.artifactsPushed.Load(),
 	}
 }
 
@@ -227,6 +269,55 @@ func (c *Client) StoreLen() int {
 		return 0
 	}
 	return c.st.Len()
+}
+
+// artifacts returns the client's artifact provider for dse.Options without
+// producing a typed-nil interface when the cache is disabled.
+func (c *Client) artifacts() dse.ArtifactProvider {
+	if c.art == nil {
+		return nil
+	}
+	return c.art
+}
+
+// ArtifactsEnabled reports whether the client holds an artifact cache.
+func (c *Client) ArtifactsEnabled() bool { return c.art != nil }
+
+// ArtifactStats returns a snapshot of the artifact-cache counters (zero
+// with NoArtifacts).
+func (c *Client) ArtifactStats() store.ArtifactStats {
+	if c.art == nil {
+		return store.ArtifactStats{}
+	}
+	return c.art.Stats()
+}
+
+// ArtifactErr returns the first artifact blob I/O error the cache
+// swallowed (the cache is best-effort; a failing disk degrades it to
+// rebuild-every-time).
+func (c *Client) ArtifactErr() error {
+	if c.art == nil {
+		return nil
+	}
+	return c.art.Err()
+}
+
+// ArtifactBlob returns the encoded artifact stored under key, byte for
+// byte — the GET /artifact/{key} payload.
+func (c *Client) ArtifactBlob(key string) ([]byte, bool) {
+	if c.art == nil {
+		return nil, false
+	}
+	return c.art.Blob(key)
+}
+
+// ArtifactPut validates and stores an encoded artifact received from
+// outside (PUT /artifact/{key}, fleet coordinator pushes).
+func (c *Client) ArtifactPut(key string, blob []byte) error {
+	if c.art == nil {
+		return errors.New("musa: artifact cache disabled")
+	}
+	return c.art.PutBlob(key, blob)
 }
 
 // ReplayDefaults returns the client's normalized default replay
@@ -468,6 +559,7 @@ func (c *Client) simulateOne(ctx context.Context, app *Application, ne Experimen
 		Workers:      1,
 		Seed:         ne.Seed,
 		Replay:       c.replayOf(ne),
+		Artifacts:    c.artifacts(),
 	})
 	if err := ctx.Err(); err != nil {
 		return Measurement{}, err
@@ -525,6 +617,7 @@ func (c *Client) runSweep(ctx context.Context, ne Experiment, obs Observer) (*Re
 		Workers:      c.opts.SweepWorkers,
 		Seed:         ne.Seed,
 		Replay:       c.replayOf(ne),
+		Artifacts:    c.artifacts(),
 	}
 
 	var cached atomic.Int64

@@ -55,14 +55,14 @@ func TestGate(t *testing.T) {
 	cur := &BenchFile{Benchmarks: []Bench{
 		{Name: "A", NsPerOp: 1249}, // +24.9%: inside the gate
 		{Name: "B", NsPerOp: 1251}, // +25.1%: regression
-		{Name: "New", NsPerOp: 5},  // not in baseline: note only
+		{Name: "New", NsPerOp: 5},  // not in baseline: reported only
 	}}
 	report, failed := Gate(base, cur, 0.25)
 	if !failed {
 		t.Fatal("gate passed despite a >25% regression and a missing benchmark")
 	}
 	joined := strings.Join(report, "\n")
-	for _, want := range []string{"ok   A", "FAIL B", "FAIL Gone", "note New"} {
+	for _, want := range []string{"ok   A", "FAIL B", "FAIL Gone", "new  New"} {
 		if !strings.Contains(joined, want) {
 			t.Errorf("report missing %q:\n%s", want, joined)
 		}
@@ -71,6 +71,18 @@ func TestGate(t *testing.T) {
 	// Identical results pass.
 	if _, failed := Gate(base, base, 0.25); failed {
 		t.Fatal("gate failed on identical results")
+	}
+	// A run that only adds benchmarks passes: new entries are reported,
+	// never gated, however slow they are (BenchmarkClientSweepWarmArtifacts
+	// entered CI exactly this way).
+	grown := &BenchFile{Benchmarks: append(append([]Bench(nil), base.Benchmarks...),
+		Bench{Name: "JustAdded", NsPerOp: 1e12})}
+	report, failed = Gate(base, grown, 0.25)
+	if failed {
+		t.Fatal("gate failed on a run that only adds new benchmarks")
+	}
+	if !strings.Contains(strings.Join(report, "\n"), "new  JustAdded") {
+		t.Fatalf("new benchmark not reported:\n%s", strings.Join(report, "\n"))
 	}
 	// An improvement passes.
 	fast := &BenchFile{Benchmarks: []Bench{{Name: "A", NsPerOp: 10}, {Name: "B", NsPerOp: 10}, {Name: "Gone", NsPerOp: 10}}}

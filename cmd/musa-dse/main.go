@@ -46,7 +46,10 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of tables")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
+	verbose := flag.Bool("v", false, "print client and artifact-cache statistics after the run")
 	cacheDir := flag.String("cache-dir", "", "result store directory (empty = no persistence)")
+	artifactDir := flag.String("artifact-dir", "", "artifact cache directory (empty = <cache-dir>/artifacts, or in-memory without -cache-dir)")
+	noArtifacts := flag.Bool("no-artifacts", false, "disable the artifact cache (rebuild every intermediate)")
 	resume := flag.Bool("resume", true, "with -cache-dir, serve already-stored points from the store")
 	replayRanks := flag.String("replay-ranks", "", "comma-separated cluster-stage rank counts (default 64,256)")
 	noReplay := flag.Bool("no-replay", false, "disable the cluster-level MPI replay stage")
@@ -90,13 +93,33 @@ func main() {
 	}
 
 	client, err := musa.NewClient(musa.ClientOptions{
-		CacheDir:     *cacheDir,
-		SweepWorkers: *workers,
+		CacheDir:      *cacheDir,
+		ArtifactCache: *artifactDir,
+		NoArtifacts:   *noArtifacts,
+		SweepWorkers:  *workers,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer client.Close()
+	if *verbose {
+		defer func() {
+			st := client.Stats()
+			fmt.Fprintf(os.Stderr, "stats: %d requests, %d store hits, %d simulated\n",
+				st.Requests, st.StoreHits, st.Simulated)
+			as := client.ArtifactStats()
+			fmt.Fprintf(os.Stderr,
+				"artifacts: %d entries; ann %d/%d hit/miss, latency %d/%d, burst %d/%d; %d B read, %d B written\n",
+				as.Entries,
+				as.Annotations.Hits, as.Annotations.Misses,
+				as.LatencyModels.Hits, as.LatencyModels.Misses,
+				as.Bursts.Hits, as.Bursts.Misses,
+				as.BytesRead, as.BytesWritten)
+			if err := client.ArtifactErr(); err != nil {
+				fmt.Fprintf(os.Stderr, "artifacts: degraded: %v\n", err)
+			}
+		}()
+	}
 
 	var obs musa.Observer
 	if !*quiet {

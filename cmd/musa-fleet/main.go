@@ -55,6 +55,7 @@ func main() {
 	noReplay := flag.Bool("no-replay", false, "disable the cluster-level MPI replay stage")
 	network := flag.String("network", "", "interconnect model: mn4, hdr200 or eth10 (default mn4)")
 	cacheDir := flag.String("cache-dir", "", "coordinator result store directory (empty = none)")
+	artifactDir := flag.String("artifact-dir", "", "coordinator artifact cache directory (empty = <cache-dir>/artifacts, or in-memory)")
 	shardTimeout := flag.Duration("shard-timeout", 0, "per-shard request bound (0 = 10m, negative = unbounded)")
 	hedgeAfter := flag.Duration("hedge-after", 0, "hedge still-running shards onto the local pool after this long (0 = off)")
 	verify := flag.Bool("verify", false, "re-run the sweep in process and require byte-identical datasets")
@@ -96,10 +97,11 @@ func main() {
 	}
 
 	coord, err := musa.NewClient(musa.ClientOptions{
-		CacheDir:     *cacheDir,
-		Workers:      workers,
-		ShardTimeout: *shardTimeout,
-		HedgeAfter:   *hedgeAfter,
+		CacheDir:      *cacheDir,
+		ArtifactCache: *artifactDir,
+		Workers:       workers,
+		ShardTimeout:  *shardTimeout,
+		HedgeAfter:    *hedgeAfter,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -123,9 +125,9 @@ func main() {
 	}
 	elapsed := time.Since(start)
 	st := coord.Stats()
-	log.Printf("merged %d measurements in %v across %d workers (remote %d, local %d, cached %d, redispatched %d shards)",
+	log.Printf("merged %d measurements in %v across %d workers (remote %d, local %d, cached %d, redispatched %d shards, %d artifacts pushed)",
 		len(res.Sweep.Measurements), elapsed.Round(time.Millisecond), len(workers),
-		st.Remote, st.Simulated, st.StoreHits, st.Redispatched)
+		st.Remote, st.Simulated, st.StoreHits, st.Redispatched, st.ArtifactsPushed)
 
 	if *verify {
 		local, err := musa.NewClient(musa.ClientOptions{})

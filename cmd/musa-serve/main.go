@@ -18,9 +18,13 @@
 //	POST /simulate     {"app":"lulesh","pointIndex":42} -> one measurement
 //	POST /dse          {"apps":["hydro"],"sample":60000} -> NDJSON stream
 //	POST /shard        {"apps":["hydro"],"pointIndices":[0,1]} -> plain JSON
+//	GET  /artifact/{key}  one encoded sweep artifact (annotation, latency
+//	                      model, burst trace) from the artifact cache
+//	PUT  /artifact/{key}  store a pushed artifact (fleet coordinators ship
+//	                      these ahead of shards)
 //	GET  /figures/{n}  JSON data for figure n (1, 4-11)
 //	GET  /figures/4    rank timeline: ?app=lulesh&ranks=64&network=mn4
-//	GET  /stats        client counters, store size, replay configuration
+//	GET  /stats        client counters, store size, artifact-cache counters
 //
 // Every measurement carries the cluster-level replay metrics (EndToEndNs,
 // MPIFraction, ParallelEff per configured rank count) unless -no-replay is
@@ -48,6 +52,8 @@ func main() {
 
 	addr := flag.String("addr", ":8080", "listen address")
 	cacheDir := flag.String("cache-dir", "musa-cache", "result store directory")
+	artifactDir := flag.String("artifact-dir", "", "artifact cache directory (empty = <cache-dir>/artifacts)")
+	noArtifacts := flag.Bool("no-artifacts", false, "disable the artifact cache (rebuild every intermediate)")
 	lru := flag.Int("lru", 0, "in-memory LRU entries (0 = default)")
 	workers := flag.Int("workers", 0, "simulation workers per job (0 = GOMAXPROCS)")
 	maxJobs := flag.Int("max-jobs", 2, "concurrently executing simulation jobs")
@@ -67,21 +73,26 @@ func main() {
 	}
 
 	client, err := musa.NewClient(musa.ClientOptions{
-		CacheDir:     *cacheDir,
-		LRUEntries:   *lru,
-		SweepWorkers: *workers,
-		MaxJobs:      *maxJobs,
-		SampleInstrs: *sample,
-		WarmupInstrs: *warmup,
-		Seed:         *seed,
-		ReplayRanks:  defaults.ReplayRanks,
-		NoReplay:     defaults.NoReplay,
-		Network:      defaults.Network,
+		CacheDir:      *cacheDir,
+		ArtifactCache: *artifactDir,
+		NoArtifacts:   *noArtifacts,
+		LRUEntries:    *lru,
+		SweepWorkers:  *workers,
+		MaxJobs:       *maxJobs,
+		SampleInstrs:  *sample,
+		WarmupInstrs:  *warmup,
+		Seed:          *seed,
+		ReplayRanks:   defaults.ReplayRanks,
+		NoReplay:      defaults.NoReplay,
+		Network:       defaults.Network,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("store %s: %d measurements", *cacheDir, client.StoreLen())
+	if client.ArtifactsEnabled() {
+		log.Printf("artifact cache: %d artifacts", client.ArtifactStats().Entries)
+	}
 	log.Printf("advertising capacity: %d concurrent jobs (/capacity)", client.MaxJobs())
 
 	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(serve.New(client))}

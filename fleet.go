@@ -158,10 +158,13 @@ type shardJob struct {
 // per-annotation-group shards (dse.AnnGroup — the grouping under which
 // dse.Run shares one annotation pass, so dispatching a whole group keeps a
 // remote worker as efficient as the local runner). The plan is
-// deterministic: applications in the given order, groups in first-seen
-// (ascending index) order. keyOf maps a unit onto its store key; the shard
-// keeps the label->key map both to warm the coordinator store and to
-// validate a worker's reply.
+// deterministic and ordered for artifact locality: applications first,
+// then memory kind, cores, vector width and cache label — shards that
+// share burst traces (same app) and DRAM latency curves (same app and
+// memory kind) sit adjacent in the dispatch queue, so consecutive pulls by
+// the same worker reuse its freshest artifacts. keyOf maps a unit onto its
+// store key; the shard keeps the label->key map both to warm the
+// coordinator store and to validate a worker's reply.
 func planShards(appNames []string, remaining map[string][]int, keyOf func(app string, i int) string) []*shardJob {
 	grid := tableIGrid()
 	var out []*shardJob
@@ -179,7 +182,123 @@ func planShards(appNames []string, remaining map[string][]int, keyOf func(app st
 			j.keys[grid[i].Label()] = keyOf(app, i)
 		}
 	}
+	sort.SliceStable(out, func(a, b int) bool {
+		ja, jb := out[a], out[b]
+		if ja.app != jb.app {
+			return ja.app < jb.app
+		}
+		ga, gb := grid[ja.indices[0]].AnnGroup(), grid[jb.indices[0]].AnnGroup()
+		if ga.Mem != gb.Mem {
+			return ga.Mem < gb.Mem
+		}
+		if ga.Cores != gb.Cores {
+			return ga.Cores < gb.Cores
+		}
+		if ga.Vec != gb.Vec {
+			return ga.Vec < gb.Vec
+		}
+		return ga.Cache < gb.Cache
+	})
 	return out
+}
+
+// shardArtifactKeys lists the content addresses of every artifact a shard's
+// worker would otherwise build: the group's shared annotation, one DRAM
+// latency curve per distinct channel count, and the burst trace of each
+// replayed rank count. The keys match what dse.Run derives on the worker —
+// fidelity is normalized identically on both sides.
+func shardArtifactKeys(ne Experiment, j *shardJob) []string {
+	app, err := apps.ByName(j.app)
+	if err != nil {
+		return nil // custom applications never reach the fleet
+	}
+	hash := dse.AppHash(app)
+	grid := tableIGrid()
+	g := grid[j.indices[0]].AnnGroup()
+	keys := []string{dse.AnnotationKey(hash, g, ne.Sample, ne.Warmup, ne.Seed)}
+	chSeen := map[int]bool{}
+	for _, i := range j.indices {
+		if ch := grid[i].Channels; !chSeen[ch] {
+			chSeen[ch] = true
+			keys = append(keys, dse.LatencyModelKey(hash, ch, g.Mem, ne.Seed))
+		}
+	}
+	if !ne.NoReplay {
+		for _, r := range ne.ReplayRanks {
+			keys = append(keys, dse.BurstKey(hash, r, ne.Seed))
+		}
+	}
+	return keys
+}
+
+// artifactPushWindow bounds one coordinator-to-worker artifact upload.
+const artifactPushWindow = time.Minute
+
+// putArtifact uploads one encoded artifact to a worker's artifact cache.
+// unsupported reports that the worker cannot take artifacts at all —
+// 503 from -no-artifacts, 404/405/501 from a binary predating the
+// endpoint — as opposed to a transient failure (transport error, 5xx
+// overload) or a this-blob-only rejection (4xx), neither of which should
+// write the whole worker off.
+func (f *fleet) putArtifact(ctx context.Context, base, key string, blob []byte) (unsupported bool, err error) {
+	ctx, cancel := context.WithTimeout(ctx, artifactPushWindow)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, base+"/artifact/"+key, bytes.NewReader(blob))
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := f.httpc.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+	switch resp.StatusCode {
+	case http.StatusNoContent, http.StatusOK:
+		return false, nil
+	case http.StatusServiceUnavailable, http.StatusNotFound,
+		http.StatusMethodNotAllowed, http.StatusNotImplemented:
+		return true, fmt.Errorf("musa: %s/artifact/%s: %s", base, key, resp.Status)
+	default:
+		return false, fmt.Errorf("musa: %s/artifact/%s: %s", base, key, resp.Status)
+	}
+}
+
+// pushShardArtifacts ships the shard's locally available artifacts to the
+// worker ahead of dispatch, so the worker decodes coordinator-built
+// annotations instead of recomputing them per shard. Best effort: a failed
+// push just means the worker rebuilds. pushed dedupes per (worker, key)
+// across the whole dispatch; a worker that cannot take artifacts at all
+// (-no-artifacts answering 503, an older binary answering 404) is marked
+// so later shards do not re-upload multi-MB blobs into a guaranteed
+// rejection, while transient failures stay retryable on later shards.
+func (c *Client) pushShardArtifacts(ctx context.Context, base string, ne Experiment, j *shardJob, pushed *sync.Map) {
+	if c.art == nil {
+		return
+	}
+	if _, refused := pushed.Load(base); refused {
+		return
+	}
+	for _, key := range shardArtifactKeys(ne, j) {
+		id := base + "\x00" + key
+		if _, done := pushed.Load(id); done {
+			continue
+		}
+		blob, ok := c.art.Blob(key)
+		if !ok {
+			continue
+		}
+		unsupported, err := c.fleet.putArtifact(ctx, base, key, blob)
+		switch {
+		case err == nil:
+			pushed.Store(id, true)
+			c.artifactsPushed.Add(1)
+		case unsupported:
+			pushed.Store(base, true) // worker takes no artifacts: stop pushing to it
+			return
+		}
+	}
 }
 
 // validateShardReply checks a worker's measurements against the shard: one
@@ -214,14 +333,10 @@ func (j *shardJob) validateShardReply(ms []Measurement) error {
 // started with its own -sample/-warmup/-replay defaults computes exactly
 // the measurements the coordinator expects.
 func shardExperiment(ne Experiment, j *shardJob) Experiment {
-	sample := ne.Sample
-	if sample == 0 {
-		sample = apps.SampleSize // the node simulator's default sample
-	}
-	warmup := ne.Warmup
-	if warmup == 0 {
-		warmup = 2 * sample // the node simulator's default warmup
-	}
+	// The one defaulting rule the node simulator applies and the artifact
+	// keys hash — materialized on the wire so a worker's own defaults
+	// never apply.
+	sample, warmup := apps.EffectiveFidelity(ne.Sample, ne.Warmup)
 	return Experiment{
 		Kind: KindSweep, Apps: []string{j.app}, PointIndices: j.indices,
 		Sample: sample, Warmup: warmup, Seed: ne.Seed,
@@ -263,6 +378,7 @@ func (c *Client) runShardLocal(ctx context.Context, ne Experiment, j *shardJob) 
 		Workers:      1,
 		Seed:         ne.Seed,
 		Replay:       c.replayOf(ne),
+		Artifacts:    c.artifacts(),
 	})
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -376,6 +492,8 @@ func (c *Client) runSweepFleet(ctx context.Context, ne Experiment, obs Observer)
 		}
 		close(jobs)
 		redo := make(chan *shardJob, len(shards))
+		// pushed dedupes artifact uploads per (worker, key) for this run.
+		var pushed sync.Map
 
 		var remainingShards atomic.Int64
 		remainingShards.Store(int64(len(shards)))
@@ -440,10 +558,18 @@ func (c *Client) runSweepFleet(ctx context.Context, ne Experiment, obs Observer)
 							if !ok {
 								return
 							}
+							// The hedge timer starts before the artifact
+							// pushes: a worker that stalls on PUT bodies must
+							// not hold the shard past the hedge deadline
+							// unprotected.
 							var hedge *time.Timer
 							if c.fleet.hedgeAfter > 0 {
 								hedge = time.AfterFunc(c.fleet.hedgeAfter, func() { redispatch(j) })
 							}
+							// Ship the artifacts this shard needs (and the
+							// coordinator has) before dispatching it, so the
+							// worker reuses instead of rebuilding.
+							c.pushShardArtifacts(dispatchCtx, base, ne, j, &pushed)
 							ms, err := c.fleet.postShard(dispatchCtx, base, shardExperiment(ne, j))
 							if hedge != nil {
 								hedge.Stop()

@@ -212,3 +212,19 @@ func (s *DetailedStream) emit(in isa.Instr) { s.buf = append(s.buf, in) }
 // micro-ops). MUSA traces one iteration of one rank; this sample plays the
 // same role and is long enough for cache and IPC statistics to stabilize.
 const SampleSize = 300000
+
+// EffectiveFidelity resolves the sample-size defaulting rule in one place:
+// a non-positive sample means SampleSize, a non-positive warmup means 2x
+// the (resolved) sample. node.BuildAnnotation applies it before simulating,
+// dse's artifact keys hash it, and the fleet wire materializes it — all
+// three must agree byte for byte, or warm artifact lookups would address
+// different fidelity than a cold build uses.
+func EffectiveFidelity(sample, warmup int64) (int64, int64) {
+	if sample <= 0 {
+		sample = SampleSize
+	}
+	if warmup <= 0 {
+		warmup = 2 * sample
+	}
+	return sample, warmup
+}

@@ -1,0 +1,254 @@
+package dse
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"musa/internal/apps"
+	"musa/internal/dram"
+	"musa/internal/node"
+	"musa/internal/trace"
+)
+
+// This file is the artifact layer of the sweep runner: the expensive
+// intermediates a sweep builds on the way to its measurements — annotated
+// detailed samples, fitted DRAM load-latency curves, synthesized burst
+// traces — addressed by content so they can be cached across runs, served
+// over HTTP and shipped to fleet workers. The paper's central economy is
+// reuse (one traced execution feeds burst-mode scaling and detailed node
+// simulation, §II); the artifact layer makes that reuse durable and
+// process-spanning instead of per-Run.
+
+// ArtifactSchemaVersion identifies the artifact key derivation and the
+// serialized artifact encodings. It is bumped whenever a key document, the
+// application-profile encoding or an artifact wire format changes shape, so
+// stale caches are refused rather than silently misread (see
+// store.ArtifactCache).
+const ArtifactSchemaVersion = 1
+
+// ArtifactKind names one cached intermediate in key documents, wire
+// envelopes and per-kind statistics.
+type ArtifactKind string
+
+const (
+	// ArtifactAnnotation is a node.Annotation: one warmed, cache-annotated
+	// detailed sample shared by every timing variant of an annotation group.
+	ArtifactAnnotation ArtifactKind = "annotation"
+	// ArtifactLatencyModel is a dram.LatencyModel: the fitted load-latency
+	// curve of one (application, channels, memory kind).
+	ArtifactLatencyModel ArtifactKind = "latency-model"
+	// ArtifactBurst is a trace.Burst: the synthesized coarse-grain MPI
+	// trace of one (application, rank count) replayed by the cluster stage.
+	ArtifactBurst ArtifactKind = "burst-trace"
+)
+
+// ArtifactProvider serves and persists sweep artifacts. dse.Run consults it
+// before building an artifact and hands freshly built ones back; providers
+// decide durability (in-memory, on disk, remote). Implementations must be
+// safe for concurrent use. Values passed in and handed out are shared, not
+// copied: callers and providers alike must treat them as immutable.
+//
+// Reusing a provided artifact is bitwise-equivalent to rebuilding it — the
+// keys encode every build input, including the application profile by
+// content — so a warm run produces measurements byte-identical to a cold
+// one.
+type ArtifactProvider interface {
+	Annotation(key string) (node.Annotation, bool)
+	PutAnnotation(key string, a node.Annotation)
+	LatencyModel(key string) (dram.LatencyModel, bool)
+	PutLatencyModel(key string, m dram.LatencyModel)
+	Burst(key string) (*trace.Burst, bool)
+	PutBurst(key string, b *trace.Burst)
+}
+
+// AppHash returns the content address of an application profile: the hex
+// SHA-256 of its JSON encoding. Artifact keys embed it instead of the
+// profile's name, so retuning a built-in model or registering a different
+// custom profile under the same name invalidates exactly the artifacts it
+// affects.
+func AppHash(app *apps.Profile) string {
+	b, err := json.Marshal(app)
+	if err != nil {
+		// Profile is a tree of plain exported fields; Marshal cannot fail.
+		panic(fmt.Sprintf("dse: marshal profile %q: %v", app.Name, err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// artifactKeyDoc is the canonical key document of one artifact; its JSON
+// encoding is hashed into the artifact key. Field order is fixed and the
+// schema version is embedded, mirroring the canonical-experiment encoding
+// behind the result-store keys (see TestArtifactKeyGolden).
+type artifactKeyDoc struct {
+	V        int          `json:"v"`
+	Kind     ArtifactKind `json:"kind"`
+	App      string       `json:"app"` // AppHash, not the name
+	Group    *AnnGroup    `json:"group,omitempty"`
+	Channels int          `json:"channels,omitempty"`
+	Mem      string       `json:"mem,omitempty"`
+	Policy   string       `json:"policy,omitempty"`
+	Ranks    int          `json:"ranks,omitempty"`
+	Sample   int64        `json:"sample,omitempty"`
+	Warmup   int64        `json:"warmup,omitempty"`
+	Seed     uint64       `json:"seed"`
+}
+
+func (d artifactKeyDoc) key() string {
+	b, err := json.Marshal(d)
+	if err != nil {
+		panic(fmt.Sprintf("dse: marshal artifact key: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// AnnotationKey returns the content address of the shared annotation of one
+// (application, annotation group) at the given fidelity and seed. appHash
+// is AppHash of the profile. Implicit fidelity is resolved through
+// apps.EffectiveFidelity — the same rule node.BuildAnnotation simulates
+// with and shardExperiment materializes on the fleet wire — so a run that
+// leaves fidelity implicit and one that spells out the defaults address
+// the same artifact.
+func AnnotationKey(appHash string, g AnnGroup, sample, warmup int64, seed uint64) string {
+	sample, warmup = apps.EffectiveFidelity(sample, warmup)
+	return artifactKeyDoc{
+		V: ArtifactSchemaVersion, Kind: ArtifactAnnotation, App: appHash,
+		Group: &g, Sample: sample, Warmup: warmup, Seed: seed,
+	}.key()
+}
+
+// LatencyModelKey returns the content address of the fitted DRAM
+// load-latency curve of one (application, channel count, memory kind). The
+// curve depends on the application's locality profile (via appHash), the
+// memory configuration and the seed — not on sample sizes.
+func LatencyModelKey(appHash string, channels int, mem MemKind, seed uint64) string {
+	return artifactKeyDoc{
+		V: ArtifactSchemaVersion, Kind: ArtifactLatencyModel, App: appHash,
+		Channels: channels, Mem: mem.String(), Policy: dram.FRFCFS.String(),
+		Seed: seed,
+	}.key()
+}
+
+// BurstKey returns the content address of the synthesized burst trace of
+// one (application, rank count, seed).
+func BurstKey(appHash string, ranks int, seed uint64) string {
+	return artifactKeyDoc{
+		V: ArtifactSchemaVersion, Kind: ArtifactBurst, App: appHash,
+		Ranks: ranks, Seed: seed,
+	}.key()
+}
+
+// runArtifacts is the run-local artifact front of one dse.Run: the
+// in-memory per-kind maps earlier revisions captured in closures, made
+// explicit and layered over the optional cross-run ArtifactProvider.
+// Latency models and burst traces are built at most once per run whatever
+// the provider does; annotations are never duplicated within a run because
+// each annotation group is walked by exactly one worker.
+type runArtifacts struct {
+	backing        ArtifactProvider // nil = run-local only
+	seed           uint64
+	sample, warmup int64
+
+	// One mutex per kind, as with the closure-captured maps this replaces:
+	// a latency-model fit held under latMu must not stall the replay hot
+	// path's burst lookups (one per measurement per rank count).
+	hashMu  sync.Mutex
+	hashes  map[string]string // app name -> content hash
+	latMu   sync.Mutex
+	lat     map[string]*dram.LatencyModel // artifact key -> fitted curve
+	burstMu sync.Mutex
+	bursts  map[string]*trace.Burst // artifact key -> parsed trace
+}
+
+func newRunArtifacts(o Options) *runArtifacts {
+	return &runArtifacts{
+		backing: o.Artifacts,
+		seed:    o.Seed, sample: o.SampleInstrs, warmup: o.WarmupInstrs,
+		hashes: map[string]string{},
+		lat:    map[string]*dram.LatencyModel{},
+		bursts: map[string]*trace.Burst{},
+	}
+}
+
+// appHash memoizes AppHash per application.
+func (r *runArtifacts) appHash(app *apps.Profile) string {
+	r.hashMu.Lock()
+	defer r.hashMu.Unlock()
+	h, ok := r.hashes[app.Name]
+	if !ok {
+		h = AppHash(app)
+		r.hashes[app.Name] = h
+	}
+	return h
+}
+
+// latencyModel returns the fitted DRAM curve for (app, channels, mem
+// kind), consulting the run front, then the provider, then building.
+// Duplicate concurrent requests serialize on latMu, so each curve is
+// built (or decoded) once per run.
+func (r *runArtifacts) latencyModel(app *apps.Profile, ch int, mem MemKind) *dram.LatencyModel {
+	key := LatencyModelKey(r.appHash(app), ch, mem, r.seed)
+	r.latMu.Lock()
+	defer r.latMu.Unlock()
+	if m := r.lat[key]; m != nil {
+		return m
+	}
+	if r.backing != nil {
+		if m, ok := r.backing.LatencyModel(key); ok {
+			r.lat[key] = &m
+			return &m
+		}
+	}
+	m := node.BuildLatencyModel(app, dram.Config{Spec: mem.Spec(), Channels: ch}, dram.FRFCFS, r.seed)
+	r.lat[key] = &m
+	if r.backing != nil {
+		r.backing.PutLatencyModel(key, m)
+	}
+	return &m
+}
+
+// burst returns the shared burst trace for (app, ranks) — replay only
+// reads it, so every worker replays the same instance.
+func (r *runArtifacts) burst(app *apps.Profile, ranks int) *trace.Burst {
+	key := BurstKey(r.appHash(app), ranks, r.seed)
+	r.burstMu.Lock()
+	defer r.burstMu.Unlock()
+	if b := r.bursts[key]; b != nil {
+		return b
+	}
+	if r.backing != nil {
+		if b, ok := r.backing.Burst(key); ok {
+			r.bursts[key] = b
+			return b
+		}
+	}
+	b := apps.BurstTrace(app, ranks, r.seed)
+	r.bursts[key] = b
+	if r.backing != nil {
+		r.backing.PutBurst(key, b)
+	}
+	return b
+}
+
+// annotation returns the shared annotation of one (app, group), consulting
+// the provider before building. build runs without any lock held —
+// annotating a sample is the most expensive artifact, and within a run
+// each group is walked by exactly one worker, so duplicate builds cannot
+// happen.
+func (r *runArtifacts) annotation(app *apps.Profile, g AnnGroup, build func() node.Annotation) *node.Annotation {
+	if r.backing == nil {
+		a := build()
+		return &a
+	}
+	key := AnnotationKey(r.appHash(app), g, r.sample, r.warmup, r.seed)
+	if a, ok := r.backing.Annotation(key); ok {
+		return &a
+	}
+	a := build()
+	r.backing.PutAnnotation(key, a)
+	return &a
+}

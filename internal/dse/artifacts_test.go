@@ -1,0 +1,90 @@
+package dse
+
+import (
+	"strings"
+	"testing"
+
+	"musa/internal/apps"
+)
+
+// TestArtifactKeyGolden pins the artifact key schema byte for byte —
+// mirroring the schema-v3 golden test of the canonical experiment
+// encoding. A change here is an artifact schema change and must come with
+// an ArtifactSchemaVersion bump (stale artifact caches are refused by the
+// store, not misread). The golden profile is a fixed literal, immune to
+// retuning of the built-in application models.
+func TestArtifactKeyGolden(t *testing.T) {
+	p := &apps.Profile{Name: "golden", MispredictRate: 0.01, Iterations: 2}
+	hash := AppHash(p)
+	const wantHash = "230d96f2e2555ddd662d5f1d8c6537f3958a77289ccc9dd0dc0eda86a0e174f1"
+	if hash != wantHash {
+		t.Fatalf("AppHash drifted: got %s want %s", hash, wantHash)
+	}
+
+	g := AnnGroup{Cores: 64, Vec: 128, Cache: "64M:512K", Mem: DDR4}
+	golden := []struct {
+		name string
+		key  string
+		want string
+	}{
+		{"annotation", AnnotationKey(hash, g, 20000, 40000, 1), "a1c803633bb66cfe2735c0a5dac6b2eff8ff12b50d4b428043209995b5d10bc1"},
+		// Implicit fidelity normalizes to the package defaults, so the
+		// explicit spelling shares the key.
+		{"annotation-defaults", AnnotationKey(hash, g, 0, 0, 1),
+			AnnotationKey(hash, g, apps.SampleSize, 2*apps.SampleSize, 1)},
+		{"latency-model", LatencyModelKey(hash, 4, DDR4, 1), "2741e03a20f3dc0ed947eb3540fdffb2783f41cafb5149ae4c98ee2fd5980c54"},
+		{"burst", BurstKey(hash, 64, 1), "dadfdfe04f30495d69e5f7ddd81a7bce43ddb59d3c3128abfff6dd2d36c1821e"},
+	}
+	for _, c := range golden {
+		if c.key != c.want {
+			t.Errorf("%s key drifted: got %s want %s", c.name, c.key, c.want)
+		}
+	}
+
+	// The key docs behind the hashes are pinned too: field order and
+	// defaults-made-explicit are the schema.
+	doc := artifactKeyDoc{
+		V: ArtifactSchemaVersion, Kind: ArtifactAnnotation, App: hash,
+		Group: &g, Sample: 20000, Warmup: 40000, Seed: 1,
+	}
+	if doc.key() != golden[0].key {
+		t.Fatal("AnnotationKey diverges from its documented key doc")
+	}
+}
+
+// TestArtifactKeyDiscriminates checks that every build input an artifact
+// depends on flows into its address.
+func TestArtifactKeyDiscriminates(t *testing.T) {
+	h1 := AppHash(apps.LULESH())
+	h2 := AppHash(apps.Hydro())
+	if h1 == h2 {
+		t.Fatal("two applications share a content hash")
+	}
+	if len(h1) != 64 || strings.ToLower(h1) != h1 {
+		t.Fatalf("AppHash %q is not lowercase hex sha-256", h1)
+	}
+	g := AnnGroup{Cores: 64, Vec: 128, Cache: "64M:512K", Mem: DDR4}
+	g2 := g
+	g2.Vec = 256
+	base := AnnotationKey(h1, g, 0, 0, 1)
+	for name, other := range map[string]string{
+		"app":    AnnotationKey(h2, g, 0, 0, 1),
+		"group":  AnnotationKey(h1, g2, 0, 0, 1),
+		"sample": AnnotationKey(h1, g, 1000, 0, 1),
+		"seed":   AnnotationKey(h1, g, 0, 0, 2),
+		"kind":   LatencyModelKey(h1, 4, DDR4, 1),
+	} {
+		if other == base {
+			t.Errorf("annotation key ignores %s", name)
+		}
+	}
+	if LatencyModelKey(h1, 4, DDR4, 1) == LatencyModelKey(h1, 8, DDR4, 1) {
+		t.Error("latency key ignores channels")
+	}
+	if LatencyModelKey(h1, 4, DDR4, 1) == LatencyModelKey(h1, 4, HBM, 1) {
+		t.Error("latency key ignores memory kind")
+	}
+	if BurstKey(h1, 64, 1) == BurstKey(h1, 256, 1) {
+		t.Error("burst key ignores ranks")
+	}
+}

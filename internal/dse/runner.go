@@ -9,11 +9,9 @@ import (
 	"sync"
 
 	"musa/internal/apps"
-	"musa/internal/dram"
 	"musa/internal/net"
 	"musa/internal/node"
 	"musa/internal/power"
-	"musa/internal/trace"
 )
 
 // ClusterStat is the cluster-level outcome of one MPI replay: the node
@@ -146,6 +144,14 @@ type Options struct {
 	// workers.
 	OnMeasurement func(m Measurement)
 
+	// Artifacts, if non-nil, backs the run's expensive intermediates
+	// (annotations, DRAM latency models, burst traces): the runner consults
+	// it before building each one and hands freshly built ones back, so
+	// artifacts persist across runs and processes. Reuse is bitwise
+	// equivalent to rebuilding — a warm run's measurements are
+	// byte-identical to a cold run's. Nil keeps the intermediates run-local.
+	Artifacts ArtifactProvider
+
 	// Replay configures the cluster-level MPI replay appended to every
 	// measurement (zero value = replay at 64 and 256 ranks against the
 	// MareNostrum4 model).
@@ -171,17 +177,20 @@ func (o *Options) fill() {
 // Dataset is the collected sweep output.
 type Dataset struct {
 	Measurements []Measurement
+	byAppOnce    sync.Once
 	byApp        map[string][]Measurement
 }
 
-// ByApp returns the measurements for one application.
+// ByApp returns the measurements for one application. The per-app index is
+// built on first use under a sync.Once, so concurrent readers (e.g. figure
+// goroutines aggregating different applications) are safe.
 func (d *Dataset) ByApp(app string) []Measurement {
-	if d.byApp == nil {
+	d.byAppOnce.Do(func() {
 		d.byApp = map[string][]Measurement{}
 		for _, m := range d.Measurements {
 			d.byApp[m.App] = append(d.byApp[m.App], m)
 		}
-	}
+	})
 	return d.byApp[app]
 }
 
@@ -221,46 +230,14 @@ func Run(ctx context.Context, opts Options) *Dataset {
 	}
 	opts.fill()
 
-	// Pre-build DRAM latency models per (app, channels, mem kind).
-	type lmKey struct {
-		app string
-		ch  int
-		mem MemKind
-	}
-	lms := map[lmKey]*dram.LatencyModel{}
-	var lmMu sync.Mutex
-	latModel := func(app *apps.Profile, ch int, mem MemKind) *dram.LatencyModel {
-		k := lmKey{app.Name, ch, mem}
-		lmMu.Lock()
-		defer lmMu.Unlock()
-		if m, ok := lms[k]; ok {
-			return m
-		}
-		m := node.BuildLatencyModel(app, dram.Config{Spec: mem.Spec(), Channels: ch}, dram.FRFCFS, opts.Seed)
-		lms[k] = &m
-		return &m
-	}
+	// The run-local artifact front: DRAM latency models per (app, channels,
+	// mem kind) and one parsed burst trace per (app, ranks) are shared
+	// across the whole sweep — replay only reads the trace, so every worker
+	// replays the same instance with a per-point compute scale. With
+	// opts.Artifacts set, the front is additionally backed by the
+	// cross-run provider.
+	art := newRunArtifacts(opts)
 
-	// Cluster stage: one parsed burst trace is shared per (app, ranks)
-	// across the whole sweep — replay only reads the trace, so every
-	// worker replays the same instance with a per-point compute scale.
-	type burstKey struct {
-		app   string
-		ranks int
-	}
-	bursts := map[burstKey]*trace.Burst{}
-	var burstMu sync.Mutex
-	burstFor := func(app *apps.Profile, ranks int) *trace.Burst {
-		k := burstKey{app.Name, ranks}
-		burstMu.Lock()
-		defer burstMu.Unlock()
-		if b, ok := bursts[k]; ok {
-			return b
-		}
-		b := apps.BurstTrace(app, ranks, opts.Seed)
-		bursts[k] = b
-		return b
-	}
 	// clusterStage fills the cluster-level fields of m: the burst trace's
 	// compute durations are rescaled by the measured node speedup (the
 	// multi-scale handoff of paper §II) and replayed at every configured
@@ -278,7 +255,7 @@ func Run(ctx context.Context, opts Options) *Dataset {
 		rescale := func(rank int, traced float64) float64 { return traced * scale }
 		m.Cluster = make([]ClusterStat, 0, len(opts.Replay.Ranks))
 		for _, ranks := range opts.Replay.Ranks {
-			rep, err := net.ReplayCtx(ctx, burstFor(app, ranks), opts.Replay.Network, rescale)
+			rep, err := net.ReplayCtx(ctx, art.burst(app, ranks), opts.Replay.Network, rescale)
 			if err != nil {
 				return false
 			}
@@ -337,14 +314,17 @@ func Run(ctx context.Context, opts Options) *Dataset {
 
 	canceled := func() bool { return ctx.Err() != nil }
 	bump := func() {
+		// The counter advances whether or not anyone listens, so every
+		// consumer (Progress today, artifact-cache statistics and /stats
+		// tomorrow) sees the same correct count. The callback runs under
+		// the lock so Progress calls are serialized and monotonic for the
+		// consumer.
+		doneMu.Lock()
+		done++
 		if opts.Progress != nil {
-			// The callback runs under the lock so Progress calls are
-			// serialized and monotonic for the consumer.
-			doneMu.Lock()
-			done++
 			opts.Progress(done, total)
-			doneMu.Unlock()
 		}
+		doneMu.Unlock()
 	}
 
 	worker := func() {
@@ -369,10 +349,11 @@ func Run(ctx context.Context, opts Options) *Dataset {
 				}
 				cfg := p.NodeConfig(opts.SampleInstrs, opts.WarmupInstrs, opts.Seed)
 				if ann == nil {
-					a := node.BuildAnnotation(app, cfg)
-					ann = &a
+					ann = art.annotation(app, k.AnnGroup, func() node.Annotation {
+						return node.BuildAnnotation(app, cfg)
+					})
 				}
-				cfg.LatModel = latModel(app, p.Channels, p.Mem)
+				cfg.LatModel = art.latencyModel(app, p.Channels, p.Mem)
 				res := node.SimulateAnnotated(app, cfg, *ann)
 				l1, l2, l3 := res.MPKI()
 				m := Measurement{

@@ -195,12 +195,7 @@ type Annotation struct {
 // the configuration's cache-relevant parameters (cores, vector width, cache
 // sizes, sample sizes, seed).
 func BuildAnnotation(app *apps.Profile, cfg Config) Annotation {
-	if cfg.SampleInstrs <= 0 {
-		cfg.SampleInstrs = apps.SampleSize
-	}
-	if cfg.WarmupInstrs <= 0 {
-		cfg.WarmupInstrs = 2 * cfg.SampleInstrs
-	}
+	cfg.SampleInstrs, cfg.WarmupInstrs = apps.EffectiveFidelity(cfg.SampleInstrs, cfg.WarmupInstrs)
 	return Annotation{
 		Ann:     annotateSample(app, cfg),
 		HierCfg: cfg.hierarchy(0).Config(),

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"musa"
+	"musa/internal/dse"
 	"musa/internal/store"
 )
 
@@ -22,8 +23,11 @@ import (
 //	POST /simulate     one node experiment (store-backed, coalesced)
 //	POST /dse          sweep experiment; streams NDJSON progress then the result
 //	POST /shard        sweep subset for a fleet coordinator; plain JSON reply
+//	GET  /artifact/{key}  one encoded sweep artifact from the artifact cache
+//	PUT  /artifact/{key}  store an artifact (fleet coordinators push these
+//	                      ahead of shards so workers reuse instead of rebuild)
 //	GET  /figures/{n}  JSON figure data (1, 4-11; 4 is the rank timeline)
-//	GET  /stats        client and store counters, replay configuration
+//	GET  /stats        client, store and artifact-cache counters, replay config
 //
 // POST bodies are musa.Experiment wire encodings; the handlers force the
 // endpoint's Kind and reject everything a Normalize pass rejects with 400.
@@ -64,12 +68,17 @@ func NewHandler(svc *Service) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"service": c.Stats(),
 			"stored":  c.StoreLen(),
+			"artifacts": map[string]any{
+				"enabled": c.ArtifactsEnabled(),
+				"cache":   c.ArtifactStats(),
+			},
 			"replay": map[string]any{
 				"disabled": disabled,
 				"ranks":    ranks,
 				"network":  network,
 			},
-			"schemaVersion": store.SchemaVersion,
+			"schemaVersion":         store.SchemaVersion,
+			"artifactSchemaVersion": dse.ArtifactSchemaVersion,
 		})
 	})
 	mux.HandleFunc("GET /capacity", func(w http.ResponseWriter, r *http.Request) {
@@ -83,6 +92,8 @@ func NewHandler(svc *Service) http.Handler {
 	mux.HandleFunc("POST /simulate", svc.handleSimulate)
 	mux.HandleFunc("POST /dse", svc.handleDSE)
 	mux.HandleFunc("POST /shard", svc.handleShard)
+	mux.HandleFunc("GET /artifact/{key}", svc.handleArtifactGet)
+	mux.HandleFunc("PUT /artifact/{key}", svc.handleArtifactPut)
 	mux.HandleFunc("GET /figures/{n}", svc.handleFigure)
 	return mux
 }
@@ -248,6 +259,60 @@ func (s *Service) handleShard(w http.ResponseWriter, r *http.Request) {
 		"elapsedMs":    float64(time.Since(start).Microseconds()) / 1e3,
 		"measurements": res.Sweep.Measurements,
 	})
+}
+
+// maxArtifactBytes bounds one PUT /artifact upload: the largest legitimate
+// artifact (a default-fidelity annotation) is a few tens of MB encoded.
+const maxArtifactBytes = 256 << 20
+
+// handleArtifactGet serves one encoded artifact byte for byte — the read
+// half of the fleet's artifact exchange, also handy for warming a fresh
+// worker from a long-lived one.
+func (s *Service) handleArtifactGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !store.ValidArtifactKey(key) {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("serve: bad artifact key %q", key))
+		return
+	}
+	blob, ok := s.c.ArtifactBlob(key)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: no artifact %s", key))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(blob)
+}
+
+// handleArtifactPut stores a pushed artifact. The blob is validated at the
+// boundary (schema version, kind, decodable payload) so a corrupt upload is
+// refused with 400 instead of poisoning later sweeps; with the artifact
+// cache disabled the endpoint answers 503.
+func (s *Service) handleArtifactPut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !store.ValidArtifactKey(key) {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("serve: bad artifact key %q", key))
+		return
+	}
+	if !s.c.ArtifactsEnabled() {
+		httpError(w, http.StatusServiceUnavailable, errors.New("serve: artifact cache disabled"))
+		return
+	}
+	blob, err := io.ReadAll(io.LimitReader(r.Body, maxArtifactBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(blob) > maxArtifactBytes {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("serve: artifact exceeds %d bytes", maxArtifactBytes))
+		return
+	}
+	if err := s.c.ArtifactPut(key, blob); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Service) handleFigure(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,671 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"musa/internal/cache"
+	"musa/internal/cpu"
+	"musa/internal/dram"
+	"musa/internal/dse"
+	"musa/internal/isa"
+	"musa/internal/node"
+	"musa/internal/trace"
+)
+
+// This file is the artifact namespace of the store: a content-addressed
+// cache of the sweep runner's expensive intermediates (node annotations,
+// DRAM latency models, burst traces), sitting alongside the measurement
+// log. Keys are the canonical artifact addresses of internal/dse
+// (AnnotationKey, LatencyModelKey, BurstKey); blobs are self-describing
+// JSON envelopes, so they can travel over HTTP (musa-serve's
+// GET/PUT /artifact/{key}) byte-for-byte.
+//
+// Unlike the measurement log, the artifact directory is not flock'd to one
+// process: every write lands via an atomic rename of a complete file, and a
+// reader either sees a whole artifact or none, so the coordinator, local
+// CLIs and demo workers may share one directory.
+
+// artifactSchemaName is the version marker's file name inside the artifact
+// directory (the marker value is dse.ArtifactSchemaVersion).
+const artifactSchemaName = "schema"
+
+// In-memory bounds of the decoded front and the raw-blob map. Annotations
+// dominate memory (the packed sample is a few MB each); the other kinds
+// are small. Eviction is FIFO — an artifact cache only ever changes how
+// fast results arrive, never what they are.
+const (
+	maxResidentAnnotations = 32
+	maxResidentLatency     = 4096
+	maxResidentBursts      = 128
+	maxResidentRawBlobs    = 128
+	// maxResidentRawBytes additionally bounds the memory-only raw map by
+	// size: default-fidelity annotations encode to a few MB each, so a
+	// count bound alone could pin hundreds of MB in a long-lived client.
+	maxResidentRawBytes = 256 << 20
+)
+
+// ArtifactKindStats counts one artifact kind's traffic.
+type ArtifactKindStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Puts   int64 `json:"puts"`
+}
+
+// ArtifactStats is a snapshot of an ArtifactCache's counters.
+type ArtifactStats struct {
+	Annotations   ArtifactKindStats `json:"annotations"`
+	LatencyModels ArtifactKindStats `json:"latencyModels"`
+	Bursts        ArtifactKindStats `json:"bursts"`
+	// BytesRead / BytesWritten count encoded blob traffic (disk or the
+	// in-memory raw map), not decoded sizes.
+	BytesRead    int64 `json:"bytesRead"`
+	BytesWritten int64 `json:"bytesWritten"`
+	// Entries is the number of distinct artifacts held (on disk or in the
+	// raw map).
+	Entries int `json:"entries"`
+}
+
+// artifactEnvelope is the wire form of one artifact blob: a schema marker,
+// the content address the blob was built for, the kind, and the
+// kind-specific payload. Key is embedded because an artifact key hashes
+// build *inputs*, not the blob — without it, a structurally valid blob
+// stored under the wrong key (a buggy pusher, a renamed file) would be
+// served as a different artifact and silently poison measurements.
+// PutBlob and every typed read check it.
+type artifactEnvelope struct {
+	Schema int              `json:"schema"`
+	Key    string           `json:"key"`
+	Kind   dse.ArtifactKind `json:"kind"`
+	Data   json.RawMessage  `json:"data"`
+}
+
+// annotationWire is the payload of an ArtifactAnnotation blob. The
+// annotated instruction stream — the bulk of the artifact — is packed into
+// 12-byte fixed records (base64 on the wire via encoding/json), an exact
+// encoding: decode(encode(a)) is bitwise a, which the warm-equals-cold
+// dataset guarantee rests on.
+type annotationWire struct {
+	Instrs    []byte                `json:"instrs"`
+	L1        cache.Stats           `json:"l1"`
+	L2        cache.Stats           `json:"l2"`
+	L3        cache.Stats           `json:"l3"`
+	MemReads  int64                 `json:"memReads"`
+	MemWrites int64                 `json:"memWrites"`
+	HierCfg   cache.HierarchyConfig `json:"hierCfg"`
+}
+
+const packedInstrBytes = 12
+
+func packInstrs(in []cpu.Annotated) []byte {
+	out := make([]byte, len(in)*packedInstrBytes)
+	for i, a := range in {
+		p := out[i*packedInstrBytes:]
+		binary.LittleEndian.PutUint32(p[0:], uint32(a.Dep1))
+		binary.LittleEndian.PutUint32(p[4:], uint32(a.Dep2))
+		p[8] = byte(a.Class)
+		p[9] = a.Lanes
+		p[10] = a.Level
+		p[11] = a.Flags
+	}
+	return out
+}
+
+func unpackInstrs(in []byte) ([]cpu.Annotated, error) {
+	if len(in)%packedInstrBytes != 0 {
+		return nil, fmt.Errorf("store: packed annotation stream is %d bytes (not a multiple of %d)",
+			len(in), packedInstrBytes)
+	}
+	out := make([]cpu.Annotated, len(in)/packedInstrBytes)
+	for i := range out {
+		p := in[i*packedInstrBytes:]
+		out[i] = cpu.Annotated{
+			Dep1:  int32(binary.LittleEndian.Uint32(p[0:])),
+			Dep2:  int32(binary.LittleEndian.Uint32(p[4:])),
+			Class: isa.Class(p[8]),
+			Lanes: p[9],
+			Level: p[10],
+			Flags: p[11],
+		}
+	}
+	return out, nil
+}
+
+// ArtifactCache is the process-wide artifact cache: a bounded in-memory
+// front of decoded artifacts over an optional on-disk blob directory. With
+// an empty directory it is memory-only — raw blobs are retained (bounded)
+// so they can still be served to fleet workers and over HTTP. All methods
+// are safe for concurrent use. It implements dse.ArtifactProvider.
+type ArtifactCache struct {
+	dir string // "" = memory-only
+
+	mu       sync.Mutex
+	keys     map[string]bool   // artifacts present (disk or raw map)
+	raw      map[string][]byte // memory-only blob storage (dir == "")
+	rawOrder []string
+	rawBytes int64
+	ann      map[string]node.Annotation
+	annOrder []string
+	lat      map[string]dram.LatencyModel
+	latOrder []string
+	burst    map[string]*trace.Burst
+	burstOrd []string
+
+	stats    ArtifactStats
+	firstErr error
+}
+
+var _ dse.ArtifactProvider = (*ArtifactCache)(nil)
+
+// OpenArtifacts opens (creating if needed) the artifact cache rooted at
+// dir; an empty dir yields a memory-only cache. A directory written under a
+// different artifact schema version is refused — delete it to rebuild.
+func OpenArtifacts(dir string) (*ArtifactCache, error) {
+	c := &ArtifactCache{
+		dir:   dir,
+		keys:  map[string]bool{},
+		ann:   map[string]node.Annotation{},
+		lat:   map[string]dram.LatencyModel{},
+		burst: map[string]*trace.Burst{},
+	}
+	if dir == "" {
+		c.raw = map[string][]byte{}
+		return c, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: artifacts: %w", err)
+	}
+	if err := checkArtifactSchema(dir); err != nil {
+		return nil, err
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: artifacts: %w", err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if key, ok := strings.CutSuffix(name, ".json"); ok && validArtifactKey(key) {
+			c.keys[key] = true
+		}
+	}
+	c.stats.Entries = len(c.keys)
+	return c, nil
+}
+
+// checkArtifactSchema stamps an empty directory with the current artifact
+// schema version and refuses one stamped (or populated) under another.
+func checkArtifactSchema(dir string) error {
+	marker := filepath.Join(dir, artifactSchemaName)
+	raw, err := os.ReadFile(marker)
+	switch {
+	case os.IsNotExist(err):
+	case err != nil:
+		return fmt.Errorf("store: artifacts: %w", err)
+	default:
+		v, perr := strconv.Atoi(strings.TrimSpace(string(raw)))
+		if perr != nil {
+			return fmt.Errorf("store: artifacts: unreadable schema marker %s: %q", marker, raw)
+		}
+		if v != dse.ArtifactSchemaVersion {
+			return fmt.Errorf("store: artifacts: %s holds schema v%d artifacts, current is v%d; delete the directory to rebuild it",
+				dir, v, dse.ArtifactSchemaVersion)
+		}
+		return nil
+	}
+	if err := os.WriteFile(marker, []byte(strconv.Itoa(dse.ArtifactSchemaVersion)+"\n"), 0o644); err != nil {
+		return fmt.Errorf("store: artifacts: %w", err)
+	}
+	return nil
+}
+
+// validArtifactKey reports whether key looks like a content address (hex
+// SHA-256): the HTTP layer and the directory scan share this gate.
+func validArtifactKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for _, r := range key {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidArtifactKey reports whether key is a well-formed artifact content
+// address.
+func ValidArtifactKey(key string) bool { return validArtifactKey(key) }
+
+// Err returns the first blob write/read error the cache swallowed (the
+// cache is best-effort: a failing disk degrades it to rebuild-every-time
+// rather than failing sweeps).
+func (c *ArtifactCache) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.firstErr
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *ArtifactCache) Stats() ArtifactStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.keys)
+	return s
+}
+
+// Len returns the number of distinct artifacts held.
+func (c *ArtifactCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.keys)
+}
+
+func (c *ArtifactCache) noteErr(err error) {
+	if err != nil && c.firstErr == nil {
+		c.firstErr = err
+	}
+}
+
+// blobFor returns the raw blob under key. It manages its own locking and
+// performs the disk read outside the lock — a multi-MB file read must not
+// stall concurrent lookups from sweep workers. The caller must NOT hold
+// c.mu.
+func (c *ArtifactCache) blobFor(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if !c.keys[key] {
+		c.mu.Unlock()
+		return nil, false
+	}
+	if c.dir == "" {
+		b, ok := c.raw[key]
+		if ok {
+			c.stats.BytesRead += int64(len(b))
+		}
+		c.mu.Unlock()
+		return b, ok
+	}
+	c.mu.Unlock()
+	b, err := os.ReadFile(c.blobPath(key))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		if !os.IsNotExist(err) {
+			c.noteErr(fmt.Errorf("store: artifacts: %w", err))
+		}
+		delete(c.keys, key)
+		return nil, false
+	}
+	c.stats.BytesRead += int64(len(b))
+	return b, true
+}
+
+// persistBlob stores the raw blob under key. It manages its own locking
+// and performs the disk write outside the lock. The caller must NOT hold
+// c.mu.
+func (c *ArtifactCache) persistBlob(key string, blob []byte) {
+	if c.dir == "" {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if old, exists := c.raw[key]; !exists {
+			c.rawOrder = append(c.rawOrder, key)
+			c.rawBytes += int64(len(blob))
+		} else {
+			c.rawBytes += int64(len(blob)) - int64(len(old))
+		}
+		c.raw[key] = blob
+		c.keys[key] = true
+		// Enforce both bounds on insert and replace alike (a replacement
+		// with a larger blob grows the map too). The loop may evict the
+		// just-written key if it alone busts the byte bound; keys and raw
+		// stay consistent either way.
+		for len(c.rawOrder) > maxResidentRawBlobs || c.rawBytes > maxResidentRawBytes {
+			evict := c.rawOrder[0]
+			c.rawOrder = c.rawOrder[1:]
+			c.rawBytes -= int64(len(c.raw[evict]))
+			delete(c.raw, evict)
+			delete(c.keys, evict)
+		}
+		c.stats.BytesWritten += int64(len(blob))
+		return
+	}
+	// The temp file name must be unique per write: the directory is shared
+	// between processes without locking, and two writers of the same key
+	// colliding on one temp path could rename a truncated file into place.
+	// A unique temp plus rename keeps the whole-artifact-or-none invariant.
+	tmp, err := os.CreateTemp(c.dir, key+".tmp-*")
+	if err == nil {
+		_, err = tmp.Write(blob)
+		if cerr := tmp.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = os.Rename(tmp.Name(), c.blobPath(key))
+		}
+		if err != nil {
+			os.Remove(tmp.Name())
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		c.noteErr(fmt.Errorf("store: artifacts: %w", err))
+		return
+	}
+	c.keys[key] = true
+	c.stats.BytesWritten += int64(len(blob))
+}
+
+func (c *ArtifactCache) blobPath(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Blob returns the encoded artifact under key, byte-for-byte as stored —
+// the payload of GET /artifact/{key} and of coordinator-to-worker pushes.
+func (c *ArtifactCache) Blob(key string) ([]byte, bool) {
+	return c.blobFor(key)
+}
+
+// PutBlob validates and stores an encoded artifact received from outside
+// (PUT /artifact/{key}): the blob must parse as a current-schema envelope
+// with a decodable payload, so a corrupt or stale upload is refused at the
+// boundary rather than poisoning later sweeps.
+func (c *ArtifactCache) PutBlob(key string, blob []byte) error {
+	if !validArtifactKey(key) {
+		return fmt.Errorf("store: artifacts: bad key %q", key)
+	}
+	env, err := decodeEnvelope(key, blob)
+	if err != nil {
+		return err
+	}
+	// Decode the payload fully before taking the lock — a multi-MB
+	// annotation decode must not stall concurrent sweep-worker lookups —
+	// and populate the decoded front with the result, so a pushed artifact
+	// is served without a second decode.
+	var insert func()
+	switch env.Kind {
+	case dse.ArtifactAnnotation:
+		a, err := decodeAnnotation(env.Data)
+		if err != nil {
+			return err
+		}
+		insert = func() { c.frontAnnotation(key, a); c.stats.Annotations.Puts++ }
+	case dse.ArtifactLatencyModel:
+		var m dram.LatencyModel
+		if err := json.Unmarshal(env.Data, &m); err != nil {
+			return fmt.Errorf("store: artifacts: latency model payload: %w", err)
+		}
+		insert = func() { c.frontLatency(key, m); c.stats.LatencyModels.Puts++ }
+	case dse.ArtifactBurst:
+		var b trace.Burst
+		if err := json.Unmarshal(env.Data, &b); err != nil {
+			return fmt.Errorf("store: artifacts: burst payload: %w", err)
+		}
+		if err := b.Validate(); err != nil {
+			return fmt.Errorf("store: artifacts: %w", err)
+		}
+		insert = func() { c.frontBurst(key, &b); c.stats.Bursts.Puts++ }
+	default:
+		return fmt.Errorf("store: artifacts: unknown kind %q", env.Kind)
+	}
+	c.persistBlob(key, blob)
+	c.mu.Lock()
+	insert()
+	c.mu.Unlock()
+	return nil
+}
+
+// decodeEnvelope parses and validates a blob claimed to hold the artifact
+// addressed by key: schema version and key binding are both enforced.
+func decodeEnvelope(key string, blob []byte) (artifactEnvelope, error) {
+	var env artifactEnvelope
+	if err := json.Unmarshal(blob, &env); err != nil {
+		return env, fmt.Errorf("store: artifacts: bad envelope: %w", err)
+	}
+	if env.Schema != dse.ArtifactSchemaVersion {
+		return env, fmt.Errorf("store: artifacts: blob has schema v%d, current is v%d",
+			env.Schema, dse.ArtifactSchemaVersion)
+	}
+	if env.Key != key {
+		return env, fmt.Errorf("store: artifacts: blob was built for key %s, stored under %s", env.Key, key)
+	}
+	return env, nil
+}
+
+func encodeEnvelope(key string, kind dse.ArtifactKind, payload any) []byte {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		// All payloads are trees of plain exported fields.
+		panic(fmt.Sprintf("store: marshal %s artifact: %v", kind, err))
+	}
+	blob, err := json.Marshal(artifactEnvelope{
+		Schema: dse.ArtifactSchemaVersion, Key: key, Kind: kind, Data: data,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("store: marshal %s envelope: %v", kind, err))
+	}
+	return blob
+}
+
+func decodeAnnotation(data []byte) (node.Annotation, error) {
+	var w annotationWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return node.Annotation{}, fmt.Errorf("store: artifacts: annotation payload: %w", err)
+	}
+	instrs, err := unpackInstrs(w.Instrs)
+	if err != nil {
+		return node.Annotation{}, err
+	}
+	return node.Annotation{
+		Ann: cpu.AnnotateResult{
+			Instrs: instrs,
+			L1:     w.L1, L2: w.L2, L3: w.L3,
+			MemReads: w.MemReads, MemWrites: w.MemWrites,
+		},
+		HierCfg: w.HierCfg,
+	}, nil
+}
+
+func encodeAnnotation(key string, a node.Annotation) []byte {
+	return encodeEnvelope(key, dse.ArtifactAnnotation, annotationWire{
+		Instrs: packInstrs(a.Ann.Instrs),
+		L1:     a.Ann.L1, L2: a.Ann.L2, L3: a.Ann.L3,
+		MemReads: a.Ann.MemReads, MemWrites: a.Ann.MemWrites,
+		HierCfg: a.HierCfg,
+	})
+}
+
+// frontAnnotation/frontLatency/frontBurst insert into the decoded FIFO
+// fronts. Caller holds c.mu.
+func (c *ArtifactCache) frontAnnotation(key string, a node.Annotation) {
+	if _, ok := c.ann[key]; !ok {
+		c.annOrder = append(c.annOrder, key)
+		for len(c.annOrder) > maxResidentAnnotations {
+			delete(c.ann, c.annOrder[0])
+			c.annOrder = c.annOrder[1:]
+		}
+	}
+	c.ann[key] = a
+}
+
+func (c *ArtifactCache) frontLatency(key string, m dram.LatencyModel) {
+	if _, ok := c.lat[key]; !ok {
+		c.latOrder = append(c.latOrder, key)
+		for len(c.latOrder) > maxResidentLatency {
+			delete(c.lat, c.latOrder[0])
+			c.latOrder = c.latOrder[1:]
+		}
+	}
+	c.lat[key] = m
+}
+
+func (c *ArtifactCache) frontBurst(key string, b *trace.Burst) {
+	if _, ok := c.burst[key]; !ok {
+		c.burstOrd = append(c.burstOrd, key)
+		for len(c.burstOrd) > maxResidentBursts {
+			delete(c.burst, c.burstOrd[0])
+			c.burstOrd = c.burstOrd[1:]
+		}
+	}
+	c.burst[key] = b
+}
+
+// dropCorrupt evicts a blob whose payload failed to decode and records the
+// failure: without this, a corrupt file would be re-read and re-failed on
+// every lookup forever, with ArtifactErr staying silent. The next Put under
+// the key simply rewrites it.
+func (c *ArtifactCache) dropCorrupt(key string, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.keys, key)
+	if c.dir == "" {
+		if old, ok := c.raw[key]; ok {
+			c.rawBytes -= int64(len(old))
+			delete(c.raw, key)
+		}
+	}
+	c.noteErr(fmt.Errorf("store: artifacts: corrupt blob %s: %w", key, err))
+}
+
+// miss counts a miss for one kind under the lock.
+func (c *ArtifactCache) miss(k *ArtifactKindStats) {
+	c.mu.Lock()
+	k.Misses++
+	c.mu.Unlock()
+}
+
+// Annotation implements dse.ArtifactProvider.
+func (c *ArtifactCache) Annotation(key string) (node.Annotation, bool) {
+	c.mu.Lock()
+	if a, ok := c.ann[key]; ok {
+		c.stats.Annotations.Hits++
+		c.mu.Unlock()
+		return a, true
+	}
+	c.mu.Unlock()
+	blob, ok := c.blobFor(key)
+	if ok {
+		// Decode outside the lock: annotations are multi-MB and concurrent
+		// sweep workers must not serialize behind the unpack.
+		env, err := decodeEnvelope(key, blob)
+		if err == nil && env.Kind == dse.ArtifactAnnotation {
+			a, derr := decodeAnnotation(env.Data)
+			if derr == nil {
+				c.mu.Lock()
+				c.frontAnnotation(key, a)
+				c.stats.Annotations.Hits++
+				c.mu.Unlock()
+				return a, true
+			}
+			err = derr
+		}
+		if err != nil {
+			c.dropCorrupt(key, err)
+		}
+	}
+	c.miss(&c.stats.Annotations)
+	return node.Annotation{}, false
+}
+
+// PutAnnotation implements dse.ArtifactProvider.
+func (c *ArtifactCache) PutAnnotation(key string, a node.Annotation) {
+	blob := encodeAnnotation(key, a)
+	c.persistBlob(key, blob)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.frontAnnotation(key, a)
+	c.stats.Annotations.Puts++
+}
+
+// LatencyModel implements dse.ArtifactProvider.
+func (c *ArtifactCache) LatencyModel(key string) (dram.LatencyModel, bool) {
+	c.mu.Lock()
+	if m, ok := c.lat[key]; ok {
+		c.stats.LatencyModels.Hits++
+		c.mu.Unlock()
+		return m, true
+	}
+	c.mu.Unlock()
+	blob, ok := c.blobFor(key)
+	if ok {
+		env, err := decodeEnvelope(key, blob)
+		if err == nil && env.Kind == dse.ArtifactLatencyModel {
+			var m dram.LatencyModel
+			if derr := json.Unmarshal(env.Data, &m); derr == nil {
+				c.mu.Lock()
+				c.frontLatency(key, m)
+				c.stats.LatencyModels.Hits++
+				c.mu.Unlock()
+				return m, true
+			} else {
+				err = derr
+			}
+		}
+		if err != nil {
+			c.dropCorrupt(key, err)
+		}
+	}
+	c.miss(&c.stats.LatencyModels)
+	return dram.LatencyModel{}, false
+}
+
+// PutLatencyModel implements dse.ArtifactProvider.
+func (c *ArtifactCache) PutLatencyModel(key string, m dram.LatencyModel) {
+	blob := encodeEnvelope(key, dse.ArtifactLatencyModel, m)
+	c.persistBlob(key, blob)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.frontLatency(key, m)
+	c.stats.LatencyModels.Puts++
+}
+
+// Burst implements dse.ArtifactProvider.
+func (c *ArtifactCache) Burst(key string) (*trace.Burst, bool) {
+	c.mu.Lock()
+	if b, ok := c.burst[key]; ok {
+		c.stats.Bursts.Hits++
+		c.mu.Unlock()
+		return b, true
+	}
+	c.mu.Unlock()
+	blob, ok := c.blobFor(key)
+	if ok {
+		env, err := decodeEnvelope(key, blob)
+		if err == nil && env.Kind == dse.ArtifactBurst {
+			var b trace.Burst
+			derr := json.Unmarshal(env.Data, &b)
+			if derr == nil {
+				derr = b.Validate()
+			}
+			if derr == nil {
+				c.mu.Lock()
+				c.frontBurst(key, &b)
+				c.stats.Bursts.Hits++
+				c.mu.Unlock()
+				return &b, true
+			}
+			err = derr
+		}
+		if err != nil {
+			c.dropCorrupt(key, err)
+		}
+	}
+	c.miss(&c.stats.Bursts)
+	return nil, false
+}
+
+// PutBurst implements dse.ArtifactProvider.
+func (c *ArtifactCache) PutBurst(key string, b *trace.Burst) {
+	blob := encodeEnvelope(key, dse.ArtifactBurst, b)
+	c.persistBlob(key, blob)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.frontBurst(key, b)
+	c.stats.Bursts.Puts++
+}

@@ -1,0 +1,267 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"musa/internal/apps"
+	"musa/internal/cache"
+	"musa/internal/cpu"
+	"musa/internal/dram"
+	"musa/internal/dse"
+	"musa/internal/isa"
+	"musa/internal/node"
+)
+
+// testAnnotation builds a small but structurally real annotation.
+func testAnnotation(t *testing.T) node.Annotation {
+	t.Helper()
+	app := apps.LULESH()
+	p := dse.Enumerate()[0]
+	cfg := p.NodeConfig(2000, 4000, 1)
+	return node.BuildAnnotation(app, cfg)
+}
+
+// TestAnnotationRoundTrip is the bitwise-fidelity contract the
+// warm-equals-cold guarantee rests on: decode(encode(a)) must reproduce
+// the annotation exactly, including every packed instruction record.
+func TestAnnotationRoundTrip(t *testing.T) {
+	a := testAnnotation(t)
+	key := fmt.Sprintf("%064x", 99)
+	got, err := decodeAnnotation(mustData(t, key, encodeAnnotation(key, a)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, got) {
+		t.Fatal("annotation round trip is lossy")
+	}
+	// Exercise every field of the packed record explicitly, including
+	// negative dependency distances.
+	in := []cpu.Annotated{
+		{Dep1: -1, Dep2: 1 << 30, Class: isa.Store, Lanes: 255, Level: 3, Flags: cpu.FlagMispredict},
+		{Dep1: 0, Dep2: -12345, Class: isa.Branch},
+	}
+	out, err := unpackInstrs(packInstrs(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("packed instruction round trip: %+v vs %+v", out, in)
+	}
+	if _, err := unpackInstrs(make([]byte, packedInstrBytes+1)); err == nil {
+		t.Fatal("truncated packed stream accepted")
+	}
+}
+
+func mustData(t *testing.T, key string, blob []byte) []byte {
+	t.Helper()
+	env, err := decodeEnvelope(key, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env.Data
+}
+
+// TestArtifactCachePersistence drives the disk path: artifacts written by
+// one cache are served — typed and raw — by a fresh cache over the same
+// directory, and the stats count the traffic.
+func TestArtifactCachePersistence(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := OpenArtifacts(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann := testAnnotation(t)
+	lm := dram.LatencyModel{PeakBW: 1e9, Points: []float64{0.05, 1}, LatenciesNs: []float64{80.5, 120.25}, SatBW: 9e8}
+	b := apps.BurstTrace(apps.LULESH(), 4, 1)
+	c1.PutAnnotation("a"+strings.Repeat("0", 63), ann)
+	c1.PutLatencyModel("b"+strings.Repeat("0", 63), lm)
+	c1.PutBurst("c"+strings.Repeat("0", 63), b)
+	if c1.Err() != nil {
+		t.Fatal(c1.Err())
+	}
+	if got := c1.Stats(); got.Entries != 3 || got.BytesWritten == 0 {
+		t.Fatalf("stats after puts: %+v", got)
+	}
+
+	c2, err := OpenArtifacts(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga, ok := c2.Annotation("a" + strings.Repeat("0", 63))
+	if !ok || !reflect.DeepEqual(ga, ann) {
+		t.Fatal("annotation not served byte-identically from disk")
+	}
+	gl, ok := c2.LatencyModel("b" + strings.Repeat("0", 63))
+	if !ok || !reflect.DeepEqual(gl, lm) {
+		t.Fatal("latency model not served from disk")
+	}
+	gb, ok := c2.Burst("c" + strings.Repeat("0", 63))
+	if !ok || !reflect.DeepEqual(gb, b) {
+		t.Fatal("burst not served from disk")
+	}
+	st := c2.Stats()
+	if st.Annotations.Hits != 1 || st.LatencyModels.Hits != 1 || st.Bursts.Hits != 1 {
+		t.Fatalf("hit counters: %+v", st)
+	}
+	if st.BytesRead == 0 {
+		t.Fatal("no bytes counted on the read path")
+	}
+	if _, ok := c2.Annotation("f" + strings.Repeat("0", 63)); ok {
+		t.Fatal("absent key served")
+	}
+	if c2.Stats().Annotations.Misses != 1 {
+		t.Fatal("miss not counted")
+	}
+
+	// Raw blobs travel byte-identically (the HTTP payload contract).
+	blob, ok := c2.Blob("a" + strings.Repeat("0", 63))
+	if !ok {
+		t.Fatal("no raw blob")
+	}
+	disk, err := os.ReadFile(filepath.Join(dir, "a"+strings.Repeat("0", 63)+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, disk) {
+		t.Fatal("Blob differs from the stored file")
+	}
+}
+
+// TestArtifactCacheSchemaRefused pins the invalidation behavior: a
+// directory stamped with another artifact schema version is refused.
+func TestArtifactCacheSchemaRefused(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, artifactSchemaName), []byte("999\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenArtifacts(dir); err == nil {
+		t.Fatal("stale artifact schema accepted")
+	}
+}
+
+// TestArtifactPutBlobValidates drives the HTTP-facing boundary: bad keys,
+// bad envelopes, stale schemas and undecodable payloads are refused; a
+// valid pushed blob is immediately served typed (no rebuild) and raw
+// (byte-identical).
+func TestArtifactPutBlobValidates(t *testing.T) {
+	c, err := OpenArtifacts("") // memory-only, like a worker without a dir
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "d" + strings.Repeat("1", 63)
+	if err := c.PutBlob("not-a-key", []byte("{}")); err == nil {
+		t.Fatal("bad key accepted")
+	}
+	if err := c.PutBlob(key, []byte("not json")); err == nil {
+		t.Fatal("bad envelope accepted")
+	}
+	stale, _ := json.Marshal(map[string]any{"schema": 999, "kind": "annotation", "data": map[string]any{}})
+	if err := c.PutBlob(key, stale); err == nil {
+		t.Fatal("stale schema accepted")
+	}
+	wrong, _ := json.Marshal(map[string]any{"schema": dse.ArtifactSchemaVersion, "kind": "annotation", "data": "x"})
+	if err := c.PutBlob(key, wrong); err == nil {
+		t.Fatal("undecodable payload accepted")
+	}
+
+	ann := testAnnotation(t)
+	blob := encodeAnnotation(key, ann)
+	if err := c.PutBlob(key, blob); err != nil {
+		t.Fatal(err)
+	}
+	// The same valid blob under a different key is refused: the envelope
+	// binds the payload to the address it was built for, so a mis-keyed
+	// push cannot poison later sweeps.
+	if err := c.PutBlob("e"+strings.Repeat("2", 63), blob); err == nil {
+		t.Fatal("blob accepted under a key it was not built for")
+	}
+	got, ok := c.Annotation(key)
+	if !ok || !reflect.DeepEqual(got, ann) {
+		t.Fatal("pushed annotation not served")
+	}
+	raw, ok := c.Blob(key)
+	if !ok || !bytes.Equal(raw, blob) {
+		t.Fatal("pushed blob not served byte-identically")
+	}
+}
+
+// TestArtifactCorruptBlobEvicted pins the corrupt-blob behavior: a stored
+// blob whose payload no longer decodes is evicted on first lookup and
+// surfaced through Err(), instead of being re-read and re-failed forever
+// in silence. A later Put simply rewrites the key.
+func TestArtifactCorruptBlobEvicted(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenArtifacts(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := fmt.Sprintf("%064x", 7)
+	c.PutAnnotation(key, testAnnotation(t))
+	// Corrupt the payload on disk while keeping a valid envelope.
+	blob, _ := json.Marshal(map[string]any{
+		"schema": dse.ArtifactSchemaVersion, "key": key, "kind": "annotation",
+		"data": map[string]any{"instrs": "x x x"},
+	})
+	if err := os.WriteFile(filepath.Join(dir, key+".json"), blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenArtifacts(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Annotation(key); ok {
+		t.Fatal("corrupt annotation served")
+	}
+	if c2.Err() == nil {
+		t.Fatal("corrupt blob not reported through Err")
+	}
+	if c2.Len() != 0 {
+		t.Fatalf("corrupt key still indexed: %d entries", c2.Len())
+	}
+	// Rewriting the key recovers.
+	ann := testAnnotation(t)
+	c2.PutAnnotation(key, ann)
+	if got, ok := c2.Annotation(key); !ok || !reflect.DeepEqual(got, ann) {
+		t.Fatal("rewritten key not served")
+	}
+}
+
+// TestArtifactFrontEviction keeps the decoded annotation front bounded:
+// old entries are evicted from memory but stay reachable on disk.
+func TestArtifactFrontEviction(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenArtifacts(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann := testAnnotation(t)
+	keys := make([]string, maxResidentAnnotations+4)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%064x", i+1)
+		c.PutAnnotation(keys[i], ann)
+	}
+	c.mu.Lock()
+	resident := len(c.ann)
+	c.mu.Unlock()
+	if resident > maxResidentAnnotations {
+		t.Fatalf("%d resident annotations, cap %d", resident, maxResidentAnnotations)
+	}
+	// The evicted first key still decodes from disk.
+	if got, ok := c.Annotation(keys[0]); !ok || !reflect.DeepEqual(got, ann) {
+		t.Fatal("evicted annotation lost from disk")
+	}
+
+	// cache.Stats/HierarchyConfig zero-value sanity: envelope kinds refuse
+	// cross-kind typed reads.
+	if _, ok := c.LatencyModel(keys[0]); ok {
+		t.Fatal("annotation blob served as a latency model")
+	}
+	_ = cache.Stats{}
+}
