@@ -13,6 +13,7 @@ import (
 	"musa/internal/core"
 	"musa/internal/dse"
 	"musa/internal/net"
+	"musa/internal/obs"
 	"musa/internal/store"
 )
 
@@ -83,6 +84,10 @@ type ClientStats struct {
 	Requests int64
 	// StoreHits counts measurements served from the result store.
 	StoreHits int64
+	// StoreMisses counts result-store lookups that found nothing (the
+	// dominant case of a cold sweep; at serve scale the hit/miss ratio is
+	// the cache's health metric).
+	StoreMisses int64
 	// Coalesced counts node experiments that piggybacked on an identical
 	// in-flight computation instead of simulating again.
 	Coalesced int64
@@ -166,8 +171,8 @@ type Client struct {
 	flight map[string]*call
 	custom map[string]*Application
 
-	requests, storeHits, coalesced, simulated atomic.Int64
-	remote, redispatched, artifactsPushed     atomic.Int64
+	requests, storeHits, storeMisses, coalesced, simulated atomic.Int64
+	remote, redispatched, artifactsPushed                  atomic.Int64
 }
 
 // NewClient validates the options, opens the result store when CacheDir is
@@ -247,6 +252,7 @@ func (c *Client) Stats() ClientStats {
 	return ClientStats{
 		Requests:        c.requests.Load(),
 		StoreHits:       c.storeHits.Load(),
+		StoreMisses:     c.storeMisses.Load(),
 		Coalesced:       c.coalesced.Load(),
 		Simulated:       c.simulated.Load(),
 		Remote:          c.remote.Load(),
@@ -437,9 +443,9 @@ func (c *Client) Run(ctx context.Context, e Experiment) (*Result, error) {
 }
 
 // RunStream is Run with streaming callbacks: sweep progress and per-
-// measurement notifications are delivered to obs while the experiment
+// measurement notifications are delivered to watch while the experiment
 // executes. The final Result is returned as from Run.
-func (c *Client) RunStream(ctx context.Context, e Experiment, obs Observer) (*Result, error) {
+func (c *Client) RunStream(ctx context.Context, e Experiment, watch Observer) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -448,15 +454,20 @@ func (c *Client) RunStream(ctx context.Context, e Experiment, obs Observer) (*Re
 		return nil, err
 	}
 	c.requests.Add(1)
+	// The root span of the request: under an HTTP handler it parents to the
+	// request span (and, via X-Musa-Trace, to a coordinator's dispatch); on
+	// a CLI it is the trace root covering the whole experiment.
+	ctx, span := obs.StartSpan(ctx, "client.run", obs.A("kind", string(ne.Kind)))
+	defer span.End()
 	switch ne.Kind {
 	case KindNode:
-		return c.runNode(ctx, ne, obs)
+		return c.runNode(ctx, ne, watch)
 	case KindFullApp:
 		return c.runFullApp(ctx, ne)
 	case KindScaling:
 		return c.runScaling(ctx, ne)
 	case KindSweep:
-		return c.runSweep(ctx, ne, obs)
+		return c.runSweep(ctx, ne, watch)
 	case KindUnconventional:
 		return c.runUnconventional(ctx, ne)
 	}
@@ -466,7 +477,7 @@ func (c *Client) RunStream(ctx context.Context, e Experiment, obs Observer) (*Re
 // runNode serves one measurement: store first, then single-flight
 // coalescing of identical in-flight requests, then a one-point sweep under
 // a job slot.
-func (c *Client) runNode(ctx context.Context, ne Experiment, obs Observer) (*Result, error) {
+func (c *Client) runNode(ctx context.Context, ne Experiment, watch Observer) (*Result, error) {
 	app, err := c.resolveApp(ne.App)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrUnknownApp, err)
@@ -474,15 +485,15 @@ func (c *Client) runNode(ctx context.Context, ne Experiment, obs Observer) (*Res
 	key := nodeKey(ne, ne.App, c.customProfile(ne.App), *ne.Arch, nil)
 
 	finish := func(m Measurement, cached bool) (*Result, error) {
-		if obs.Measurement != nil {
-			obs.Measurement(m)
+		if watch.Measurement != nil {
+			watch.Measurement(m)
 		}
-		if obs.Progress != nil {
+		if watch.Progress != nil {
 			hits := 0
 			if cached {
 				hits = 1
 			}
-			obs.Progress(1, 1, hits)
+			watch.Progress(1, 1, hits)
 		}
 		return &Result{Kind: KindNode, Cached: cached, Measurement: &m}, nil
 	}
@@ -492,6 +503,7 @@ func (c *Client) runNode(ctx context.Context, ne Experiment, obs Observer) (*Res
 			c.storeHits.Add(1)
 			return finish(m, true)
 		}
+		c.storeMisses.Add(1)
 	}
 
 	// Single flight: the first request under a key computes; duplicates
@@ -581,12 +593,12 @@ func (c *Client) simulateOne(ctx context.Context, app *Application, ne Experimen
 // store checkpointing. On cancellation it returns the partial dataset and
 // an error wrapping context.Canceled, so callers keep what was computed
 // and a repeated run resumes from the checkpoint.
-func (c *Client) runSweep(ctx context.Context, ne Experiment, obs Observer) (*Result, error) {
+func (c *Client) runSweep(ctx context.Context, ne Experiment, watch Observer) (*Result, error) {
 	// A configured fleet takes over built-in-application sweeps; custom
 	// applications are registered only on this client, so the workers could
 	// not resolve them — those sweeps stay in process.
 	if c.fleet != nil && c.fleetEligible(ne) {
-		return c.runSweepFleet(ctx, ne, obs)
+		return c.runSweepFleet(ctx, ne, watch)
 	}
 	var selected []*apps.Profile
 	for _, name := range ne.Apps {
@@ -634,11 +646,11 @@ func (c *Client) runSweep(ctx context.Context, ne Experiment, obs Observer) (*Re
 	// Measurement delivery takes a lock.
 	var obsMu sync.Mutex
 	deliver := func(m Measurement) {
-		if obs.Measurement == nil {
+		if watch.Measurement == nil {
 			return
 		}
 		obsMu.Lock()
-		obs.Measurement(m)
+		watch.Measurement(m)
 		obsMu.Unlock()
 	}
 	if lookup := opts.Lookup; lookup != nil {
@@ -648,6 +660,8 @@ func (c *Client) runSweep(ctx context.Context, ne Experiment, obs Observer) (*Re
 				cached.Add(1)
 				c.storeHits.Add(1)
 				deliver(m)
+			} else {
+				c.storeMisses.Add(1)
 			}
 			return m, ok
 		}
@@ -660,9 +674,9 @@ func (c *Client) runSweep(ctx context.Context, ne Experiment, obs Observer) (*Re
 		}
 		deliver(m)
 	}
-	if obs.Progress != nil {
+	if watch.Progress != nil {
 		opts.Progress = func(done, total int) {
-			obs.Progress(done, total, int(cached.Load()))
+			watch.Progress(done, total, int(cached.Load()))
 		}
 	}
 
@@ -721,6 +735,67 @@ func (c *Client) runScaling(ctx context.Context, ne Experiment) (*Result, error)
 	}
 	c.simulated.Add(1)
 	return &Result{Kind: KindScaling, RegionSpeedups: region, Scaling: full}, nil
+}
+
+// RegisterMetrics re-registers the client's counters — and its store and
+// artifact caches' — as scrape-time metrics in reg (nil = the process
+// default registry), so one GET /metrics (or one -metrics dump) sees the
+// whole pipeline. Registering a second client under the same registry
+// replaces the first: one process scrapes one client.
+func (c *Client) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.DefaultRegistry()
+	}
+	stat := func(f func(ClientStats) int64) func() float64 {
+		return func() float64 { return float64(f(c.Stats())) }
+	}
+	reg.CounterFunc("musa_client_requests_total", "Experiments run by the client.",
+		stat(func(s ClientStats) int64 { return s.Requests }))
+	reg.CounterFunc("musa_client_simulated_total", "Measurements computed in this process.",
+		stat(func(s ClientStats) int64 { return s.Simulated }))
+	reg.CounterFunc("musa_client_coalesced_total", "Node experiments coalesced onto identical in-flight computations.",
+		stat(func(s ClientStats) int64 { return s.Coalesced }))
+	reg.CounterFunc("musa_client_remote_total", "Measurements computed by fleet workers.",
+		stat(func(s ClientStats) int64 { return s.Remote }))
+	reg.CounterFunc("musa_client_redispatched_total", "Fleet shards re-dispatched onto the local pool.",
+		stat(func(s ClientStats) int64 { return s.Redispatched }))
+	reg.CounterFunc("musa_client_artifacts_pushed_total", "Artifacts shipped to fleet workers ahead of shards.",
+		stat(func(s ClientStats) int64 { return s.ArtifactsPushed }))
+	reg.GaugeFunc("musa_jobs_in_flight", "Simulation jobs currently holding a pool slot.",
+		func() float64 { return float64(c.InFlight()) })
+	reg.GaugeFunc("musa_jobs_max", "Concurrent-job bound of the pool (the /capacity advertisement).",
+		func() float64 { return float64(c.MaxJobs()) })
+
+	reg.CounterFunc("musa_store_hits_total", "Measurements served from the result store.",
+		stat(func(s ClientStats) int64 { return s.StoreHits }))
+	reg.CounterFunc("musa_store_misses_total", "Result-store lookups that found nothing.",
+		stat(func(s ClientStats) int64 { return s.StoreMisses }))
+	reg.GaugeFunc("musa_store_entries", "Measurements in the result store.",
+		func() float64 { return float64(c.StoreLen()) })
+
+	kinds := []struct {
+		kind string
+		get  func(ArtifactStats) store.ArtifactKindStats
+	}{
+		{string(dse.ArtifactAnnotation), func(s ArtifactStats) store.ArtifactKindStats { return s.Annotations }},
+		{string(dse.ArtifactLatencyModel), func(s ArtifactStats) store.ArtifactKindStats { return s.LatencyModels }},
+		{string(dse.ArtifactBurst), func(s ArtifactStats) store.ArtifactKindStats { return s.Bursts }},
+	}
+	for _, k := range kinds {
+		get := k.get
+		reg.CounterFunc("musa_artifact_hits_total", "Artifact-cache hits by kind.",
+			func() float64 { return float64(get(c.ArtifactStats()).Hits) }, obs.L("kind", k.kind))
+		reg.CounterFunc("musa_artifact_misses_total", "Artifact-cache misses by kind.",
+			func() float64 { return float64(get(c.ArtifactStats()).Misses) }, obs.L("kind", k.kind))
+		reg.CounterFunc("musa_artifact_puts_total", "Artifacts stored by kind.",
+			func() float64 { return float64(get(c.ArtifactStats()).Puts) }, obs.L("kind", k.kind))
+	}
+	reg.CounterFunc("musa_artifact_bytes_total", "Encoded artifact blob traffic.",
+		func() float64 { return float64(c.ArtifactStats().BytesRead) }, obs.L("direction", "read"))
+	reg.CounterFunc("musa_artifact_bytes_total", "Encoded artifact blob traffic.",
+		func() float64 { return float64(c.ArtifactStats().BytesWritten) }, obs.L("direction", "written"))
+	reg.GaugeFunc("musa_artifact_entries", "Distinct artifacts held by the cache.",
+		func() float64 { return float64(c.ArtifactStats().Entries) })
 }
 
 // runUnconventional simulates the Table II configurations under a job slot.

@@ -28,6 +28,8 @@ import (
 	"strings"
 
 	"musa"
+	"musa/internal/dse"
+	"musa/internal/obs"
 	"musa/internal/report"
 )
 
@@ -55,7 +57,13 @@ func main() {
 	noReplay := flag.Bool("no-replay", false, "disable the cluster-level MPI replay stage")
 	network := flag.String("network", "", "interconnect model: mn4, hdr200 or eth10 (default mn4)")
 	timelineRanks := flag.Int("ranks", 64, "rank count for the -fig 4 timeline")
+	obsDump := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	defer func() {
+		if err := obsDump(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	if *list {
 		tbl := report.NewTable("Table I design space (864 configurations)", "#", "configuration")
@@ -102,8 +110,10 @@ func main() {
 		log.Fatal(err)
 	}
 	defer client.Close()
+	client.RegisterMetrics(obs.DefaultRegistry())
 	if *verbose {
 		defer func() {
+			printStageBreakdown()
 			st := client.Stats()
 			fmt.Fprintf(os.Stderr, "stats: %d requests, %d store hits, %d simulated\n",
 				st.Requests, st.StoreHits, st.Simulated)
@@ -121,9 +131,9 @@ func main() {
 		}()
 	}
 
-	var obs musa.Observer
+	var watch musa.Observer
 	if !*quiet {
-		obs.Progress = func(done, total, cached int) {
+		watch.Progress = func(done, total, cached int) {
 			if done%200 == 0 || done == total {
 				fmt.Fprintf(os.Stderr, "\rsweep: %d/%d (%d cached)", done, total, cached)
 				if done == total {
@@ -138,7 +148,7 @@ func main() {
 	ctx := context.Background()
 	var d *musa.Sweep
 	if *all || (*figure != 4 && *figure != 11) {
-		res, err := client.RunStream(ctx, exp, obs)
+		res, err := client.RunStream(ctx, exp, watch)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -187,6 +197,33 @@ func main() {
 		}
 		if fig.Text != "" && !*csv {
 			fmt.Println(fig.Text)
+		}
+	}
+}
+
+// printStageBreakdown renders the per-stage time table from the process
+// metrics registry: one row per dse pipeline stage with call count, total
+// and mean wall time, so -v shows where a sweep actually spent its time.
+func printStageBreakdown() {
+	for _, fam := range obs.DefaultRegistry().Snapshot() {
+		if fam.Name != dse.StageMetric {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "stage breakdown:\n")
+		fmt.Fprintf(os.Stderr, "  %-16s %8s %12s %12s\n", "stage", "calls", "total", "mean")
+		for _, s := range fam.Series {
+			stage := "?"
+			for _, l := range s.Labels {
+				if l.Name == "stage" {
+					stage = l.Value
+				}
+			}
+			mean := 0.0
+			if s.Count > 0 {
+				mean = s.Value / float64(s.Count)
+			}
+			fmt.Fprintf(os.Stderr, "  %-16s %8d %11.3fs %10.3fms\n",
+				stage, s.Count, s.Value, mean*1e3)
 		}
 	}
 }

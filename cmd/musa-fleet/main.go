@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"musa"
+	"musa/internal/obs"
 	"musa/internal/serve"
 )
 
@@ -60,7 +61,13 @@ func main() {
 	hedgeAfter := flag.Duration("hedge-after", 0, "hedge still-running shards onto the local pool after this long (0 = off)")
 	verify := flag.Bool("verify", false, "re-run the sweep in process and require byte-identical datasets")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
+	obsDump := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	defer func() {
+		if err := obsDump(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	var workers []string
 	if *workersFlag != "" {
@@ -107,10 +114,14 @@ func main() {
 		log.Fatal(err)
 	}
 	defer coord.Close()
+	// Demo workers register their clients' metrics when their handlers are
+	// built; re-register afterwards so a -metrics dump reports the
+	// coordinator's counters, not the last demo worker's.
+	coord.RegisterMetrics(obs.DefaultRegistry())
 
-	var obs musa.Observer
+	var watch musa.Observer
 	if !*quiet {
-		obs.Progress = func(done, total, cached int) {
+		watch.Progress = func(done, total, cached int) {
 			fmt.Fprintf(os.Stderr, "\rfleet: %d/%d (%d cached)", done, total, cached)
 			if done == total {
 				fmt.Fprintln(os.Stderr)
@@ -119,7 +130,7 @@ func main() {
 	}
 
 	start := time.Now()
-	res, err := coord.RunStream(context.Background(), exp, obs)
+	res, err := coord.RunStream(context.Background(), exp, watch)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"musa"
+	"musa/internal/obs"
 	"musa/internal/report"
 )
 
@@ -29,13 +30,20 @@ func main() {
 	sample := flag.Int64("sample", 0, "detailed sample micro-ops (0 = default)")
 	seed := flag.Uint64("seed", 1, "seed")
 	cacheDir := flag.String("cache-dir", "", "result store directory (empty = no persistence)")
+	obsDump := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	defer func() {
+		if err := obsDump(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	client, err := musa.NewClient(musa.ClientOptions{CacheDir: *cacheDir})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer client.Close()
+	client.RegisterMetrics(obs.DefaultRegistry())
 
 	names := strings.Split(*appsFlag, ",")
 	res, err := client.Run(context.Background(), musa.Experiment{

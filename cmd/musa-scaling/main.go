@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"musa"
+	"musa/internal/obs"
 	"musa/internal/report"
 )
 
@@ -27,13 +28,20 @@ func main() {
 	mode := flag.String("mode", "region", "region (Fig. 2a) or full (Fig. 2b)")
 	ranks := flag.Int("ranks", 256, "MPI ranks for full mode")
 	network := flag.String("network", "", "interconnect model: mn4, hdr200 or eth10 (default mn4)")
+	obsDump := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	defer func() {
+		if err := obsDump(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	client, err := musa.NewClient(musa.ClientOptions{MaxJobs: 1, Network: *network})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer client.Close()
+	client.RegisterMetrics(obs.DefaultRegistry())
 	ctx := context.Background()
 
 	runScaling := func(app string, rranks int, coreCounts []int) *musa.Result {

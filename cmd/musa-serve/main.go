@@ -25,6 +25,9 @@
 //	GET  /figures/{n}  JSON data for figure n (1, 4-11)
 //	GET  /figures/4    rank timeline: ?app=lulesh&ranks=64&network=mn4
 //	GET  /stats        client counters, store size, artifact-cache counters
+//	GET  /metrics      Prometheus text metrics (HTTP, client, store, stages)
+//	GET  /debug/trace  recorded spans (NDJSON; ?format=chrome for tracing UIs)
+//	GET  /debug/pprof/ runtime profiles (only with -pprof)
 //
 // Every measurement carries the cluster-level replay metrics (EndToEndNs,
 // MPIFraction, ParallelEff per configured rank count) unless -no-replay is
@@ -63,6 +66,8 @@ func main() {
 	replayRanks := flag.String("replay-ranks", "", "comma-separated cluster-stage rank counts (default 64,256)")
 	noReplay := flag.Bool("no-replay", false, "disable the cluster-level MPI replay stage")
 	network := flag.String("network", "", "interconnect model: mn4, hdr200 or eth10 (default mn4)")
+	pprofFlag := flag.Bool("pprof", false, "expose runtime profiles under GET /debug/pprof/")
+	accessLog := flag.Bool("access-log", false, "log one line per completed HTTP request")
 	flag.Parse()
 
 	// The replay flags share one parser with musa-dse: SetReplayFlags on a
@@ -95,7 +100,15 @@ func main() {
 	}
 	log.Printf("advertising capacity: %d concurrent jobs (/capacity)", client.MaxJobs())
 
-	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(serve.New(client))}
+	var handlerOpts []serve.Option
+	if *pprofFlag {
+		handlerOpts = append(handlerOpts, serve.WithPprof())
+		log.Print("pprof enabled under /debug/pprof/")
+	}
+	if *accessLog {
+		handlerOpts = append(handlerOpts, serve.WithAccessLog(log.New(os.Stderr, "access: ", 0)))
+	}
+	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(serve.New(client), handlerOpts...)}
 
 	// Graceful shutdown: stop accepting, drain in-flight requests (sweeps
 	// checkpoint through the store, so killing them loses nothing beyond

@@ -21,6 +21,7 @@ import (
 	"os"
 
 	"musa"
+	"musa/internal/obs"
 	"musa/internal/report"
 )
 
@@ -40,13 +41,20 @@ func main() {
 	warmup := flag.Int64("warmup", 0, "cache warmup length (0 = 2x sample)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	ranks := flag.Int("ranks", 0, "also replay a full run across N MPI ranks")
+	obsDump := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	defer func() {
+		if err := obsDump(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	client, err := musa.NewClient(musa.ClientOptions{MaxJobs: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer client.Close()
+	client.RegisterMetrics(obs.DefaultRegistry())
 
 	arch := musa.Arch{
 		Cores: *cores, CoreType: *coreType, FreqGHz: *freq,

@@ -25,6 +25,7 @@ import (
 	"musa/internal/apps"
 	"musa/internal/core"
 	"musa/internal/isa"
+	"musa/internal/obs"
 	"musa/internal/report"
 	"musa/internal/rts"
 	"musa/internal/trace"
@@ -44,7 +45,13 @@ func main() {
 	n := flag.Int64("n", 100000, "detailed trace length (micro-ops)")
 	summarize := flag.String("summarize", "", "summarize a JSON burst trace file")
 	seed := flag.Uint64("seed", 1, "seed")
+	obsDump := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	defer func() {
+		if err := obsDump(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	if *summarize != "" {
 		f, err := os.Open(*summarize)
@@ -74,6 +81,7 @@ func main() {
 		client, err := musa.NewClient(musa.ClientOptions{MaxJobs: 1, Network: *network})
 		must(err)
 		defer client.Close()
+		client.RegisterMetrics(obs.DefaultRegistry())
 		res, err := client.Run(context.Background(), musa.Experiment{
 			Kind: musa.KindScaling, App: app.Name,
 			Ranks: *ranks, CoreCounts: []int{1}, Seed: *seed,

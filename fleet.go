@@ -19,6 +19,7 @@ import (
 
 	"musa/internal/apps"
 	"musa/internal/dse"
+	"musa/internal/obs"
 )
 
 // This file is the distributed sweep scheduler: a sweep experiment is split
@@ -32,6 +33,16 @@ import (
 
 // ErrBadWorker reports an unusable fleet worker URL in ClientOptions.
 var ErrBadWorker = errors.New("musa: bad fleet worker URL")
+
+// observeShard records one shard execution into the fleet shard-duration
+// histogram. path distinguishes the remote dispatch from the local
+// retry/hedge pool, so a dashboard can tell worker latency from fallback
+// latency.
+func observeShard(path string, start time.Time) {
+	obs.DefaultRegistry().Histogram("musa_fleet_shard_seconds",
+		"Time to complete one fleet shard, by execution path.", nil,
+		obs.L("path", path)).Observe(time.Since(start).Seconds())
+}
 
 const (
 	defaultShardTimeout = 10 * time.Minute
@@ -119,6 +130,11 @@ func (f *fleet) postShard(ctx context.Context, base string, e Experiment) ([]Mea
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Propagate the dispatch span so the worker's request span (and the
+	// whole worker-side tree under it) parents into this coordinator trace.
+	if hv := obs.SpanFrom(ctx).HeaderValue(); hv != "" {
+		req.Header.Set(obs.TraceHeader, hv)
+	}
 	resp, err := f.httpc.Do(req)
 	if err != nil {
 		return nil, err
@@ -398,7 +414,7 @@ func (c *Client) runShardLocal(ctx context.Context, ne Experiment, j *shardJob) 
 // checkpointed into the coordinator's store under the same node keys the
 // in-process runner writes. On cancellation it returns the partial dataset
 // with an error wrapping ctx.Err(), exactly like the in-process path.
-func (c *Client) runSweepFleet(ctx context.Context, ne Experiment, obs Observer) (*Result, error) {
+func (c *Client) runSweepFleet(ctx context.Context, ne Experiment, watch Observer) (*Result, error) {
 	appNames := ne.Apps
 	if appNames == nil {
 		for _, a := range apps.All() {
@@ -451,18 +467,20 @@ func (c *Client) runSweepFleet(ctx context.Context, ne Experiment, obs Observer)
 		}
 		// Both callbacks run under the lock: the Observer contract promises
 		// each is serialized with itself.
-		if obs.Measurement != nil {
+		if watch.Measurement != nil {
 			for _, m := range ms {
-				obs.Measurement(m)
+				watch.Measurement(m)
 			}
 		}
-		if obs.Progress != nil && len(ms) > 0 {
-			obs.Progress(done, total, cachedCount)
+		if watch.Progress != nil && len(ms) > 0 {
+			watch.Progress(done, total, cachedCount)
 		}
 		resMu.Unlock()
 	}
 
 	// Store pre-check: known points are served locally and never dispatched.
+	_, planSpan := obs.StartSpan(ctx, "fleet.plan",
+		obs.AInt("apps", len(appNames)), obs.AInt("points", total))
 	remaining := map[string][]int{}
 	for _, app := range appNames {
 		var hits []Measurement
@@ -473,6 +491,7 @@ func (c *Client) runSweepFleet(ctx context.Context, ne Experiment, obs Observer)
 					hits = append(hits, m)
 					continue
 				}
+				c.storeMisses.Add(1)
 			}
 			remaining[app] = append(remaining[app], i)
 		}
@@ -480,6 +499,8 @@ func (c *Client) runSweepFleet(ctx context.Context, ne Experiment, obs Observer)
 	}
 
 	shards := planShards(appNames, remaining, keyOf)
+	planSpan.SetAttr("shards", fmt.Sprint(len(shards)))
+	planSpan.End()
 	if len(shards) > 0 {
 		// dispatchCtx kills straggler requests (lost hedges, slower
 		// duplicates) as soon as every shard has completed once.
@@ -521,6 +542,11 @@ func (c *Client) runSweepFleet(ctx context.Context, ne Experiment, obs Observer)
 		redispatch := func(j *shardJob) {
 			if j.redone.CompareAndSwap(false, true) {
 				c.redispatched.Add(1)
+				// Zero-length marker span: makes every hedge/retry decision
+				// visible in the trace timeline at the moment it was taken.
+				_, sp := obs.StartSpan(ctx, "fleet.redispatch",
+					obs.A("app", j.app), obs.AInt("points", len(j.indices)))
+				sp.End()
 				redo <- j
 			}
 		}
@@ -566,11 +592,15 @@ func (c *Client) runSweepFleet(ctx context.Context, ne Experiment, obs Observer)
 							if c.fleet.hedgeAfter > 0 {
 								hedge = time.AfterFunc(c.fleet.hedgeAfter, func() { redispatch(j) })
 							}
+							dctx, dspan := obs.StartSpan(dispatchCtx, "fleet.dispatch",
+								obs.A("worker", base), obs.A("app", j.app),
+								obs.AInt("points", len(j.indices)))
+							dispatchStart := time.Now()
 							// Ship the artifacts this shard needs (and the
 							// coordinator has) before dispatching it, so the
 							// worker reuses instead of rebuilding.
-							c.pushShardArtifacts(dispatchCtx, base, ne, j, &pushed)
-							ms, err := c.fleet.postShard(dispatchCtx, base, shardExperiment(ne, j))
+							c.pushShardArtifacts(dctx, base, ne, j, &pushed)
+							ms, err := c.fleet.postShard(dctx, base, shardExperiment(ne, j))
 							if hedge != nil {
 								hedge.Stop()
 							}
@@ -578,15 +608,22 @@ func (c *Client) runSweepFleet(ctx context.Context, ne Experiment, obs Observer)
 								err = j.validateShardReply(ms)
 							}
 							if err != nil {
+								dspan.SetAttr("outcome", "error")
+								dspan.End()
 								if dispatchCtx.Err() != nil {
 									return
 								}
 								redispatch(j)
 								continue
 							}
+							observeShard("remote", dispatchStart)
 							if complete(j, ms, nil) {
+								dspan.SetAttr("outcome", "won")
 								c.remote.Add(int64(len(ms)))
+							} else {
+								dspan.SetAttr("outcome", "lost")
 							}
+							dspan.End()
 						}
 					}
 				}()
@@ -636,15 +673,26 @@ func (c *Client) runSweepFleet(ctx context.Context, ne Experiment, obs Observer)
 					if j.done.Load() {
 						continue // lost hedge: the remote reply already won
 					}
-					ms, err := c.runShardLocal(dispatchCtx, ne, j)
+					lctx, lspan := obs.StartSpan(dispatchCtx, "fleet.local-shard",
+						obs.A("app", j.app), obs.AInt("points", len(j.indices)))
+					localStart := time.Now()
+					ms, err := c.runShardLocal(lctx, ne, j)
 					if err != nil {
+						lspan.SetAttr("outcome", "error")
+						lspan.End()
 						if dispatchCtx.Err() != nil {
 							return
 						}
 						complete(j, nil, err) // local execution cannot be retried
 						continue
 					}
-					complete(j, ms, nil)
+					observeShard("local", localStart)
+					if complete(j, ms, nil) {
+						lspan.SetAttr("outcome", "won")
+					} else {
+						lspan.SetAttr("outcome", "lost")
+					}
+					lspan.End()
 				}
 			}()
 		}
@@ -661,12 +709,14 @@ func (c *Client) runSweepFleet(ctx context.Context, ne Experiment, obs Observer)
 	ms := collected
 	err := firstErr
 	resMu.Unlock()
+	_, mergeSpan := obs.StartSpan(ctx, "fleet.merge", obs.AInt("measurements", len(ms)))
 	sort.Slice(ms, func(i, j int) bool {
 		if ms[i].App != ms[j].App {
 			return ms[i].App < ms[j].App
 		}
 		return ms[i].Arch.Label() < ms[j].Arch.Label()
 	})
+	mergeSpan.End()
 	res := &Result{Kind: KindSweep, Sweep: &Sweep{Measurements: ms}}
 	if cerr := ctx.Err(); cerr != nil {
 		return res, fmt.Errorf("musa: sweep canceled with %d of the measurements: %w",

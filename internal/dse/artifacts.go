@@ -1,15 +1,18 @@
 package dse
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"sync"
+	"time"
 
 	"musa/internal/apps"
 	"musa/internal/dram"
 	"musa/internal/node"
+	"musa/internal/obs"
 	"musa/internal/trace"
 )
 
@@ -189,20 +192,28 @@ func (r *runArtifacts) appHash(app *apps.Profile) string {
 // latencyModel returns the fitted DRAM curve for (app, channels, mem
 // kind), consulting the run front, then the provider, then building.
 // Duplicate concurrent requests serialize on latMu, so each curve is
-// built (or decoded) once per run.
-func (r *runArtifacts) latencyModel(app *apps.Profile, ch int, mem MemKind) *dram.LatencyModel {
+// built (or decoded) once per run. ctx parents the stage span: only the
+// run-front miss — a real fit or a cache decode — is traced and timed, not
+// every per-point lookup.
+func (r *runArtifacts) latencyModel(ctx context.Context, app *apps.Profile, ch int, mem MemKind) *dram.LatencyModel {
 	key := LatencyModelKey(r.appHash(app), ch, mem, r.seed)
 	r.latMu.Lock()
 	defer r.latMu.Unlock()
 	if m := r.lat[key]; m != nil {
 		return m
 	}
+	_, span := obs.StartSpan(ctx, "dse.latency-fit",
+		obs.A("app", app.Name), obs.AInt("channels", ch), obs.A("mem", mem.String()))
+	start := time.Now()
+	defer func() { observeStage(StageLatencyFit, start); span.End() }()
 	if r.backing != nil {
 		if m, ok := r.backing.LatencyModel(key); ok {
+			span.SetAttr("source", "cache")
 			r.lat[key] = &m
 			return &m
 		}
 	}
+	span.SetAttr("source", "built")
 	m := node.BuildLatencyModel(app, dram.Config{Spec: mem.Spec(), Channels: ch}, dram.FRFCFS, r.seed)
 	r.lat[key] = &m
 	if r.backing != nil {
@@ -212,20 +223,27 @@ func (r *runArtifacts) latencyModel(app *apps.Profile, ch int, mem MemKind) *dra
 }
 
 // burst returns the shared burst trace for (app, ranks) — replay only
-// reads it, so every worker replays the same instance.
-func (r *runArtifacts) burst(app *apps.Profile, ranks int) *trace.Burst {
+// reads it, so every worker replays the same instance. As with
+// latencyModel, only the run-front miss is traced.
+func (r *runArtifacts) burst(ctx context.Context, app *apps.Profile, ranks int) *trace.Burst {
 	key := BurstKey(r.appHash(app), ranks, r.seed)
 	r.burstMu.Lock()
 	defer r.burstMu.Unlock()
 	if b := r.bursts[key]; b != nil {
 		return b
 	}
+	_, span := obs.StartSpan(ctx, "dse.burst-synthesis",
+		obs.A("app", app.Name), obs.AInt("ranks", ranks))
+	start := time.Now()
+	defer func() { observeStage(StageBurstSynthesis, start); span.End() }()
 	if r.backing != nil {
 		if b, ok := r.backing.Burst(key); ok {
+			span.SetAttr("source", "cache")
 			r.bursts[key] = b
 			return b
 		}
 	}
+	span.SetAttr("source", "built")
 	b := apps.BurstTrace(app, ranks, r.seed)
 	r.bursts[key] = b
 	if r.backing != nil {
@@ -238,16 +256,23 @@ func (r *runArtifacts) burst(app *apps.Profile, ranks int) *trace.Burst {
 // the provider before building. build runs without any lock held —
 // annotating a sample is the most expensive artifact, and within a run
 // each group is walked by exactly one worker, so duplicate builds cannot
-// happen.
-func (r *runArtifacts) annotation(app *apps.Profile, g AnnGroup, build func() node.Annotation) *node.Annotation {
+// happen. The stage span covers the cache decode or the build, whichever
+// ran.
+func (r *runArtifacts) annotation(ctx context.Context, app *apps.Profile, g AnnGroup, build func() node.Annotation) *node.Annotation {
+	_, span := obs.StartSpan(ctx, "dse.annotate", obs.A("app", app.Name))
+	start := time.Now()
+	defer func() { observeStage(StageAnnotate, start); span.End() }()
 	if r.backing == nil {
+		span.SetAttr("source", "built")
 		a := build()
 		return &a
 	}
 	key := AnnotationKey(r.appHash(app), g, r.sample, r.warmup, r.seed)
 	if a, ok := r.backing.Annotation(key); ok {
+		span.SetAttr("source", "cache")
 		return &a
 	}
+	span.SetAttr("source", "built")
 	a := build()
 	r.backing.PutAnnotation(key, a)
 	return &a

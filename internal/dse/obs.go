@@ -1,0 +1,46 @@
+package dse
+
+import (
+	"time"
+
+	"musa/internal/obs"
+)
+
+// Observability wiring of the sweep pipeline. Stage names are the contract
+// between the runner's instrumentation, the musa-dse -v breakdown table and
+// the dashboards scraping /metrics: every expensive phase of a sweep point
+// shows up under exactly one of these.
+const (
+	// StageAnnotate is the shared cache-annotation pass of an annotation
+	// group (one warmed detailed sample per group).
+	StageAnnotate = "annotate"
+	// StageLatencyFit is the DRAM load-latency curve fit of one
+	// (application, channels, memory kind).
+	StageLatencyFit = "latency-fit"
+	// StageBurstSynthesis is the coarse-grain MPI burst-trace synthesis of
+	// one (application, rank count).
+	StageBurstSynthesis = "burst-synthesis"
+	// StageNodeSim is the detailed node simulation of one sweep point.
+	StageNodeSim = "node-sim"
+	// StageReplay is the cluster-level MPI replay of one sweep point across
+	// every configured rank count.
+	StageReplay = "replay"
+)
+
+// StageMetric is the per-stage duration histogram every Stage* constant
+// labels; its per-series sum/count feed the musa-dse -v breakdown.
+const StageMetric = "musa_dse_stage_seconds"
+
+// observeStage records one stage execution into the default registry.
+func observeStage(stage string, start time.Time) {
+	obs.DefaultRegistry().Histogram(StageMetric,
+		"Time spent per dse pipeline stage.", nil, obs.L("stage", stage)).
+		Observe(time.Since(start).Seconds())
+}
+
+// countPoint advances the per-sweep-point outcome counter.
+func countPoint(result string) {
+	obs.DefaultRegistry().Counter("musa_dse_points_total",
+		"Sweep points completed, by how the measurement was obtained.",
+		obs.L("result", result)).Inc()
+}

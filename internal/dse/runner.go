@@ -7,10 +7,12 @@ import (
 	"slices"
 	"sort"
 	"sync"
+	"time"
 
 	"musa/internal/apps"
 	"musa/internal/net"
 	"musa/internal/node"
+	"musa/internal/obs"
 	"musa/internal/power"
 )
 
@@ -230,6 +232,13 @@ func Run(ctx context.Context, opts Options) *Dataset {
 	}
 	opts.fill()
 
+	// The sweep's root span: every pipeline-stage span below parents under
+	// it, so a -trace-out dump shows the whole run as one tree. The point
+	// total is attached once the groups are known.
+	ctx, runSpan := obs.StartSpan(ctx, "dse.run",
+		obs.AInt("apps", len(opts.Apps)), obs.AInt("workers", opts.Workers))
+	defer runSpan.End()
+
 	// The run-local artifact front: DRAM latency models per (app, channels,
 	// mem kind) and one parsed burst trace per (app, ranks) are shared
 	// across the whole sweep — replay only reads the trace, so every worker
@@ -243,7 +252,7 @@ func Run(ctx context.Context, opts Options) *Dataset {
 	// multi-scale handoff of paper §II) and replayed at every configured
 	// rank count. It reports false when ctx was canceled mid-replay — the
 	// partially replayed measurement must be dropped, not checkpointed.
-	clusterStage := func(m *Measurement, app *apps.Profile, res node.Result) bool {
+	clusterStage := func(pctx context.Context, m *Measurement, app *apps.Profile, res node.Result) bool {
 		var tracedIter float64
 		for _, spec := range app.Regions {
 			tracedIter += spec.LaneWork() / apps.RefLaneThroughput * 1e9
@@ -251,11 +260,15 @@ func Run(ctx context.Context, opts Options) *Dataset {
 		if tracedIter <= 0 {
 			return true
 		}
+		_, span := obs.StartSpan(pctx, "dse.replay",
+			obs.AInt("rankCounts", len(opts.Replay.Ranks)))
+		start := time.Now()
+		defer func() { observeStage(StageReplay, start); span.End() }()
 		scale := res.IterationNs / tracedIter
 		rescale := func(rank int, traced float64) float64 { return traced * scale }
 		m.Cluster = make([]ClusterStat, 0, len(opts.Replay.Ranks))
 		for _, ranks := range opts.Replay.Ranks {
-			rep, err := net.ReplayCtx(ctx, art.burst(app, ranks), opts.Replay.Network, rescale)
+			rep, err := net.ReplayCtx(ctx, art.burst(pctx, app, ranks), opts.Replay.Network, rescale)
 			if err != nil {
 				return false
 			}
@@ -306,6 +319,7 @@ func Run(ctx context.Context, opts Options) *Dataset {
 	for _, k := range keys {
 		total += len(groups[k])
 	}
+	runSpan.SetAttr("points", fmt.Sprint(total))
 
 	jobs := make(chan annGroupKey)
 	results := make(chan []Measurement)
@@ -340,21 +354,30 @@ func Run(ctx context.Context, opts Options) *Dataset {
 				if canceled() {
 					break
 				}
+				pctx, psp := obs.StartSpan(ctx, "dse.point",
+					obs.A("app", k.app), obs.A("arch", p.Label()))
 				if opts.Lookup != nil {
 					if m, ok := opts.Lookup(k.app, p); ok {
 						ms = append(ms, m)
+						countPoint("cached")
+						psp.SetAttr("result", "cached")
+						psp.End()
 						bump()
 						continue
 					}
 				}
 				cfg := p.NodeConfig(opts.SampleInstrs, opts.WarmupInstrs, opts.Seed)
 				if ann == nil {
-					ann = art.annotation(app, k.AnnGroup, func() node.Annotation {
+					ann = art.annotation(pctx, app, k.AnnGroup, func() node.Annotation {
 						return node.BuildAnnotation(app, cfg)
 					})
 				}
-				cfg.LatModel = art.latencyModel(app, p.Channels, p.Mem)
+				cfg.LatModel = art.latencyModel(pctx, app, p.Channels, p.Mem)
+				_, simSpan := obs.StartSpan(pctx, "dse.node-sim")
+				simStart := time.Now()
 				res := node.SimulateAnnotated(app, cfg, *ann)
+				observeStage(StageNodeSim, simStart)
+				simSpan.End()
 				l1, l2, l3 := res.MPKI()
 				m := Measurement{
 					App:           app.Name,
@@ -371,9 +394,13 @@ func Run(ctx context.Context, opts Options) *Dataset {
 					MemLatencyNs:  res.MemLatencyNs,
 					OfferedBW:     res.OfferedBW,
 				}
-				if !opts.Replay.Disable && !clusterStage(&m, app, res) {
+				if !opts.Replay.Disable && !clusterStage(pctx, &m, app, res) {
+					psp.End()
 					break // canceled mid-replay: drop the partial point
 				}
+				countPoint("simulated")
+				psp.SetAttr("result", "simulated")
+				psp.End()
 				ms = append(ms, m)
 				if opts.OnMeasurement != nil {
 					opts.OnMeasurement(m)

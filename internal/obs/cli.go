@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// RegisterFlags wires the standard CLI observability flags onto fs:
+//
+//	-metrics FILE    Prometheus text metrics written at exit
+//	-trace-out FILE  recorded spans written at exit (.ndjson extension =
+//	                 NDJSON, anything else = Chrome trace_event JSON for
+//	                 chrome://tracing / Perfetto)
+//
+// The returned dump performs the exports against the package defaults;
+// mains defer it after flag.Parse. Every musa binary registers the same
+// pair, so "add -trace-out" works identically across the CLI surface.
+func RegisterFlags(fs *flag.FlagSet) func() error {
+	metrics := fs.String("metrics", "",
+		"write Prometheus text metrics to this file at exit")
+	traceOut := fs.String("trace-out", "",
+		"write the recorded trace to this file at exit (.ndjson = NDJSON, else Chrome trace JSON)")
+	return func() error {
+		if *metrics != "" {
+			if err := DefaultRegistry().WriteMetricsFile(*metrics); err != nil {
+				return fmt.Errorf("obs: write metrics: %w", err)
+			}
+		}
+		if *traceOut == "" {
+			return nil
+		}
+		if strings.HasSuffix(*traceOut, ".ndjson") {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return fmt.Errorf("obs: write trace: %w", err)
+			}
+			werr := Default().WriteNDJSON(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return fmt.Errorf("obs: write trace: %w", werr)
+			}
+			return nil
+		}
+		if err := Default().WriteChromeTraceFile(*traceOut); err != nil {
+			return fmt.Errorf("obs: write trace: %w", err)
+		}
+		return nil
+	}
+}

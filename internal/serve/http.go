@@ -5,13 +5,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"musa"
 	"musa/internal/dse"
+	"musa/internal/obs"
 	"musa/internal/store"
 )
 
@@ -28,10 +31,22 @@ import (
 //	                      ahead of shards so workers reuse instead of rebuild)
 //	GET  /figures/{n}  JSON figure data (1, 4-11; 4 is the rank timeline)
 //	GET  /stats        client, store and artifact-cache counters, replay config
+//	GET  /metrics      Prometheus text exposition of the process registry
+//	GET  /debug/trace  recorded spans (NDJSON; ?format=chrome for tracing UIs)
+//	GET  /debug/pprof/ runtime profiles (only with WithPprof)
 //
 // POST bodies are musa.Experiment wire encodings; the handlers force the
 // endpoint's Kind and reject everything a Normalize pass rejects with 400.
-func NewHandler(svc *Service) http.Handler {
+// Every request runs under a trace span and is counted and timed per route;
+// see obs.go for the middleware and the Option list.
+func NewHandler(svc *Service, opts ...Option) http.Handler {
+	cfg := &handlerConfig{reg: obs.DefaultRegistry(), rec: obs.Default()}
+	for _, o := range opts {
+		o(cfg)
+	}
+	// Bridge the client's own counters (requests, store and artifact cache,
+	// job pool) into the scrape registry.
+	svc.Client().RegisterMetrics(cfg.reg)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /apps", func(w http.ResponseWriter, r *http.Request) {
 		var names []string
@@ -95,7 +110,8 @@ func NewHandler(svc *Service) http.Handler {
 	mux.HandleFunc("GET /artifact/{key}", svc.handleArtifactGet)
 	mux.HandleFunc("PUT /artifact/{key}", svc.handleArtifactPut)
 	mux.HandleFunc("GET /figures/{n}", svc.handleFigure)
-	return mux
+	registerObsRoutes(mux, cfg)
+	return instrument(mux, cfg)
 }
 
 // experimentStatus maps an execution error onto its HTTP status: every
@@ -262,8 +278,10 @@ func (s *Service) handleShard(w http.ResponseWriter, r *http.Request) {
 }
 
 // maxArtifactBytes bounds one PUT /artifact upload: the largest legitimate
-// artifact (a default-fidelity annotation) is a few tens of MB encoded.
-const maxArtifactBytes = 256 << 20
+// artifact (a default-fidelity annotation) is a few tens of MB encoded. A
+// variable only so tests can exercise the oversize rejection without
+// shipping a quarter-gigabyte body.
+var maxArtifactBytes int64 = 256 << 20
 
 // handleArtifactGet serves one encoded artifact byte for byte — the read
 // half of the fleet's artifact exchange, also handy for warming a fresh
@@ -303,7 +321,7 @@ func (s *Service) handleArtifactPut(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	if len(blob) > maxArtifactBytes {
+	if int64(len(blob)) > maxArtifactBytes {
 		httpError(w, http.StatusRequestEntityTooLarge,
 			fmt.Errorf("serve: artifact exceeds %d bytes", maxArtifactBytes))
 		return
@@ -461,6 +479,28 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
+// errorLog receives the full text of every 5xx error; swap it out in tests
+// with SetErrorLog.
+var errorLog = log.New(os.Stderr, "serve: ", log.LstdFlags)
+
+// SetErrorLog redirects server-side error logging (nil discards it).
+func SetErrorLog(l *log.Logger) {
+	if l == nil {
+		l = log.New(io.Discard, "", 0)
+	}
+	errorLog = l
+}
+
+// httpError writes the error reply. Client faults (4xx) echo the error text
+// — those messages are validation feedback meant for the caller. Internal
+// errors (5xx) are logged in full server-side and answered with the bare
+// status text, so internals (paths, configuration, wrapped error chains)
+// never leak onto the wire.
 func httpError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	msg := err.Error()
+	if status >= 500 {
+		errorLog.Printf("%d %s: %v", status, http.StatusText(status), err)
+		msg = http.StatusText(status)
+	}
+	writeJSON(w, status, map[string]string{"error": msg})
 }
