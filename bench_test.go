@@ -27,6 +27,7 @@ import (
 	"musa/internal/node"
 	"musa/internal/report"
 	"musa/internal/rts"
+	"musa/internal/store"
 )
 
 // Reduced-but-meaningful sample sizes for the shared benchmark sweep; the
@@ -129,7 +130,7 @@ func BenchmarkClientSweepReduced(b *testing.B) {
 // cache pre-populated by an untimed priming run, so every iteration
 // re-simulates each point from cached annotations, DRAM latency curves and
 // burst traces instead of rebuilding them. The gap between the two
-// benchmarks in BENCH_5.json is the artifact-reuse speedup;
+// benchmarks in BENCH_7.json is the artifact-reuse speedup;
 // TestSweepColdVsWarmArtifacts proves the datasets are byte-identical.
 func BenchmarkClientSweepWarmArtifacts(b *testing.B) {
 	artDir := b.TempDir()
@@ -570,5 +571,138 @@ func BenchmarkAblationPrefetcher(b *testing.B) {
 			}
 			b.ReportMetric(ipc, "ipc")
 		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Result-store micro-benchmarks. Each iteration performs storeBenchOps
+// operations (a batch, so -benchtime 1x still yields a stable number in CI);
+// ns/op is therefore the cost of one batch, comparable across storage
+// engines. The store is sized so the working set overflows the LRU front and
+// lookups exercise the on-disk engine, not just the in-memory cache.
+
+const storeBenchOps = 1024
+
+func storeBenchMeasurement(i int) dse.Measurement {
+	return dse.Measurement{
+		App:    "hydro",
+		Arch:   dse.ArchPoint{Cores: 32, Core: cpu.Medium(), FreqGHz: 2.0, VectorBits: 256, Cache: dse.CacheConfigs()[1], Channels: 4, Mem: dse.DDR4},
+		TimeNs: float64(i), IPC: 1.1, EnergyJ: float64(i) * 1e-9,
+		L1MPKI: 1.5, L2MPKI: 0.7, L3MPKI: 0.2, GMemReqPerSec: 1e9,
+		Cluster: []dse.ClusterStat{
+			{Ranks: 64, EndToEndNs: float64(i) * 1.2, MPIFraction: 0.1, ParallelEff: 0.8},
+			{Ranks: 256, EndToEndNs: float64(i) * 1.5, MPIFraction: 0.25, ParallelEff: 0.6},
+		},
+		EndToEndNs: float64(i) * 1.5, MPIFraction: 0.25, ParallelEff: 0.6,
+	}
+}
+
+func storeBenchKey(prefix string, i int) string {
+	return fmt.Sprintf("%s-%06d", prefix, i)
+}
+
+// storeBenchOpen opens a store whose LRU front is deliberately smaller than
+// the benchmark working set and pre-fills it with 4*storeBenchOps entries.
+func storeBenchOpen(b *testing.B) *store.Store {
+	b.Helper()
+	st, err := store.Open(b.TempDir(), store.Options{LRUEntries: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { st.Close() })
+	for i := 0; i < 4*storeBenchOps; i++ {
+		if err := st.Put(storeBenchKey("warm", i), storeBenchMeasurement(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Quiesce: drain in-flight background flushes and compactions so the
+	// measured loop is not sharing the CPU with leftover prefill work.
+	if err := st.Drain(); err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// storeBenchKeys precomputes a batch of lookup keys so the read benchmarks
+// time the store, not fmt formatting and its garbage.
+func storeBenchKeys(prefix string, stride int) []string {
+	keys := make([]string, storeBenchOps)
+	for j := range keys {
+		keys[j] = storeBenchKey(prefix, j*stride)
+	}
+	return keys
+}
+
+// BenchmarkStoreGetHit measures one batch of lookups of stored keys; most
+// overflow the LRU front and are served by the engine.
+func BenchmarkStoreGetHit(b *testing.B) {
+	st := storeBenchOpen(b)
+	keys := storeBenchKeys("warm", 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range keys {
+			if _, ok := st.Get(k); !ok {
+				b.Fatal("stored key missed")
+			}
+		}
+	}
+}
+
+// BenchmarkStoreGetMiss measures one batch of lookups of never-computed
+// keys — the dominant operation of a cold design-space exploration at serve
+// scale, and the case bloom filters make nearly free.
+func BenchmarkStoreGetMiss(b *testing.B) {
+	st := storeBenchOpen(b)
+	keys := storeBenchKeys("never-computed", 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range keys {
+			if _, ok := st.Get(k); ok {
+				b.Fatal("phantom hit")
+			}
+		}
+	}
+}
+
+// BenchmarkStorePut measures one batch of fresh-key writes.
+func BenchmarkStorePut(b *testing.B) {
+	st := storeBenchOpen(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < storeBenchOps; j++ {
+			if err := st.Put(storeBenchKey(fmt.Sprintf("put-%d", i), j), storeBenchMeasurement(j)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkStoreMixed measures a concurrent read-dominated workload: three
+// reader goroutines (alternating hits and misses) against one writer, the
+// shape of a warm serve replica taking traffic while a sweep checkpoints.
+func BenchmarkStoreMixed(b *testing.B) {
+	st := storeBenchOpen(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for r := 0; r < 3; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				for j := 0; j < storeBenchOps/4; j++ {
+					if j%2 == 0 {
+						st.Get(storeBenchKey("warm", (j*(r+2))%(4*storeBenchOps)))
+					} else {
+						st.Get(storeBenchKey("mixed-miss", j*(r+1)))
+					}
+				}
+			}(r)
+		}
+		for j := 0; j < storeBenchOps/4; j++ {
+			if err := st.Put(storeBenchKey(fmt.Sprintf("mixed-%d", i), j), storeBenchMeasurement(j)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		wg.Wait()
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"musa/internal/net"
 	"musa/internal/obs"
 	"musa/internal/store"
+	"musa/internal/store/lsm"
 )
 
 // ClientOptions configures a Client. Zero values mean: no persistent store,
@@ -29,6 +30,12 @@ type ClientOptions struct {
 	CacheDir string
 	// LRUEntries bounds the store's in-memory front (0 = store default).
 	LRUEntries int
+	// StoreReadOnly opens the result store read-only: no writer lock is
+	// taken, so the handle shares the directory with a live writer in
+	// another process and follows the segments it publishes. Freshly
+	// computed measurements stay in the in-memory front instead of being
+	// checkpointed. Lets a warm serve replica read a store a sweep writes.
+	StoreReadOnly bool
 	// ArtifactCache is the persistent artifact-cache directory: sweep
 	// intermediates (annotated samples, DRAM latency models, burst traces)
 	// are cached there by content address and reused across runs and
@@ -112,6 +119,11 @@ type Measurement = dse.Measurement
 // hit/miss/put counts, blob byte traffic, resident entry count).
 type ArtifactStats = store.ArtifactStats
 
+// ErrStoreBusy re-exports the result store's busy error: NewClient returns
+// an error wrapping it when CacheDir is already open for writing by
+// another process. Set StoreReadOnly to share a live writer's store.
+var ErrStoreBusy = store.ErrStoreBusy
+
 // Result is the outcome of one experiment; the field matching the
 // experiment's Kind is set.
 type Result struct {
@@ -171,6 +183,11 @@ type Client struct {
 	flight map[string]*call
 	custom map[string]*Application
 
+	// compHist is the registered compaction-duration histogram; the store's
+	// OnCompaction hook feeds it. Atomic because compactions run on engine
+	// goroutines while RegisterMetrics may swap registries.
+	compHist atomic.Pointer[obs.Histogram]
+
 	requests, storeHits, storeMisses, coalesced, simulated atomic.Int64
 	remote, redispatched, artifactsPushed                  atomic.Int64
 }
@@ -215,7 +232,15 @@ func NewClient(opts ClientOptions) (*Client, error) {
 		c.fleet = f
 	}
 	if opts.CacheDir != "" {
-		st, err := store.Open(opts.CacheDir, store.Options{LRUEntries: opts.LRUEntries})
+		st, err := store.Open(opts.CacheDir, store.Options{
+			LRUEntries: opts.LRUEntries,
+			ReadOnly:   opts.StoreReadOnly,
+			OnCompaction: func(seconds float64) {
+				if h := c.compHist.Load(); h != nil {
+					h.Observe(seconds)
+				}
+			},
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -275,6 +300,21 @@ func (c *Client) StoreLen() int {
 		return 0
 	}
 	return c.st.Len()
+}
+
+// StoreEngineStats returns a snapshot of the result store's LSM engine
+// counters (zero without a CacheDir): memtable occupancy, segment and
+// bloom-filter traffic, WAL and compaction activity.
+func (c *Client) StoreEngineStats() lsm.Stats {
+	if c.st == nil {
+		return lsm.Stats{}
+	}
+	return c.st.EngineStats()
+}
+
+// StoreReadOnly reports whether the result store was opened read-only.
+func (c *Client) StoreReadOnly() bool {
+	return c.st != nil && c.st.ReadOnly()
 }
 
 // artifacts returns the client's artifact provider for dse.Options without
@@ -772,6 +812,56 @@ func (c *Client) RegisterMetrics(reg *obs.Registry) {
 		stat(func(s ClientStats) int64 { return s.StoreMisses }))
 	reg.GaugeFunc("musa_store_entries", "Measurements in the result store.",
 		func() float64 { return float64(c.StoreLen()) })
+
+	// LSM engine internals: memtable occupancy, segment shape, bloom-filter
+	// effectiveness, and maintenance activity. All read the engine's counter
+	// snapshot at scrape time; zero without a CacheDir.
+	eng := func(f func(lsm.Stats) float64) func() float64 {
+		return func() float64 { return f(c.StoreEngineStats()) }
+	}
+	reg.GaugeFunc("musa_lsm_memtable_bytes", "Payload bytes buffered in the engine memtable.",
+		eng(func(s lsm.Stats) float64 { return float64(s.MemtableBytes) }))
+	reg.GaugeFunc("musa_lsm_memtable_keys", "Keys buffered in the engine memtable.",
+		eng(func(s lsm.Stats) float64 { return float64(s.MemtableKeys) }))
+	reg.GaugeFunc("musa_lsm_segment_bytes", "Total bytes across live segment files.",
+		eng(func(s lsm.Stats) float64 { return float64(s.SegmentBytes) }))
+	// Size tiers are log4 of segment bytes over 1 MiB; tier 7 covers
+	// everything beyond 16 GiB, far past any store this models.
+	for tier := 0; tier <= 7; tier++ {
+		t := tier
+		reg.GaugeFunc("musa_lsm_segments", "Live segments by size tier.",
+			eng(func(s lsm.Stats) float64 { return float64(s.SegmentsPerTier[t]) }),
+			obs.L("tier", fmt.Sprintf("%d", t)))
+	}
+	reg.CounterFunc("musa_lsm_bloom_checks_total", "Per-segment bloom filter probes.",
+		eng(func(s lsm.Stats) float64 { return float64(s.BloomChecks) }))
+	reg.CounterFunc("musa_lsm_bloom_rejects_total", "Bloom probes that skipped a segment without I/O.",
+		eng(func(s lsm.Stats) float64 { return float64(s.BloomRejects) }))
+	reg.CounterFunc("musa_lsm_bloom_false_positives_total", "Bloom passes that paid a block read and found nothing.",
+		eng(func(s lsm.Stats) float64 { return float64(s.BloomFalsePositives) }))
+	reg.GaugeFunc("musa_lsm_bloom_fp_rate", "Observed bloom false-positive rate (false positives over checks).",
+		eng(func(s lsm.Stats) float64 {
+			if s.BloomChecks == 0 {
+				return 0
+			}
+			return float64(s.BloomFalsePositives) / float64(s.BloomChecks)
+		}))
+	reg.CounterFunc("musa_lsm_segment_reads_total", "Segment data-block reads (one pread + decompress each).",
+		eng(func(s lsm.Stats) float64 { return float64(s.SegmentReads) }))
+	reg.CounterFunc("musa_lsm_block_cache_hits_total", "Point reads served an inflated block from the cache.",
+		eng(func(s lsm.Stats) float64 { return float64(s.BlockCacheHits) }))
+	reg.CounterFunc("musa_lsm_block_cache_misses_total", "Point reads that had to pread and inflate a block.",
+		eng(func(s lsm.Stats) float64 { return float64(s.BlockCacheMiss) }))
+	reg.GaugeFunc("musa_lsm_block_cache_bytes", "Inflated block bytes resident in the cache.",
+		eng(func(s lsm.Stats) float64 { return float64(s.BlockCacheBytes) }))
+	reg.CounterFunc("musa_lsm_flushes_total", "Memtable flushes to segment files.",
+		eng(func(s lsm.Stats) float64 { return float64(s.Flushes) }))
+	reg.CounterFunc("musa_lsm_compactions_total", "Completed segment compactions.",
+		eng(func(s lsm.Stats) float64 { return float64(s.Compactions) }))
+	reg.CounterFunc("musa_lsm_wal_bytes_total", "Bytes appended to the write-ahead log.",
+		eng(func(s lsm.Stats) float64 { return float64(s.WALBytes) }))
+	c.compHist.Store(reg.Histogram("musa_lsm_compaction_seconds",
+		"Duration of each segment compaction.", obs.DurationBuckets()))
 
 	kinds := []struct {
 		kind string

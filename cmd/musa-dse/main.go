@@ -21,6 +21,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -50,6 +51,7 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	verbose := flag.Bool("v", false, "print client and artifact-cache statistics after the run")
 	cacheDir := flag.String("cache-dir", "", "result store directory (empty = no persistence)")
+	readOnly := flag.Bool("store-readonly", false, "open the result store read-only (share a directory another process is writing)")
 	artifactDir := flag.String("artifact-dir", "", "artifact cache directory (empty = <cache-dir>/artifacts, or in-memory without -cache-dir)")
 	noArtifacts := flag.Bool("no-artifacts", false, "disable the artifact cache (rebuild every intermediate)")
 	resume := flag.Bool("resume", true, "with -cache-dir, serve already-stored points from the store")
@@ -102,11 +104,15 @@ func main() {
 
 	client, err := musa.NewClient(musa.ClientOptions{
 		CacheDir:      *cacheDir,
+		StoreReadOnly: *readOnly,
 		ArtifactCache: *artifactDir,
 		NoArtifacts:   *noArtifacts,
 		SweepWorkers:  *workers,
 	})
 	if err != nil {
+		if errors.Is(err, musa.ErrStoreBusy) {
+			log.Fatalf("%v\nanother process is writing %s; pass -store-readonly to read from it anyway", err, *cacheDir)
+		}
 		log.Fatal(err)
 	}
 	defer client.Close()

@@ -26,6 +26,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -56,6 +57,7 @@ func main() {
 	noReplay := flag.Bool("no-replay", false, "disable the cluster-level MPI replay stage")
 	network := flag.String("network", "", "interconnect model: mn4, hdr200 or eth10 (default mn4)")
 	cacheDir := flag.String("cache-dir", "", "coordinator result store directory (empty = none)")
+	readOnly := flag.Bool("store-readonly", false, "open the coordinator result store read-only (share a directory another process is writing)")
 	artifactDir := flag.String("artifact-dir", "", "coordinator artifact cache directory (empty = <cache-dir>/artifacts, or in-memory)")
 	shardTimeout := flag.Duration("shard-timeout", 0, "per-shard request bound (0 = 10m, negative = unbounded)")
 	hedgeAfter := flag.Duration("hedge-after", 0, "hedge still-running shards onto the local pool after this long (0 = off)")
@@ -105,12 +107,16 @@ func main() {
 
 	coord, err := musa.NewClient(musa.ClientOptions{
 		CacheDir:      *cacheDir,
+		StoreReadOnly: *readOnly,
 		ArtifactCache: *artifactDir,
 		Workers:       workers,
 		ShardTimeout:  *shardTimeout,
 		HedgeAfter:    *hedgeAfter,
 	})
 	if err != nil {
+		if errors.Is(err, musa.ErrStoreBusy) {
+			log.Fatalf("%v\nanother process is writing %s; pass -store-readonly to read from it anyway", err, *cacheDir)
+		}
 		log.Fatal(err)
 	}
 	defer coord.Close()

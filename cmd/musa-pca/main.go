@@ -11,6 +11,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -30,6 +31,7 @@ func main() {
 	sample := flag.Int64("sample", 0, "detailed sample micro-ops (0 = default)")
 	seed := flag.Uint64("seed", 1, "seed")
 	cacheDir := flag.String("cache-dir", "", "result store directory (empty = no persistence)")
+	readOnly := flag.Bool("store-readonly", false, "open the result store read-only (share a directory another process is writing)")
 	obsDump := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	defer func() {
@@ -38,8 +40,11 @@ func main() {
 		}
 	}()
 
-	client, err := musa.NewClient(musa.ClientOptions{CacheDir: *cacheDir})
+	client, err := musa.NewClient(musa.ClientOptions{CacheDir: *cacheDir, StoreReadOnly: *readOnly})
 	if err != nil {
+		if errors.Is(err, musa.ErrStoreBusy) {
+			log.Fatalf("%v\nanother process is writing %s; pass -store-readonly to read from it anyway", err, *cacheDir)
+		}
 		log.Fatal(err)
 	}
 	defer client.Close()

@@ -55,6 +55,7 @@ func main() {
 
 	addr := flag.String("addr", ":8080", "listen address")
 	cacheDir := flag.String("cache-dir", "musa-cache", "result store directory")
+	readOnly := flag.Bool("store-readonly", false, "open the result store read-only (share a directory a sweep is writing)")
 	artifactDir := flag.String("artifact-dir", "", "artifact cache directory (empty = <cache-dir>/artifacts)")
 	noArtifacts := flag.Bool("no-artifacts", false, "disable the artifact cache (rebuild every intermediate)")
 	lru := flag.Int("lru", 0, "in-memory LRU entries (0 = default)")
@@ -79,6 +80,7 @@ func main() {
 
 	client, err := musa.NewClient(musa.ClientOptions{
 		CacheDir:      *cacheDir,
+		StoreReadOnly: *readOnly,
 		ArtifactCache: *artifactDir,
 		NoArtifacts:   *noArtifacts,
 		LRUEntries:    *lru,
@@ -92,9 +94,16 @@ func main() {
 		Network:       defaults.Network,
 	})
 	if err != nil {
+		if errors.Is(err, musa.ErrStoreBusy) {
+			log.Fatalf("%v\nanother process is writing %s; pass -store-readonly to serve from it anyway", err, *cacheDir)
+		}
 		log.Fatal(err)
 	}
-	log.Printf("store %s: %d measurements", *cacheDir, client.StoreLen())
+	mode := ""
+	if client.StoreReadOnly() {
+		mode = " (read-only)"
+	}
+	log.Printf("store %s%s: %d measurements", *cacheDir, mode, client.StoreLen())
 	if client.ArtifactsEnabled() {
 		log.Printf("artifact cache: %d artifacts", client.ArtifactStats().Entries)
 	}

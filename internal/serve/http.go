@@ -83,6 +83,10 @@ func NewHandler(svc *Service, opts ...Option) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"service": c.Stats(),
 			"stored":  c.StoreLen(),
+			"store": map[string]any{
+				"readOnly": c.StoreReadOnly(),
+				"engine":   c.StoreEngineStats(),
+			},
 			"artifacts": map[string]any{
 				"enabled": c.ArtifactsEnabled(),
 				"cache":   c.ArtifactStats(),

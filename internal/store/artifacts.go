@@ -16,6 +16,7 @@ import (
 	"musa/internal/dse"
 	"musa/internal/isa"
 	"musa/internal/node"
+	"musa/internal/store/lsm"
 	"musa/internal/trace"
 )
 
@@ -27,10 +28,12 @@ import (
 // JSON envelopes, so they can travel over HTTP (musa-serve's
 // GET/PUT /artifact/{key}) byte-for-byte.
 //
-// Unlike the measurement log, the artifact directory is not flock'd to one
-// process: every write lands via an atomic rename of a complete file, and a
-// reader either sees a whole artifact or none, so the coordinator, local
-// CLIs and demo workers may share one directory.
+// Unlike the measurement store, the artifact directory is not flock'd to
+// one process: blobs are multi-MB and multi-writer (the coordinator, local
+// CLIs and demo workers share one directory), so they live in the engine's
+// value-separated blob heap (lsm.Blobs) — whole files published by atomic
+// rename, a reader sees a complete artifact or none — rather than in the
+// single-writer LSM tree.
 
 // artifactSchemaName is the version marker's file name inside the artifact
 // directory (the marker value is dse.ArtifactSchemaVersion).
@@ -143,7 +146,8 @@ func unpackInstrs(in []byte) ([]cpu.Annotated, error) {
 // so they can still be served to fleet workers and over HTTP. All methods
 // are safe for concurrent use. It implements dse.ArtifactProvider.
 type ArtifactCache struct {
-	dir string // "" = memory-only
+	dir   string     // "" = memory-only
+	blobs *lsm.Blobs // nil when memory-only
 
 	mu       sync.Mutex
 	keys     map[string]bool   // artifacts present (disk or raw map)
@@ -178,22 +182,23 @@ func OpenArtifacts(dir string) (*ArtifactCache, error) {
 		c.raw = map[string][]byte{}
 		return c, nil
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	blobs, err := lsm.OpenBlobs(dir)
+	if err != nil {
 		return nil, fmt.Errorf("store: artifacts: %w", err)
 	}
 	if err := checkArtifactSchema(dir); err != nil {
 		return nil, err
 	}
-	ents, err := os.ReadDir(dir)
+	names, err := blobs.List()
 	if err != nil {
 		return nil, fmt.Errorf("store: artifacts: %w", err)
 	}
-	for _, e := range ents {
-		name := e.Name()
+	for _, name := range names {
 		if key, ok := strings.CutSuffix(name, ".json"); ok && validArtifactKey(key) {
 			c.keys[key] = true
 		}
 	}
+	c.blobs = blobs
 	c.stats.Entries = len(c.keys)
 	return c, nil
 }
@@ -292,7 +297,7 @@ func (c *ArtifactCache) blobFor(key string) ([]byte, bool) {
 		return b, ok
 	}
 	c.mu.Unlock()
-	b, err := os.ReadFile(c.blobPath(key))
+	b, err := c.blobs.Get(key + ".json")
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err != nil {
@@ -335,23 +340,7 @@ func (c *ArtifactCache) persistBlob(key string, blob []byte) {
 		c.stats.BytesWritten += int64(len(blob))
 		return
 	}
-	// The temp file name must be unique per write: the directory is shared
-	// between processes without locking, and two writers of the same key
-	// colliding on one temp path could rename a truncated file into place.
-	// A unique temp plus rename keeps the whole-artifact-or-none invariant.
-	tmp, err := os.CreateTemp(c.dir, key+".tmp-*")
-	if err == nil {
-		_, err = tmp.Write(blob)
-		if cerr := tmp.Close(); err == nil {
-			err = cerr
-		}
-		if err == nil {
-			err = os.Rename(tmp.Name(), c.blobPath(key))
-		}
-		if err != nil {
-			os.Remove(tmp.Name())
-		}
-	}
+	err := c.blobs.Put(key+".json", blob)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err != nil {
@@ -360,10 +349,6 @@ func (c *ArtifactCache) persistBlob(key string, blob []byte) {
 	}
 	c.keys[key] = true
 	c.stats.BytesWritten += int64(len(blob))
-}
-
-func (c *ArtifactCache) blobPath(key string) string {
-	return filepath.Join(c.dir, key+".json")
 }
 
 // Blob returns the encoded artifact under key, byte-for-byte as stored —

@@ -1,0 +1,109 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// testdata/legacy-v3 is a result-store directory exactly as the last
+// JSONL-engine release left it (written by gen_fixture.go), with
+// fixture.json recording the live keys and the SHA-256 of each stored
+// measurement's bytes. This test is the release-to-release migration
+// contract: the engine must serve every key with byte-identical
+// measurements and the exact key count. CI runs it as the migration smoke.
+
+type fixtureEntry struct {
+	Key    string `json:"key"`
+	SHA256 string `json:"sha256"`
+	Bytes  int    `json:"bytes"`
+}
+
+type fixtureManifest struct {
+	SchemaVersion int            `json:"schemaVersion"`
+	Keys          int            `json:"keys"`
+	Entries       []fixtureEntry `json:"entries"`
+}
+
+func loadFixture(t *testing.T) (dir string, man fixtureManifest) {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("testdata", "legacy-v3", "fixture.json"))
+	if err != nil {
+		t.Fatalf("fixture manifest: %v", err)
+	}
+	if err := json.Unmarshal(raw, &man); err != nil {
+		t.Fatalf("fixture manifest: %v", err)
+	}
+	if man.SchemaVersion != SchemaVersion {
+		t.Fatalf("fixture is schema v%d, store is v%d: regenerate with go run gen_fixture.go",
+			man.SchemaVersion, SchemaVersion)
+	}
+	// Migration mutates the directory; work on a copy.
+	dir = t.TempDir()
+	for _, name := range []string{"schema", "results.jsonl"} {
+		b, err := os.ReadFile(filepath.Join("testdata", "legacy-v3", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir, man
+}
+
+func TestMigrationFixtureMatchesManifest(t *testing.T) {
+	dir, man := loadFixture(t)
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open of the previous release's store failed: %v", err)
+	}
+	if got := st.Len(); got != man.Keys {
+		t.Fatalf("Len = %d, manifest says %d keys", got, man.Keys)
+	}
+	for _, e := range man.Entries {
+		raw, ok := st.db.Get(e.Key)
+		if !ok {
+			t.Fatalf("key %s lost in migration", e.Key)
+		}
+		if len(raw) != e.Bytes {
+			t.Fatalf("key %s: %d stored bytes, manifest says %d", e.Key, len(raw), e.Bytes)
+		}
+		if sum := fmt.Sprintf("%x", sha256.Sum256(raw)); sum != e.SHA256 {
+			t.Fatalf("key %s: measurement bytes changed in migration (sha256 %s, manifest %s)",
+				e.Key, sum, e.SHA256)
+		}
+		if _, ok := st.Get(e.Key); !ok {
+			t.Fatalf("key %s: bytes present but measurement does not decode", e.Key)
+		}
+	}
+	if st.EngineStats().Keys != man.Keys {
+		t.Fatalf("engine reports %d keys, manifest says %d", st.EngineStats().Keys, man.Keys)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen without the legacy log in play: the engine alone must still
+	// match the manifest.
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := st2.Len(); got != man.Keys {
+		t.Fatalf("Len after reopen = %d, manifest says %d", got, man.Keys)
+	}
+	for _, e := range man.Entries {
+		raw, ok := st2.db.Get(e.Key)
+		if !ok {
+			t.Fatalf("key %s lost after reopen", e.Key)
+		}
+		if sum := fmt.Sprintf("%x", sha256.Sum256(raw)); sum != e.SHA256 {
+			t.Fatalf("key %s: bytes changed after reopen", e.Key)
+		}
+	}
+}

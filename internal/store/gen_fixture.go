@@ -1,0 +1,130 @@
+//go:build ignore
+
+// gen_fixture writes testdata/legacy-v3: a result-store directory exactly
+// as the last JSONL-engine release would have left it, plus fixture.json,
+// a manifest of the live keys and the SHA-256 of each stored measurement's
+// bytes. The migration test and the CI migration smoke open the fixture
+// with the current engine and fail unless keys, bytes and counts match the
+// manifest — the proof that the engine swap is lossless.
+//
+// Regenerate (only when dse.Measurement's schema-v3 shape changes, which
+// would also bump SchemaVersion) with:
+//
+//	go run gen_fixture.go
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"musa/internal/cpu"
+	"musa/internal/dse"
+	"musa/internal/power"
+)
+
+func measurement(app string, freq, t float64) dse.Measurement {
+	return dse.Measurement{
+		App: app,
+		Arch: dse.ArchPoint{
+			Cores: 32, Core: cpu.Medium(), FreqGHz: freq, VectorBits: 256,
+			Cache: dse.CacheConfigs()[1], Channels: 4, Mem: dse.DDR4,
+		},
+		TimeNs: t, IPC: 1.1,
+		Power: power.Breakdown{CoreL1: 10, L2L3: 5, Memory: 3}, EnergyJ: t * 18e-9,
+		L1MPKI: 1.5, L2MPKI: 0.7, L3MPKI: 0.2, GMemReqPerSec: 1e9,
+		Cluster: []dse.ClusterStat{
+			{Ranks: 64, EndToEndNs: t * 1.2, MPIFraction: 0.1, ParallelEff: 0.8},
+			{Ranks: 256, EndToEndNs: t * 1.5, MPIFraction: 0.25, ParallelEff: 0.6},
+		},
+		EndToEndNs: t * 1.5, MPIFraction: 0.25, ParallelEff: 0.6,
+	}
+}
+
+type fixtureEntry struct {
+	Key    string `json:"key"`
+	SHA256 string `json:"sha256"`
+	Bytes  int    `json:"bytes"`
+}
+
+type fixtureManifest struct {
+	SchemaVersion int            `json:"schemaVersion"`
+	Keys          int            `json:"keys"`
+	Entries       []fixtureEntry `json:"entries"`
+}
+
+func main() {
+	dir := filepath.Join("testdata", "legacy-v3")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "schema"), []byte("3\n"), 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	type rec struct {
+		key string
+		m   dse.Measurement
+	}
+	records := []rec{
+		{"key-hydro-1.5", measurement("hydro", 1.5, 100)},
+		{"key-hydro-2.0", measurement("hydro", 2.0, 90)},
+		{"key-lulesh-2.0", measurement("lulesh", 2.0, 1)}, // superseded below
+		{"key-spmz-2.5", measurement("spmz", 2.5, 210)},
+		{"key-btmz-3.0", measurement("btmz", 3.0, 170)},
+		{"key-lulesh-2.0", measurement("lulesh", 2.0, 80)}, // last write wins
+		{"key-spec3d-1.5", measurement("spec3d", 1.5, 300)},
+	}
+
+	var log_ []byte
+	live := map[string][]byte{}
+	order := []string{}
+	for _, r := range records {
+		line, err := json.Marshal(struct {
+			K string          `json:"k"`
+			M dse.Measurement `json:"m"`
+		}{r.key, r.m})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log_ = append(log_, line...)
+		log_ = append(log_, '\n')
+		var env struct {
+			M json.RawMessage `json:"m"`
+		}
+		if err := json.Unmarshal(line, &env); err != nil {
+			log.Fatal(err)
+		}
+		if _, seen := live[r.key]; !seen {
+			order = append(order, r.key)
+		}
+		live[r.key] = env.M
+	}
+	// A record torn by a kill mid-append: migration must drop it silently.
+	log_ = append(log_, []byte(`{"k":"key-torn-9.9","m":{"App":"tr`)...)
+
+	if err := os.WriteFile(filepath.Join(dir, "results.jsonl"), log_, 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	man := fixtureManifest{SchemaVersion: 3, Keys: len(live)}
+	for _, k := range order {
+		m := live[k]
+		man.Entries = append(man.Entries, fixtureEntry{
+			Key:    k,
+			SHA256: fmt.Sprintf("%x", sha256.Sum256(m)),
+			Bytes:  len(m),
+		})
+	}
+	raw, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "fixture.json"), append(raw, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %d live keys, %d log bytes\n", dir, len(live), len(log_))
+}

@@ -1,0 +1,99 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Blobs is the engine's value-separated heap for large values: a flat
+// directory of whole files published by atomic rename, the classic
+// key/value-separation move (store big values out of the LSM proper and
+// keep the tree small). Unlike DB it is multi-writer by design — there is
+// no lock, no WAL, no manifest. Every Put writes a unique temp file and
+// renames it into place, so concurrent writers from any number of
+// processes can share one directory and a reader always sees a whole blob
+// or none. The store's artifact namespace (multi-MB annotation and trace
+// blobs written by coordinators, CLIs and fleet workers at once) rides on
+// it.
+type Blobs struct {
+	dir string
+}
+
+// OpenBlobs opens (creating if needed) a blob heap rooted at dir.
+func OpenBlobs(dir string) (*Blobs, error) {
+	if dir == "" {
+		return nil, errors.New("lsm: blobs: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lsm: blobs: %w", err)
+	}
+	return &Blobs{dir: dir}, nil
+}
+
+// Dir returns the heap's root directory.
+func (b *Blobs) Dir() string { return b.dir }
+
+// Get returns the blob stored under name; a missing blob reports
+// os.ErrNotExist.
+func (b *Blobs) Get(name string) ([]byte, error) {
+	raw, err := os.ReadFile(filepath.Join(b.dir, name))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("lsm: blobs: %w", err)
+	}
+	return raw, nil
+}
+
+// Put stores blob under name atomically. The temp file name is unique per
+// write: the directory is shared between processes without locking, and
+// two writers of the same name colliding on one temp path could rename a
+// truncated file into place.
+func (b *Blobs) Put(name string, blob []byte) error {
+	tmp, err := os.CreateTemp(b.dir, name+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("lsm: blobs: %w", err)
+	}
+	_, err = tmp.Write(blob)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), filepath.Join(b.dir, name))
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("lsm: blobs: %w", err)
+	}
+	return nil
+}
+
+// Remove deletes the blob under name; removing a missing blob is not an
+// error (another sharer may have removed it first).
+func (b *Blobs) Remove(name string) error {
+	err := os.Remove(filepath.Join(b.dir, name))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("lsm: blobs: %w", err)
+	}
+	return nil
+}
+
+// List returns the names of all published blobs, skipping in-flight temp
+// files from live writers.
+func (b *Blobs) List() ([]string, error) {
+	ents, err := os.ReadDir(b.dir)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: blobs: %w", err)
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if name := e.Name(); !e.IsDir() && !strings.Contains(name, ".tmp-") {
+			names = append(names, name)
+		}
+	}
+	return names, nil
+}

@@ -1,0 +1,99 @@
+package lsm
+
+import "math/bits"
+
+// A bloom filter per segment makes the dominant serve-scale operation — a
+// lookup of a key nobody ever computed — nearly free: ~10 bits per key and
+// 7 probes give a ~1% false-positive rate, so 99% of absent-key lookups
+// skip the segment without reading a data block. Filters use classic
+// double hashing (Kirsch–Mitzenmacher): probe i tests bit h1 + i*h2, so
+// the two 64-bit hashes are computed once per Get and shared by every
+// segment's filter.
+
+const (
+	bloomBitsPerKey = 10
+	bloomK          = 7
+)
+
+// bloomHash returns the two independent hashes of key. The accumulator is
+// a word-at-a-time FNV-1a variant: byte-wise FNV chains one multiply per
+// byte serially, which shows up as the top cost of the absent-key path, so
+// we fold eight bytes per step (the compiler turns the byte ORs into one
+// unaligned load) and recover avalanche quality with a splitmix64
+// finalizer per output. Store keys are ~20-60 byte hashes/prefixes, so the
+// word loop runs 3-8 times instead of 20-60.
+func bloomHash(key string) (h1, h2 uint64) {
+	h := uint64(14695981039346656037) ^ uint64(len(key)) // length disambiguates zero-padded tails
+	i := 0
+	for ; i+8 <= len(key); i += 8 {
+		w := uint64(key[i]) | uint64(key[i+1])<<8 | uint64(key[i+2])<<16 |
+			uint64(key[i+3])<<24 | uint64(key[i+4])<<32 | uint64(key[i+5])<<40 |
+			uint64(key[i+6])<<48 | uint64(key[i+7])<<56
+		h = (h ^ w) * 0x100000001b3
+	}
+	var tail uint64
+	for j := uint(0); i < len(key); i, j = i+1, j+8 {
+		tail |= uint64(key[i]) << j
+	}
+	h = (h ^ tail) * 0x100000001b3
+	h1 = mix64(h)
+	h2 = mix64(h1) | 1 // odd, so probes cycle through the whole bit array
+	return h1, h2
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// bloomFilter is a fixed-size bit array.
+type bloomFilter struct {
+	bits []byte
+}
+
+// newBloom sizes a filter for n keys.
+func newBloom(n int) *bloomFilter {
+	if n < 1 {
+		n = 1
+	}
+	m := (n*bloomBitsPerKey + 7) / 8
+	return &bloomFilter{bits: make([]byte, m)}
+}
+
+func (b *bloomFilter) nbits() uint64 { return uint64(len(b.bits)) * 8 }
+
+// bitOf maps probe hash h into [0, m) with a multiply-shift (Lemire's
+// fastrange) instead of a modulo: the miss path probes every segment's
+// filter 7 times, and a 64-bit division per probe is the single biggest
+// cost in an otherwise memory-bound loop.
+func bitOf(h, m uint64) uint64 {
+	hi, _ := bits.Mul64(h, m)
+	return hi
+}
+
+func (b *bloomFilter) add(h1, h2 uint64) {
+	m := b.nbits()
+	for i := uint64(0); i < bloomK; i++ {
+		bit := bitOf(h1+i*h2, m)
+		b.bits[bit>>3] |= 1 << (bit & 7)
+	}
+}
+
+func (b *bloomFilter) test(h1, h2 uint64) bool {
+	m := b.nbits()
+	if m == 0 {
+		return false
+	}
+	for i := uint64(0); i < bloomK; i++ {
+		bit := bitOf(h1+i*h2, m)
+		if b.bits[bit>>3]&(1<<(bit&7)) == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,134 @@
+package lsm
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The MANIFEST is the engine's single source of truth: the ordered live
+// segment set, the next segment id, the exact key count, and a version
+// that increments on every commit. It is replaced atomically (write temp,
+// fsync, rename), so any reader — in this process or another — sees a
+// complete, consistent segment set no matter where a writer or compaction
+// was killed. A flush or compaction that dies before its manifest commit
+// leaves only orphan files, swept at next writer open.
+
+const (
+	manifestName   = "MANIFEST"
+	manifestSchema = 1
+)
+
+// manifestSegment describes one live segment.
+type manifestSegment struct {
+	ID    int64 `json:"id"`
+	Keys  int   `json:"keys"`
+	Bytes int64 `json:"bytes"`
+}
+
+// manifest is the persisted engine state. Segments is in recency order:
+// oldest run first, newest last; lookups scan it back to front.
+type manifest struct {
+	Schema   int               `json:"schema"`
+	Version  int64             `json:"version"`
+	NextSeg  int64             `json:"nextSeg"`
+	Keys     int               `json:"keys"`
+	Segments []manifestSegment `json:"segments"`
+}
+
+// loadManifest reads dir's MANIFEST; a missing file is an empty store.
+func loadManifest(dir string) (manifest, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return manifest{Schema: manifestSchema, NextSeg: 1}, nil
+	}
+	if err != nil {
+		return manifest{}, fmt.Errorf("lsm: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return manifest{}, fmt.Errorf("lsm: manifest: %w", err)
+	}
+	if m.Schema != manifestSchema {
+		return manifest{}, fmt.Errorf("lsm: manifest schema %d, want %d", m.Schema, manifestSchema)
+	}
+	return m, nil
+}
+
+// commit persists the manifest atomically and bumps its version. Only the
+// single writer commits, so a fixed temp name cannot collide.
+func (m *manifest) commit(dir string) error {
+	m.Version++
+	raw, err := json.Marshal(m)
+	if err != nil {
+		m.Version--
+		return fmt.Errorf("lsm: manifest: %w", err)
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.Create(tmp)
+	if err == nil {
+		_, err = f.Write(raw)
+		if serr := f.Sync(); err == nil {
+			err = serr
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = os.Rename(tmp, filepath.Join(dir, manifestName))
+		}
+	}
+	if err != nil {
+		os.Remove(tmp)
+		m.Version--
+		return fmt.Errorf("lsm: manifest commit: %w", err)
+	}
+	return nil
+}
+
+// refreshIfStale reloads a read-only handle's segment set when the writer
+// has published a newer MANIFEST. The manifest is small; reading it
+// outright is cheaper than getting cute with stat stamps, and this runs
+// only on a full miss of a read-only handle. Reports whether the view
+// changed.
+func (db *DB) refreshIfStale() bool {
+	man, err := loadManifest(db.dir)
+	if err != nil {
+		return false
+	}
+	db.mu.RLock()
+	cur := db.manifest.Version
+	db.mu.RUnlock()
+	if man.Version == cur {
+		return false
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if man.Version == db.manifest.Version {
+		return false
+	}
+	// Between our manifest read and here the writer may have compacted and
+	// deleted files; retry the whole load a few times on open failures.
+	for attempt := 0; attempt < 3; attempt++ {
+		old := db.segs
+		oldMan := db.manifest
+		db.manifest = man
+		if err := db.openSegments(); err != nil {
+			db.manifest = oldMan
+			db.segs = old
+			man, err = loadManifest(db.dir)
+			if err != nil || man.Version == db.manifest.Version {
+				return false
+			}
+			continue
+		}
+		for _, s := range old {
+			s.close()
+		}
+		db.c.refreshes.Add(1)
+		return true
+	}
+	return false
+}

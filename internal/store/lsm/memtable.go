@@ -1,0 +1,66 @@
+package lsm
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// counters is the engine's atomic counter block (see Stats for meanings).
+type counters struct {
+	gets, hits, puts                   atomic.Int64
+	memHits                            atomic.Int64
+	bloomChecks, bloomRejects, bloomFP atomic.Int64
+	segReads                           atomic.Int64
+	flushes, compactions, compactionNs atomic.Int64
+	walBytes, walReplayed, walTorn     atomic.Int64
+	refreshes                          atomic.Int64
+}
+
+// kv is one key/value pair of a sorted run.
+type kv struct {
+	k string
+	v []byte
+}
+
+// memtable is the mutable in-memory head of the tree. It is a plain map —
+// point lookups are the only read the store performs (keys are content
+// addresses; there are no range queries) — sorted once at flush time.
+// Synchronization is the DB's lock.
+type memtable struct {
+	m     map[string][]byte
+	bytes int
+}
+
+func newMemtable() *memtable {
+	return &memtable{m: map[string][]byte{}}
+}
+
+func (t *memtable) get(key string) ([]byte, bool) {
+	v, ok := t.m[key]
+	return v, ok
+}
+
+// put inserts or replaces and reports whether the key was fresh.
+func (t *memtable) put(key string, value []byte) bool {
+	old, exists := t.m[key]
+	if exists {
+		t.bytes += len(value) - len(old)
+	} else {
+		t.bytes += len(key) + len(value)
+	}
+	t.m[key] = value
+	return !exists
+}
+
+func (t *memtable) len() int { return len(t.m) }
+
+// sorted returns the contents as a key-ordered run — the segment writer's
+// input.
+func (t *memtable) sorted() []kv {
+	out := make([]kv, 0, len(t.m))
+	for k, v := range t.m {
+		out = append(out, kv{k: k, v: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].k < out[j].k })
+	return out
+}

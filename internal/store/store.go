@@ -2,40 +2,59 @@
 // content-addressed result store. A simulation request hashes to a stable
 // key — since schema v3 the key is the SHA-256 of the canonical
 // musa.Experiment encoding, computed by the caller — and completed
-// measurements are appended to a JSONL log on disk as they finish, so a
-// killed sweep resumes from its checkpoint and repeated sweeps become cache
-// hits. An LRU front keeps hot entries in memory; misses fall back to the
-// on-disk log via a byte-offset index. The log is compacted on open:
-// superseded and truncated records are dropped and the file rewritten.
+// measurements land in an embedded LSM engine (internal/store/lsm): a
+// WAL-backed memtable flushing to bloom-filtered sorted segments, so a
+// killed sweep resumes from its checkpoint and repeated sweeps become
+// cache hits. An LRU front keeps hot decoded entries in memory; misses
+// fall to the engine. The store is multi-process by design: one writer
+// owns a directory (advisory flock), while any number of read-only opens
+// follow the writer's published segments. Pre-engine JSONL stores migrate
+// in place on first writer open.
 package store
 
 import (
 	"bufio"
 	"container/list"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
-	"syscall"
 
 	"musa/internal/dse"
+	"musa/internal/store/lsm"
 )
 
-// SchemaVersion identifies the on-disk measurement encoding and the key
+// SchemaVersion identifies the stored measurement encoding and the key
 // derivation. It is bumped whenever dse.Measurement or the request key
 // fields change shape — v2 added the cluster-level replay fields, v3 moved
 // key derivation onto the canonical musa.Experiment encoding (and added the
 // per-measurement IPC field), so v2 keys no longer address v3 results.
 // Open refuses a store written under a different version instead of
 // silently misreading it (an old log would unmarshal with zeroed fields, or
-// simply never hit, and quietly poison resumed sweeps).
+// simply never hit, and quietly poison resumed sweeps). The engine swap
+// under v3 did not bump it: keys and measurement bytes are unchanged, only
+// their container moved, and the old container migrates losslessly.
 const SchemaVersion = 3
 
 // schemaName is the version marker's file name inside the store directory.
 const schemaName = "schema"
+
+// LogName is the pre-engine JSONL measurement log's file name inside the
+// store directory; a writer open migrates it into the engine and renames
+// it to LogName+migratedSuffix.
+const LogName = "results.jsonl"
+
+// migratedSuffix marks a JSONL log whose contents now live in the engine.
+const migratedSuffix = ".migrated"
+
+// ErrStoreBusy reports a second writer open of a live store directory.
+// Readers are never refused: open with Options.ReadOnly to share a
+// directory another process is writing.
+var ErrStoreBusy = errors.New("store busy: already open for writing by another process")
 
 // Bind wires st into a sweep's options: unless recompute is set, o.Lookup
 // serves stored measurements, and o.OnMeasurement checkpoints each freshly
@@ -72,91 +91,119 @@ func Bind(st *Store, keyOf func(app string, p dse.ArchPoint) string, o *dse.Opti
 type Options struct {
 	// LRUEntries bounds the in-memory front (0 = 4096).
 	LRUEntries int
+	// ReadOnly opens the store without taking the writer lock: the handle
+	// follows segments another process publishes and never touches disk.
+	// Put still populates the LRU front, so a read-only serve replica keeps
+	// its own computed results hot in memory.
+	ReadOnly bool
+	// MemtableBytes overrides the engine's memtable flush threshold
+	// (0 = engine default). Tests use tiny values to exercise flushes.
+	MemtableBytes int
+	// OnCompaction, if set, observes each background compaction's duration
+	// in seconds (the metrics bridge).
+	OnCompaction func(seconds float64)
 }
 
-// entry is one JSONL record.
+// entry is one record of the legacy JSONL log. M stays raw during
+// migration so the measurement bytes written under schema v3 are carried
+// into the engine untouched.
 type entry struct {
 	K string          `json:"k"`
-	M dse.Measurement `json:"m"`
+	M json.RawMessage `json:"m"`
 }
 
-// rec locates one live record in the log.
-type rec struct {
-	off, n int64
-}
-
-// Store is a content-addressed measurement store: an append-only JSONL log
-// with an in-memory LRU front. All methods are safe for concurrent use.
+// Store is a content-addressed measurement store: an LSM engine under an
+// in-memory LRU front of decoded measurements. All methods are safe for
+// concurrent use; engine reads from different goroutines proceed in
+// parallel (mu guards only the LRU).
 type Store struct {
-	mu   sync.Mutex
-	path string
-	lock *os.File // flock'd .lock file: one process per store
-	w    *os.File // O_APPEND write handle
-	r    *os.File // read handle for LRU misses
-	end  int64    // current log length
-	idx  map[string]rec
-	lru  *lruCache
+	db       *lsm.DB
+	readOnly bool
+
+	mu  sync.Mutex
+	lru *lruCache
+
+	// jsonl is a frozen read view of an unmigrated legacy log, consulted
+	// after an engine miss. Only read-only opens populate it (they cannot
+	// migrate); it is immutable after Open, so reads take no lock.
+	jsonl     map[string]json.RawMessage
+	jsonlOnly int // jsonl keys absent from the engine at open
 }
 
-// LogName is the measurement log's file name inside the store directory.
-const LogName = "results.jsonl"
-
-// Open creates dir if needed, loads and compacts the measurement log, and
-// returns the store. A store directory is owned by one process at a time
-// (the CLI and the server share a directory sequentially, never
-// concurrently): Open takes an advisory flock on dir/.lock and fails fast
-// if another process holds it. The kernel releases the lock when the
-// holder exits, however it dies, so a killed sweep never wedges the store.
+// Open creates dir if needed, migrates any pre-engine JSONL log into the
+// engine, and returns the store. One process owns a directory for writing
+// at a time: Open takes an advisory flock and fails fast with ErrStoreBusy
+// if another writer holds it (the kernel releases the lock when the holder
+// exits, however it dies, so a killed sweep never wedges the store).
+// Opens with Options.ReadOnly never take the lock and never fail busy.
 func Open(dir string, opts Options) (*Store, error) {
+	if opts.ReadOnly {
+		return openReadOnly(dir, opts)
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	lock, err := os.OpenFile(filepath.Join(dir, ".lock"), os.O_CREATE|os.O_RDWR, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
-	}
-	if err := syscall.Flock(int(lock.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		lock.Close()
-		return nil, fmt.Errorf("store: %s is in use by another process (flock: %w)", dir, err)
-	}
-	if err := checkSchema(dir); err != nil {
-		lock.Close()
+	if err := checkSchema(dir, false); err != nil {
 		return nil, err
 	}
-	max := opts.LRUEntries
-	if max <= 0 {
-		max = 4096
+	db, err := lsm.Open(dir, lsm.Options{
+		MemtableBytes: opts.MemtableBytes,
+		OnCompaction:  opts.OnCompaction,
+	})
+	if err != nil {
+		if errors.Is(err, lsm.ErrBusy) {
+			return nil, fmt.Errorf("store: %s: %w", dir, ErrStoreBusy)
+		}
+		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{
-		path: filepath.Join(dir, LogName),
-		lock: lock,
-		idx:  map[string]rec{},
-		lru:  newLRU(max),
-	}
-	if err := s.load(); err != nil {
-		lock.Close()
+	s := &Store{db: db, lru: newLRU(lruMax(opts))}
+	if err := s.migrate(dir); err != nil {
+		db.Close()
 		return nil, err
 	}
-	w, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	s.warmLRU()
+	return s, nil
+}
+
+func lruMax(opts Options) int {
+	if opts.LRUEntries > 0 {
+		return opts.LRUEntries
+	}
+	return 4096
+}
+
+// openReadOnly opens a reader handle: no lock, no writes, no migration.
+// An unmigrated legacy log (only possible when no writer has opened the
+// directory since the engine landed) is loaded as a frozen read view.
+func openReadOnly(dir string, opts Options) (*Store, error) {
+	if err := checkSchema(dir, true); err != nil {
+		return nil, err
+	}
+	db, err := lsm.Open(dir, lsm.Options{ReadOnly: true})
 	if err != nil {
-		lock.Close()
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	r, err := os.Open(s.path)
-	if err != nil {
-		w.Close()
-		lock.Close()
-		return nil, fmt.Errorf("store: %w", err)
+	s := &Store{db: db, readOnly: true, lru: newLRU(lruMax(opts))}
+	if view, err := readJSONL(filepath.Join(dir, LogName)); err != nil {
+		db.Close()
+		return nil, err
+	} else if len(view) > 0 {
+		s.jsonl = view
+		for k := range view {
+			if !db.Has(k) {
+				s.jsonlOnly++
+			}
+		}
 	}
-	s.w, s.r = w, r
 	return s, nil
 }
 
 // checkSchema enforces the on-disk schema version: a store directory with
-// an existing log must carry a matching version marker (a log without one
-// predates versioning entirely), and an empty directory is stamped with the
-// current version. Called with the directory lock held.
-func checkSchema(dir string) error {
+// existing results must carry a matching version marker (results without
+// one predate versioning entirely), and an empty directory is stamped with
+// the current version — by writers only; a read-only open of a virgin
+// directory leaves it untouched.
+func checkSchema(dir string, readOnly bool) error {
 	marker := filepath.Join(dir, schemaName)
 	raw, err := os.ReadFile(marker)
 	switch {
@@ -178,180 +225,185 @@ func checkSchema(dir string) error {
 		}
 		return nil
 	}
+	if readOnly {
+		return nil
+	}
 	if err := os.WriteFile(marker, []byte(strconv.Itoa(SchemaVersion)+"\n"), 0o644); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	return nil
 }
 
-// load scans the log, indexes the last record per key, and rewrites the
-// file when it contains dead weight (superseded duplicates or a record
-// truncated by a kill mid-append).
-func (s *Store) load() error {
-	f, err := os.Open(s.path)
+// readJSONL scans a legacy log into a last-write-wins map of raw
+// measurement bytes. Records truncated by a kill mid-append, and any
+// garbage, are skipped — exactly the tolerance the JSONL store had. A
+// missing file yields a nil map.
+func readJSONL(path string) (map[string]json.RawMessage, error) {
+	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return nil
+		return nil, nil
 	}
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
+		return nil, fmt.Errorf("store: %w", err)
 	}
 	defer f.Close()
-
-	type raw struct {
-		key  string
-		line []byte
-	}
-	var live []raw
-	liveAt := map[string]int{}
-	dead := 0
-	var off int64
+	view := map[string]json.RawMessage{}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 	for sc.Scan() {
-		line := sc.Bytes()
-		n := int64(len(line)) + 1
 		var e entry
-		if err := json.Unmarshal(line, &e); err != nil || e.K == "" {
-			// A record truncated by a kill mid-append, or garbage; drop it.
-			dead++
-			off += n
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil || e.K == "" || len(e.M) == 0 {
 			continue
 		}
-		if i, ok := liveAt[e.K]; ok {
-			// Last record wins; the superseded one becomes dead weight.
-			live[i] = raw{key: e.K, line: append([]byte(nil), line...)}
-			dead++
-		} else {
-			liveAt[e.K] = len(live)
-			live = append(live, raw{key: e.K, line: append([]byte(nil), line...)})
-		}
-		off += n
+		view[e.K] = e.M
 	}
 	if err := sc.Err(); err != nil {
-		return fmt.Errorf("store: read %s: %w", s.path, err)
+		return nil, fmt.Errorf("store: read %s: %w", path, err)
 	}
-	if fi, err := f.Stat(); err == nil && fi.Size() > off {
-		dead++ // trailing partial line without a newline
-	}
+	return view, nil
+}
 
-	if dead > 0 {
-		// Compact: rewrite only the live records, then swap atomically.
-		tmp := s.path + ".tmp"
-		w, err := os.Create(tmp)
-		if err != nil {
-			return fmt.Errorf("store: compact: %w", err)
-		}
-		bw := bufio.NewWriter(w)
-		for _, r := range live {
-			bw.Write(r.line)
-			bw.WriteByte('\n')
-		}
-		if err := bw.Flush(); err == nil {
-			err = w.Sync()
-		}
-		if err != nil {
-			w.Close()
-			os.Remove(tmp)
-			return fmt.Errorf("store: compact: %w", err)
-		}
-		if err := w.Close(); err != nil {
-			return fmt.Errorf("store: compact: %w", err)
-		}
-		if err := os.Rename(tmp, s.path); err != nil {
-			return fmt.Errorf("store: compact: %w", err)
+// migrate folds dir's legacy JSONL log into the engine, preserving each
+// measurement's stored bytes, then renames the log out of the way. The
+// rename happens only after the engine has flushed the records to
+// segments, so a kill anywhere re-runs the (idempotent) migration.
+func (s *Store) migrate(dir string) error {
+	path := filepath.Join(dir, LogName)
+	view, err := readJSONL(path)
+	if err != nil {
+		return err
+	}
+	if view == nil {
+		return nil
+	}
+	for k, m := range view {
+		if err := s.db.Put(k, m); err != nil {
+			return fmt.Errorf("store: migrate %s: %w", path, err)
 		}
 	}
-
-	// Index the (now compacted) log and warm the LRU front.
-	var at int64
-	for _, r := range live {
-		n := int64(len(r.line)) + 1
-		s.idx[r.key] = rec{off: at, n: n}
-		var e entry
-		if json.Unmarshal(r.line, &e) == nil {
-			s.lru.add(r.key, e.M)
-		}
-		at += n
+	if err := s.db.Flush(); err != nil {
+		return fmt.Errorf("store: migrate %s: %w", path, err)
 	}
-	s.end = at
+	if err := os.Rename(path, path+migratedSuffix); err != nil {
+		return fmt.Errorf("store: migrate %s: %w", path, err)
+	}
 	return nil
 }
 
-// Get returns the measurement stored under key. Disk read errors are
+// errWarmFull stops the open-time LRU warm once the front is full.
+var errWarmFull = errors.New("store: lru warm full")
+
+// warmLRU preloads the front from the engine, matching the old store's
+// open-time warm so a resumed sweep starts hot.
+func (s *Store) warmLRU() {
+	n := 0
+	_ = s.db.Scan(func(k string, v []byte) error {
+		if n >= s.lru.max {
+			return errWarmFull
+		}
+		var m dse.Measurement
+		if json.Unmarshal(v, &m) == nil {
+			s.lru.add(k, m)
+			n++
+		}
+		return nil
+	})
+}
+
+// Get returns the measurement stored under key. Engine read errors are
 // reported as misses; the caller recomputes and overwrites.
 func (s *Store) Get(key string) (dse.Measurement, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if m, ok := s.lru.get(key); ok {
+		s.mu.Unlock()
 		return m, true
 	}
-	r, ok := s.idx[key]
+	s.mu.Unlock()
+	raw, ok := s.db.Get(key)
 	if !ok {
+		if r, legacy := s.jsonl[key]; legacy {
+			raw = r
+		} else {
+			return dse.Measurement{}, false
+		}
+	}
+	var m dse.Measurement
+	if err := json.Unmarshal(raw, &m); err != nil {
 		return dse.Measurement{}, false
 	}
-	buf := make([]byte, r.n)
-	if _, err := s.r.ReadAt(buf, r.off); err != nil {
-		return dse.Measurement{}, false
-	}
-	var e entry
-	if err := json.Unmarshal(buf[:r.n-1], &e); err != nil || e.K != key {
-		return dse.Measurement{}, false
-	}
-	s.lru.add(key, e.M)
-	return e.M, true
+	s.mu.Lock()
+	s.lru.add(key, m)
+	s.mu.Unlock()
+	return m, true
 }
 
 // Has reports whether key is stored without touching the LRU.
 func (s *Store) Has(key string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, ok := s.idx[key]
+	if s.db.Has(key) {
+		return true
+	}
+	_, ok := s.jsonl[key]
 	return ok
 }
 
-// Put appends the measurement under key. Each Put is one write to the log,
-// so a completed measurement survives a kill immediately after; a key
-// written twice is superseded in place and compacted on next Open.
+// Put stores the measurement under key. Each Put is one write to the
+// engine's WAL, so a completed measurement survives a kill immediately
+// after. On a read-only handle Put only populates the in-memory front —
+// the result stays served hot locally while the owning writer remains the
+// sole mutator of the directory.
 func (s *Store) Put(key string, m dse.Measurement) error {
-	line, err := json.Marshal(entry{K: key, M: m})
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
+	if !s.readOnly {
+		raw, err := json.Marshal(m)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := s.db.Put(key, raw); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
 	}
-	line = append(line, '\n')
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, err := s.w.Write(line); err != nil {
-		return fmt.Errorf("store: append: %w", err)
-	}
-	s.idx[key] = rec{off: s.end, n: int64(len(line))}
-	s.end += int64(len(line))
 	s.lru.add(key, m)
+	s.mu.Unlock()
 	return nil
 }
 
 // Len returns the number of distinct keys stored.
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.idx)
+	return s.db.Len() + s.jsonlOnly
 }
 
-// Close releases the log handles and the directory lock.
-func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.w == nil {
+// Flush forces buffered writes into a published segment so read-only
+// handles in other processes can see them; the engine also flushes on its
+// own as the memtable fills.
+func (s *Store) Flush() error {
+	if s.readOnly {
 		return nil
 	}
-	err := s.w.Close()
-	if cerr := s.r.Close(); err == nil {
-		err = cerr
+	return s.db.Flush()
+}
+
+// Drain flushes buffered writes and waits for the engine's background
+// maintenance (flushes, compactions) to go idle. Benchmarks quiesce the
+// store with it before measuring.
+func (s *Store) Drain() error {
+	if s.readOnly {
+		return nil
 	}
-	if cerr := s.lock.Close(); err == nil {
-		err = cerr
-	}
-	s.w = nil
-	return err
+	return s.db.Drain()
+}
+
+// ReadOnly reports whether this handle was opened read-only.
+func (s *Store) ReadOnly() bool { return s.readOnly }
+
+// EngineStats returns a snapshot of the LSM engine's counters.
+func (s *Store) EngineStats() lsm.Stats {
+	return s.db.Stats()
+}
+
+// Close releases the engine (flushing buffered writes on a writer handle)
+// and, for writers, the directory lock.
+func (s *Store) Close() error {
+	return s.db.Close()
 }
 
 // lruCache is a minimal LRU of measurements keyed by content address.

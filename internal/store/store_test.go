@@ -1,6 +1,8 @@
 package store
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -166,7 +168,7 @@ func TestLRUEvictionFallsBackToDisk(t *testing.T) {
 	}
 }
 
-func TestCompactionDropsSupersededRecords(t *testing.T) {
+func TestSupersededRecordsLastWriteWins(t *testing.T) {
 	dir := t.TempDir()
 	st, err := Open(dir, Options{})
 	if err != nil {
@@ -184,19 +186,13 @@ func TestCompactionDropsSupersededRecords(t *testing.T) {
 	}
 	st.Close()
 
-	log := filepath.Join(dir, LogName)
-	before, _ := os.ReadFile(log)
 	st2, err := Open(dir, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer st2.Close()
-	after, _ := os.ReadFile(log)
-	if len(after) >= len(before) {
-		t.Fatalf("compaction did not shrink the log: %d -> %d bytes", len(before), len(after))
-	}
 	if st2.Len() != 2 {
-		t.Fatalf("after compaction Len = %d, want 2", st2.Len())
+		t.Fatalf("Len = %d, want 2 (superseded records must not count)", st2.Len())
 	}
 	got, ok := st2.Get(k)
 	if !ok || got.TimeNs != 2 {
@@ -204,15 +200,24 @@ func TestCompactionDropsSupersededRecords(t *testing.T) {
 	}
 }
 
-func TestOpenIsExclusivePerProcess(t *testing.T) {
+func TestOpenIsExclusivePerProcessForWriters(t *testing.T) {
 	dir := t.TempDir()
 	st, err := Open(dir, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(dir, Options{}); err == nil {
-		t.Fatal("second Open of a held store directory succeeded")
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrStoreBusy) {
+		t.Fatalf("second writer Open error = %v, want ErrStoreBusy", err)
 	}
+	// Readers are never refused — that is the multi-process contract.
+	ro, err := Open(dir, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatalf("read-only Open refused while writer live: %v", err)
+	}
+	if !ro.ReadOnly() {
+		t.Fatal("ReadOnly() = false on a read-only handle")
+	}
+	ro.Close()
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -223,41 +228,201 @@ func TestOpenIsExclusivePerProcess(t *testing.T) {
 	st2.Close()
 }
 
-func TestTruncatedTrailingRecordIsDropped(t *testing.T) {
+// TestWriterAndReaderShareDirectory exercises the store-level multi-process
+// contract: a second, read-only handle on the same directory — what a warm
+// musa-serve replica holds while a sweep writes — serves measurements the
+// writer publishes, without a lock.
+func TestWriterAndReaderShareDirectory(t *testing.T) {
 	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	m := testMeasurement("lulesh", 2.0, 11)
+	k := testKey(m.App, 2.0)
+	if err := w.Put(k, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got, ok := r.Get(k); !ok || !reflect.DeepEqual(got, m) {
+		t.Fatalf("reader misses the writer's flushed measurement: ok=%v", ok)
+	}
+
+	// The writer publishes more after the reader opened.
+	m2 := testMeasurement("hydro", 2.5, 22)
+	k2 := testKey(m2.App, 2.5)
+	if err := w.Put(k2, m2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := r.Get(k2); !ok || !reflect.DeepEqual(got, m2) {
+		t.Fatalf("reader did not follow the writer's new segment: ok=%v", ok)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("reader Len = %d, want 2", r.Len())
+	}
+
+	// A read-only Put keeps the result hot locally but never touches disk.
+	m3 := testMeasurement("spmz", 3.0, 33)
+	k3 := testKey(m3.App, 3.0)
+	if err := r.Put(k3, m3); err != nil {
+		t.Fatalf("read-only Put must be a memory-front put, got %v", err)
+	}
+	if got, ok := r.Get(k3); !ok || !reflect.DeepEqual(got, m3) {
+		t.Fatal("read-only Put did not populate the front")
+	}
+	if w.Has(k3) {
+		t.Fatal("read-only Put leaked into the shared directory")
+	}
+}
+
+// legacyLine encodes one record the way the pre-engine JSONL store did.
+func legacyLine(t *testing.T, k string, m dse.Measurement) []byte {
+	t.Helper()
+	raw, err := json.Marshal(struct {
+		K string          `json:"k"`
+		M dse.Measurement `json:"m"`
+	}{k, m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(raw, '\n')
+}
+
+// writeLegacyStore lays down a schema-v3 JSONL store directory as the
+// previous release would have left it.
+func writeLegacyStore(t *testing.T, dir string, lines ...[]byte) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, schemaName),
+		[]byte(fmt.Sprintf("%d\n", SchemaVersion)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	for _, l := range lines {
+		buf = append(buf, l...)
+	}
+	if err := os.WriteFile(filepath.Join(dir, LogName), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMigrationFoldsJSONLIntoEngine(t *testing.T) {
+	dir := t.TempDir()
+	mOld := testMeasurement("btmz", 2.0, 1)
+	mNew := testMeasurement("btmz", 2.0, 2)
+	mKeep := testMeasurement("spec3d", 2.5, 42)
+	k := testKey("btmz", 2.0)
+	kKeep := testKey("spec3d", 2.5)
+	writeLegacyStore(t, dir,
+		legacyLine(t, k, mOld),
+		legacyLine(t, kKeep, mKeep),
+		legacyLine(t, k, mNew),                    // supersedes mOld
+		[]byte(`{"k":"deadbeef","m":{"App":"tru`), // kill mid-append: dropped
+	)
+
 	st, err := Open(dir, Options{})
 	if err != nil {
+		t.Fatalf("open of a legacy JSONL store failed: %v", err)
+	}
+	if st.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 after migration", st.Len())
+	}
+	if got, ok := st.Get(k); !ok || got.TimeNs != 2 {
+		t.Fatalf("migrated last-write lost: ok=%v TimeNs=%v", ok, got.TimeNs)
+	}
+	if got, ok := st.Get(kKeep); !ok || !reflect.DeepEqual(got, mKeep) {
+		t.Fatalf("migrated measurement mismatch: ok=%v", ok)
+	}
+	if _, err := os.Stat(filepath.Join(dir, LogName)); !os.IsNotExist(err) {
+		t.Fatal("legacy log still in place after migration")
+	}
+	if _, err := os.Stat(filepath.Join(dir, LogName+migratedSuffix)); err != nil {
+		t.Fatalf("migrated log not preserved: %v", err)
+	}
+	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
-	k := testKey("spec3d", 2.0)
-	if err := st.Put(k, testMeasurement("spec3d", 2.0, 42)); err != nil {
-		t.Fatal(err)
-	}
-	st.Close()
 
-	// Simulate a kill mid-append: a partial record with no newline.
-	log := filepath.Join(dir, LogName)
-	f, err := os.OpenFile(log, os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		t.Fatal(err)
-	}
-	f.WriteString(`{"k":"deadbeef","m":{"App":"tru`)
-	f.Close()
-
+	// Reopen: migration must not re-run (the renamed log is inert) and the
+	// engine alone serves everything.
 	st2, err := Open(dir, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer st2.Close()
-	if st2.Len() != 1 {
-		t.Fatalf("after truncated tail Len = %d, want 1", st2.Len())
+	if st2.Len() != 2 {
+		t.Fatalf("Len after reopen = %d, want 2", st2.Len())
 	}
-	if got, ok := st2.Get(k); !ok || got.TimeNs != 42 {
-		t.Fatalf("intact record lost after recovery: ok=%v got=%+v", ok, got)
+	if got, ok := st2.Get(kKeep); !ok || !reflect.DeepEqual(got, mKeep) {
+		t.Fatal("measurement lost after post-migration reopen")
 	}
-	// The compacted log must no longer carry the partial record.
-	b, _ := os.ReadFile(log)
-	if n := len(b); b[n-1] != '\n' {
-		t.Fatal("compacted log does not end in a newline")
+}
+
+// TestMigrationPreservesMeasurementBytes pins the byte-identity contract:
+// the engine must store exactly the measurement bytes the JSONL log held,
+// not a re-marshalled form.
+func TestMigrationPreservesMeasurementBytes(t *testing.T) {
+	dir := t.TempDir()
+	m := testMeasurement("lulesh", 2.0, 123)
+	k := testKey("lulesh", 2.0)
+	line := legacyLine(t, k, m)
+	var rec struct {
+		M json.RawMessage `json:"m"`
+	}
+	if err := json.Unmarshal(line, &rec); err != nil {
+		t.Fatal(err)
+	}
+	writeLegacyStore(t, dir, line)
+
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	got, ok := st.db.Get(k)
+	if !ok {
+		t.Fatal("migrated key missing from engine")
+	}
+	if string(got) != string(rec.M) {
+		t.Fatalf("measurement bytes changed in migration:\n  was %s\n  now %s", rec.M, got)
+	}
+}
+
+// TestReadOnlyOpenOfUnmigratedStore covers the transition window: a reader
+// cannot migrate (it cannot write), so it serves the legacy log as a frozen
+// read view instead.
+func TestReadOnlyOpenOfUnmigratedStore(t *testing.T) {
+	dir := t.TempDir()
+	m := testMeasurement("hydro", 2.0, 7)
+	k := testKey("hydro", 2.0)
+	writeLegacyStore(t, dir, legacyLine(t, k, m))
+
+	ro, err := Open(dir, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	if got, ok := ro.Get(k); !ok || !reflect.DeepEqual(got, m) {
+		t.Fatalf("read-only handle misses legacy record: ok=%v", ok)
+	}
+	if !ro.Has(k) {
+		t.Fatal("Has misses legacy record")
+	}
+	if ro.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", ro.Len())
+	}
+	if _, err := os.Stat(filepath.Join(dir, LogName)); err != nil {
+		t.Fatal("read-only open must not migrate the log")
 	}
 }
