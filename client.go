@@ -30,6 +30,13 @@ type ClientOptions struct {
 	CacheDir string
 	// LRUEntries bounds the store's in-memory front (0 = store default).
 	LRUEntries int
+	// StoreMemtableBytes overrides the result store's memtable flush
+	// threshold (0 = engine default). With StoreBlockCacheBytes it is the
+	// memory-budget knob of a replica sharing a machine with siblings.
+	StoreMemtableBytes int
+	// StoreBlockCacheBytes overrides the result store's inflated-block
+	// cache bound (0 = engine default, <0 disables the cache).
+	StoreBlockCacheBytes int64
 	// StoreReadOnly opens the result store read-only: no writer lock is
 	// taken, so the handle shares the directory with a live writer in
 	// another process and follows the segments it publishes. Freshly
@@ -72,6 +79,16 @@ type ClientOptions struct {
 	// per shard wins and the merged dataset still holds exactly one
 	// measurement per point.
 	HedgeAfter time.Duration
+	// Ring, when set, is the serve tier's replica membership. A coordinator
+	// with Workers dispatches each shard to the ring owner of its
+	// annotation-group key (instead of any free worker), so identical sweeps
+	// from many coordinators coalesce on the same replicas; on any client
+	// holding an artifact cache, a cache miss is retried against the peer
+	// that owns the artifact key before the artifact is rebuilt, and a
+	// replica (NewRing with a non-empty self) replicates freshly built
+	// artifacts to their owners. serve handlers additionally use the ring
+	// for /simulate ownership routing.
+	Ring *Ring
 
 	// SampleInstrs / WarmupInstrs / Seed are applied to experiments that
 	// leave the corresponding field zero.
@@ -109,6 +126,18 @@ type ClientStats struct {
 	// ArtifactsPushed counts artifacts this coordinator shipped to fleet
 	// workers ahead of shard dispatch.
 	ArtifactsPushed int64
+	// ShardRetries counts 429-shed shard dispatches retried against a
+	// worker (after honoring its Retry-After) before any local fallback.
+	ShardRetries int64
+	// PeerArtifactsFetched counts artifacts pulled from ring peers on a
+	// local cache miss instead of being recomputed.
+	PeerArtifactsFetched int64
+	// PeerArtifactMisses counts local artifact misses no ring peer could
+	// serve either (the artifact was then rebuilt locally).
+	PeerArtifactMisses int64
+	// PeerArtifactsReplicated counts freshly built artifacts this replica
+	// pushed to their ring owners.
+	PeerArtifactsReplicated int64
 }
 
 // Measurement re-exports the sweep measurement: one (application,
@@ -189,7 +218,9 @@ type Client struct {
 	compHist atomic.Pointer[obs.Histogram]
 
 	requests, storeHits, storeMisses, coalesced, simulated atomic.Int64
-	remote, redispatched, artifactsPushed                  atomic.Int64
+	remote, redispatched, artifactsPushed, shardRetries    atomic.Int64
+	peerArtifactsFetched, peerArtifactMisses               atomic.Int64
+	peerArtifactsReplicated                                atomic.Int64
 }
 
 // NewClient validates the options, opens the result store when CacheDir is
@@ -233,8 +264,10 @@ func NewClient(opts ClientOptions) (*Client, error) {
 	}
 	if opts.CacheDir != "" {
 		st, err := store.Open(opts.CacheDir, store.Options{
-			LRUEntries: opts.LRUEntries,
-			ReadOnly:   opts.StoreReadOnly,
+			LRUEntries:      opts.LRUEntries,
+			ReadOnly:        opts.StoreReadOnly,
+			MemtableBytes:   opts.StoreMemtableBytes,
+			BlockCacheBytes: opts.StoreBlockCacheBytes,
 			OnCompaction: func(seconds float64) {
 				if h := c.compHist.Load(); h != nil {
 					h.Observe(seconds)
@@ -283,6 +316,11 @@ func (c *Client) Stats() ClientStats {
 		Remote:          c.remote.Load(),
 		Redispatched:    c.redispatched.Load(),
 		ArtifactsPushed: c.artifactsPushed.Load(),
+
+		ShardRetries:            c.shardRetries.Load(),
+		PeerArtifactsFetched:    c.peerArtifactsFetched.Load(),
+		PeerArtifactMisses:      c.peerArtifactMisses.Load(),
+		PeerArtifactsReplicated: c.peerArtifactsReplicated.Load(),
 	}
 }
 
@@ -317,11 +355,36 @@ func (c *Client) StoreReadOnly() bool {
 	return c.st != nil && c.st.ReadOnly()
 }
 
+// StoreConfig returns the result store's effective engine sizing — the
+// memtable flush threshold and the inflated-block cache bound, with the
+// engine defaults resolved — so /stats reports what a replica is actually
+// configured with, not just what the flags said.
+func (c *Client) StoreConfig() (memtableBytes int64, blockCacheBytes int64) {
+	memtableBytes = int64(c.opts.StoreMemtableBytes)
+	if memtableBytes <= 0 {
+		memtableBytes = lsm.DefaultMemtableBytes
+	}
+	blockCacheBytes = c.opts.StoreBlockCacheBytes
+	if blockCacheBytes == 0 {
+		blockCacheBytes = lsm.DefaultBlockCacheBytes
+	}
+	if blockCacheBytes < 0 {
+		blockCacheBytes = 0 // disabled
+	}
+	return memtableBytes, blockCacheBytes
+}
+
 // artifacts returns the client's artifact provider for dse.Options without
-// producing a typed-nil interface when the cache is disabled.
+// producing a typed-nil interface when the cache is disabled. With a ring
+// configured the cache is wrapped in the peer-fetching provider: a local
+// miss is retried against the artifact key's owner replica before anything
+// is rebuilt, and replica-built artifacts replicate to their owners.
 func (c *Client) artifacts() dse.ArtifactProvider {
 	if c.art == nil {
 		return nil
+	}
+	if c.opts.Ring != nil && c.opts.Ring.Len() > 0 {
+		return ringArtifacts{c: c}
 	}
 	return c.art
 }
@@ -801,6 +864,14 @@ func (c *Client) RegisterMetrics(reg *obs.Registry) {
 		stat(func(s ClientStats) int64 { return s.Redispatched }))
 	reg.CounterFunc("musa_client_artifacts_pushed_total", "Artifacts shipped to fleet workers ahead of shards.",
 		stat(func(s ClientStats) int64 { return s.ArtifactsPushed }))
+	reg.CounterFunc("musa_client_shard_retries_total", "429-shed shard dispatches retried after Retry-After.",
+		stat(func(s ClientStats) int64 { return s.ShardRetries }))
+	reg.CounterFunc("musa_ring_artifact_fetch_total", "Ring peer artifact fetches by outcome.",
+		stat(func(s ClientStats) int64 { return s.PeerArtifactsFetched }), obs.L("result", "hit"))
+	reg.CounterFunc("musa_ring_artifact_fetch_total", "Ring peer artifact fetches by outcome.",
+		stat(func(s ClientStats) int64 { return s.PeerArtifactMisses }), obs.L("result", "miss"))
+	reg.CounterFunc("musa_ring_artifact_replicated_total", "Artifacts replicated to their ring owners.",
+		stat(func(s ClientStats) int64 { return s.PeerArtifactsReplicated }))
 	reg.GaugeFunc("musa_jobs_in_flight", "Simulation jobs currently holding a pool slot.",
 		func() float64 { return float64(c.InFlight()) })
 	reg.GaugeFunc("musa_jobs_max", "Concurrent-job bound of the pool (the /capacity advertisement).",

@@ -59,6 +59,8 @@ func main() {
 	noReplay := flag.Bool("no-replay", false, "disable the cluster-level MPI replay stage")
 	network := flag.String("network", "", "interconnect model: mn4, hdr200 or eth10 (default mn4)")
 	timelineRanks := flag.Int("ranks", 64, "rank count for the -fig 4 timeline")
+	memtableBytes := flag.Int("store-memtable-bytes", 0, "LSM memtable flush threshold in bytes (0 = default)")
+	blockCacheBytes := flag.Int64("store-block-cache-bytes", 0, "LSM block cache size in bytes (0 = default, negative = disabled)")
 	obsDump := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	defer func() {
@@ -103,11 +105,13 @@ func main() {
 	}
 
 	client, err := musa.NewClient(musa.ClientOptions{
-		CacheDir:      *cacheDir,
-		StoreReadOnly: *readOnly,
-		ArtifactCache: *artifactDir,
-		NoArtifacts:   *noArtifacts,
-		SweepWorkers:  *workers,
+		CacheDir:             *cacheDir,
+		StoreReadOnly:        *readOnly,
+		StoreMemtableBytes:   *memtableBytes,
+		StoreBlockCacheBytes: *blockCacheBytes,
+		ArtifactCache:        *artifactDir,
+		NoArtifacts:          *noArtifacts,
+		SweepWorkers:         *workers,
 	})
 	if err != nil {
 		if errors.Is(err, musa.ErrStoreBusy) {

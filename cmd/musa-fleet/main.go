@@ -16,6 +16,10 @@
 //	# Prove the determinism contract: re-run in process and compare.
 //	musa-fleet -demo 2 -apps btmz -points 0-31 -sample 20000 -verify
 //
+//	# Ring mode: each shard goes to the worker owning its artifact key, so
+//	# a replica tier's caches, /simulate traffic and shards all converge.
+//	musa-fleet -demo 3 -ring -apps btmz -points 0-31 -sample 20000 -verify
+//
 // With -cache-dir, every merged measurement is checkpointed into the
 // coordinator's content-addressed store under the same node keys the
 // in-process runner writes, so musa-dse, musa-serve and repeated fleet
@@ -61,6 +65,9 @@ func main() {
 	artifactDir := flag.String("artifact-dir", "", "coordinator artifact cache directory (empty = <cache-dir>/artifacts, or in-memory)")
 	shardTimeout := flag.Duration("shard-timeout", 0, "per-shard request bound (0 = 10m, negative = unbounded)")
 	hedgeAfter := flag.Duration("hedge-after", 0, "hedge still-running shards onto the local pool after this long (0 = off)")
+	ringFlag := flag.Bool("ring", false, "dispatch each shard to the worker owning its artifact key (rendezvous ring over -workers; -demo workers form the same ring)")
+	memtableBytes := flag.Int("store-memtable-bytes", 0, "coordinator LSM memtable flush threshold in bytes (0 = default)")
+	blockCacheBytes := flag.Int64("store-block-cache-bytes", 0, "coordinator LSM block cache size in bytes (0 = default, negative = disabled)")
 	verify := flag.Bool("verify", false, "re-run the sweep in process and require byte-identical datasets")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	obsDump := obs.RegisterFlags(flag.CommandLine)
@@ -79,9 +86,7 @@ func main() {
 		if len(workers) > 0 {
 			log.Fatal("give -workers or -demo, not both")
 		}
-		for i := 0; i < *demo; i++ {
-			workers = append(workers, spawnDemoWorker(i))
-		}
+		workers = spawnDemoWorkers(*demo, *ringFlag)
 	}
 	if len(workers) == 0 {
 		log.Fatal("no workers: pass -workers URLS or -demo N")
@@ -105,13 +110,23 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// With -ring the coordinator routes each shard to the worker the
+	// rendezvous ring ranks highest for its annotation key (self stays empty:
+	// the coordinator dispatches into the ring without being a member).
+	var rg *musa.Ring
+	if *ringFlag {
+		rg = musa.NewRing("", workers)
+	}
 	coord, err := musa.NewClient(musa.ClientOptions{
-		CacheDir:      *cacheDir,
-		StoreReadOnly: *readOnly,
-		ArtifactCache: *artifactDir,
-		Workers:       workers,
-		ShardTimeout:  *shardTimeout,
-		HedgeAfter:    *hedgeAfter,
+		CacheDir:             *cacheDir,
+		StoreReadOnly:        *readOnly,
+		StoreMemtableBytes:   *memtableBytes,
+		StoreBlockCacheBytes: *blockCacheBytes,
+		ArtifactCache:        *artifactDir,
+		Workers:              workers,
+		ShardTimeout:         *shardTimeout,
+		HedgeAfter:           *hedgeAfter,
+		Ring:                 rg,
 	})
 	if err != nil {
 		if errors.Is(err, musa.ErrStoreBusy) {
@@ -165,27 +180,40 @@ func main() {
 	}
 }
 
-// spawnDemoWorker starts one in-process musa-serve worker on a loopback
-// ephemeral port — the same handler stack the real binary serves — and
-// returns its base URL.
-func spawnDemoWorker(i int) string {
-	c, err := musa.NewClient(musa.ClientOptions{MaxJobs: 2})
-	if err != nil {
-		log.Fatal(err)
-	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
-	}
-	srv := &http.Server{Handler: serve.NewHandler(serve.New(c))}
-	go func() {
-		if err := srv.Serve(ln); err != http.ErrServerClosed {
-			log.Printf("demo worker %d: %v", i, err)
+// spawnDemoWorkers starts n in-process musa-serve workers on loopback
+// ephemeral ports — the same handler stack the real binary serves — and
+// returns their base URLs. The listeners all bind before any worker is
+// built, so with ring enabled every worker knows the full membership
+// (including itself) from the start.
+func spawnDemoWorkers(n int, ringMode bool) []string {
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
 		}
-	}()
-	url := "http://" + ln.Addr().String()
-	log.Printf("demo worker %d listening on %s", i, url)
-	return url
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	for i, ln := range lns {
+		var rg *musa.Ring
+		if ringMode {
+			rg = musa.NewRing(urls[i], urls)
+		}
+		c, err := musa.NewClient(musa.ClientOptions{MaxJobs: 2, Ring: rg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv := &http.Server{Handler: serve.NewHandler(serve.New(c))}
+		go func() {
+			if err := srv.Serve(ln); err != http.ErrServerClosed {
+				log.Printf("demo worker %d: %v", i, err)
+			}
+		}()
+		log.Printf("demo worker %d listening on %s", i, urls[i])
+	}
+	return urls
 }
 
 // parsePoints parses a comma-separated list of grid indices and inclusive

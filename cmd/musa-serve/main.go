@@ -25,6 +25,9 @@
 //	GET  /figures/{n}  JSON data for figure n (1, 4-11)
 //	GET  /figures/4    rank timeline: ?app=lulesh&ranks=64&network=mn4
 //	GET  /stats        client counters, store size, artifact-cache counters
+//	GET  /healthz      replica health: ok / draining / overloaded (non-ok is 503)
+//	GET  /membership   the replica ring (with -self/-peers)
+//	PUT  /membership   replace the ring membership at runtime
 //	GET  /metrics      Prometheus text metrics (HTTP, client, store, stages)
 //	GET  /debug/trace  recorded spans (NDJSON; ?format=chrome for tracing UIs)
 //	GET  /debug/pprof/ runtime profiles (only with -pprof)
@@ -42,6 +45,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -69,6 +73,13 @@ func main() {
 	network := flag.String("network", "", "interconnect model: mn4, hdr200 or eth10 (default mn4)")
 	pprofFlag := flag.Bool("pprof", false, "expose runtime profiles under GET /debug/pprof/")
 	accessLog := flag.Bool("access-log", false, "log one line per completed HTTP request")
+	self := flag.String("self", "", "this replica's advertised base URL (enables ring routing, e.g. http://host:8080)")
+	peers := flag.String("peers", "", "comma-separated replica base URLs forming the ring (including -self)")
+	ringRedirect := flag.Bool("ring-redirect", false, "307-redirect non-owned /simulate requests instead of proxying")
+	admit := flag.Int("admit", 0, "max concurrently admitted heavy requests (0 = 4x max-jobs, negative = unlimited)")
+	admitQueue := flag.Int("admit-queue", 64, "max heavy requests waiting for admission before shedding with 429")
+	memtableBytes := flag.Int("store-memtable-bytes", 0, "LSM memtable flush threshold in bytes (0 = default)")
+	blockCacheBytes := flag.Int64("store-block-cache-bytes", 0, "LSM block cache size in bytes (0 = default, negative = disabled)")
 	flag.Parse()
 
 	// The replay flags share one parser with musa-dse: SetReplayFlags on a
@@ -78,20 +89,35 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// A ring makes this replica one of several equivalent front doors: it
+	// proxies /simulate requests it does not own to their owner and pulls
+	// missing artifacts from peers before recomputing. The key-derivation
+	// contract requires identical default flags on every replica.
+	var rg *musa.Ring
+	if *peers != "" {
+		if *self == "" {
+			log.Fatal("-peers requires -self (this replica's own URL in the ring)")
+		}
+		rg = musa.NewRing(*self, splitList(*peers))
+	}
+
 	client, err := musa.NewClient(musa.ClientOptions{
-		CacheDir:      *cacheDir,
-		StoreReadOnly: *readOnly,
-		ArtifactCache: *artifactDir,
-		NoArtifacts:   *noArtifacts,
-		LRUEntries:    *lru,
-		SweepWorkers:  *workers,
-		MaxJobs:       *maxJobs,
-		SampleInstrs:  *sample,
-		WarmupInstrs:  *warmup,
-		Seed:          *seed,
-		ReplayRanks:   defaults.ReplayRanks,
-		NoReplay:      defaults.NoReplay,
-		Network:       defaults.Network,
+		CacheDir:             *cacheDir,
+		StoreReadOnly:        *readOnly,
+		StoreMemtableBytes:   *memtableBytes,
+		StoreBlockCacheBytes: *blockCacheBytes,
+		ArtifactCache:        *artifactDir,
+		NoArtifacts:          *noArtifacts,
+		LRUEntries:           *lru,
+		SweepWorkers:         *workers,
+		MaxJobs:              *maxJobs,
+		SampleInstrs:         *sample,
+		WarmupInstrs:         *warmup,
+		Seed:                 *seed,
+		ReplayRanks:          defaults.ReplayRanks,
+		NoReplay:             defaults.NoReplay,
+		Network:              defaults.Network,
+		Ring:                 rg,
 	})
 	if err != nil {
 		if errors.Is(err, musa.ErrStoreBusy) {
@@ -117,7 +143,25 @@ func main() {
 	if *accessLog {
 		handlerOpts = append(handlerOpts, serve.WithAccessLog(log.New(os.Stderr, "access: ", 0)))
 	}
-	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(serve.New(client), handlerOpts...)}
+	// Admission control defaults on for the binary (the serve library leaves
+	// it off): a replica taking public traffic must shed overload with 429 +
+	// Retry-After rather than queue unboundedly.
+	limit := *admit
+	if limit == 0 {
+		limit = 4 * client.MaxJobs()
+	}
+	if limit > 0 {
+		handlerOpts = append(handlerOpts, serve.WithAdmission(limit, *admitQueue))
+		log.Printf("admission: %d concurrent, %d queued, then 429", limit, *admitQueue)
+	}
+	if *ringRedirect {
+		handlerOpts = append(handlerOpts, serve.WithRingRedirect())
+	}
+	if rg != nil {
+		log.Printf("ring: self=%s members=%d", rg.Self(), rg.Len())
+	}
+	svc := serve.New(client)
+	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(svc, handlerOpts...)}
 
 	// Graceful shutdown: stop accepting, drain in-flight requests (sweeps
 	// checkpoint through the store, so killing them loses nothing beyond
@@ -127,7 +171,11 @@ func main() {
 	done := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
-		log.Print("shutting down")
+		// Draining first: /healthz flips to 503 so routers stop sending
+		// work and new heavy requests shed, while Shutdown lets in-flight
+		// NDJSON streams run to completion.
+		svc.StartDraining()
+		log.Print("draining, then shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		done <- srv.Shutdown(shutdownCtx)
@@ -144,4 +192,15 @@ func main() {
 		log.Printf("store close: %v", err)
 	}
 	log.Printf("store %s: %d measurements", *cacheDir, client.StoreLen())
+}
+
+// splitList parses a comma-separated flag value, dropping empty elements.
+func splitList(v string) []string {
+	var out []string
+	for _, s := range strings.Split(v, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
 }

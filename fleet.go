@@ -50,7 +50,34 @@ const (
 	// maxWorkerSlots clamps an advertised /capacity so a misconfigured
 	// worker cannot make the coordinator open hundreds of connections.
 	maxWorkerSlots = 16
+	// maxRetryAfterWait caps how long a dispatch slot honors a worker's
+	// Retry-After hint before giving the shard to the local pool instead: a
+	// worker advertising a multi-minute backoff is effectively down for this
+	// shard.
+	maxRetryAfterWait = 30 * time.Second
 )
+
+// retryAfterError reports a worker shedding load with 429 + Retry-After.
+// Unlike a transport failure or a 5xx, this is the worker explicitly asking
+// to be retried — the dispatch loop honors the hint with one bounded wait
+// before falling back to the local pool.
+type retryAfterError struct {
+	base  string
+	after time.Duration
+}
+
+func (e *retryAfterError) Error() string {
+	return fmt.Sprintf("musa: %s/shard: 429 Too Many Requests (retry after %s)", e.base, e.after)
+}
+
+// parseRetryAfter reads a Retry-After header as delay seconds; malformed or
+// absent values fall back to one second.
+func parseRetryAfter(v string) time.Duration {
+	if n, err := strconv.Atoi(strings.TrimSpace(v)); err == nil && n >= 0 {
+		return time.Duration(n) * time.Second
+	}
+	return time.Second
+}
 
 // fleet is the validated remote-worker configuration of a Client.
 type fleet struct {
@@ -140,6 +167,10 @@ func (f *fleet) postShard(ctx context.Context, base string, e Experiment) ([]Mea
 		return nil, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+		return nil, &retryAfterError{base: base, after: parseRetryAfter(resp.Header.Get("Retry-After"))}
+	}
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
 		return nil, fmt.Errorf("musa: %s/shard: %s: %s", base, resp.Status, strings.TrimSpace(string(msg)))
@@ -170,6 +201,31 @@ type shardJob struct {
 	redone atomic.Bool
 }
 
+// shardQueue is a mutex-guarded FIFO of planned shards. Ring-mode dispatch
+// pins one queue per worker at plan time; idle workers (and, past the hedge
+// delay, the local pool) steal from the others.
+type shardQueue struct {
+	mu    sync.Mutex
+	items []*shardJob
+}
+
+func (q *shardQueue) push(j *shardJob) {
+	q.mu.Lock()
+	q.items = append(q.items, j)
+	q.mu.Unlock()
+}
+
+func (q *shardQueue) pop() *shardJob {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return nil
+	}
+	j := q.items[0]
+	q.items = q.items[1:]
+	return j
+}
+
 // planShards groups each application's remaining grid indices into
 // per-annotation-group shards (dse.AnnGroup — the grouping under which
 // dse.Run shares one annotation pass, so dispatching a whole group keeps a
@@ -181,7 +237,12 @@ type shardJob struct {
 // the same worker reuse its freshest artifacts. keyOf maps a unit onto its
 // store key; the shard keeps the label->key map both to warm the
 // coordinator store and to validate a worker's reply.
-func planShards(appNames []string, remaining map[string][]int, keyOf func(app string, i int) string) []*shardJob {
+//
+// With a replica ring configured, ownerOf (nil otherwise) maps a shard onto
+// the replica owning its annotation key and the plan orders by owner first:
+// ring locality subsumes artifact locality, because the owner is where the
+// annotation either already lives or will be replicated to.
+func planShards(appNames []string, remaining map[string][]int, keyOf func(app string, i int) string, ownerOf func(*shardJob) string) []*shardJob {
 	grid := tableIGrid()
 	var out []*shardJob
 	for _, app := range appNames {
@@ -200,6 +261,11 @@ func planShards(appNames []string, remaining map[string][]int, keyOf func(app st
 	}
 	sort.SliceStable(out, func(a, b int) bool {
 		ja, jb := out[a], out[b]
+		if ownerOf != nil {
+			if oa, ob := ownerOf(ja), ownerOf(jb); oa != ob {
+				return oa < ob
+			}
+		}
 		if ja.app != jb.app {
 			return ja.app < jb.app
 		}
@@ -498,7 +564,29 @@ func (c *Client) runSweepFleet(ctx context.Context, ne Experiment, watch Observe
 		record(hits, true, nil)
 	}
 
-	shards := planShards(appNames, remaining, keyOf)
+	// With a ring configured over the worker fleet, shards are planned and
+	// dispatched by ring ownership: the shard for an annotation group lands
+	// on the replica that owns the group's artifact key, so its /simulate
+	// traffic, artifact cache and shard execution all converge there.
+	rg := c.opts.Ring
+	ringMode := rg != nil && rg.Len() > 0 && len(c.fleet.bases) > 0
+	var ownerOf func(*shardJob) string
+	if ringMode {
+		owners := map[*shardJob]string{}
+		ownerOf = func(j *shardJob) string {
+			if o, ok := owners[j]; ok {
+				return o
+			}
+			o := ""
+			if keys := shardArtifactKeys(ne, j); len(keys) > 0 {
+				o = rg.Owner(keys[0])
+			}
+			owners[j] = o
+			return o
+		}
+	}
+
+	shards := planShards(appNames, remaining, keyOf, ownerOf)
 	planSpan.SetAttr("shards", fmt.Sprint(len(shards)))
 	planSpan.End()
 	if len(shards) > 0 {
@@ -508,10 +596,6 @@ func (c *Client) runSweepFleet(ctx context.Context, ne Experiment, watch Observe
 		defer cancelDispatch()
 
 		jobs := make(chan *shardJob, len(shards))
-		for _, j := range shards {
-			jobs <- j
-		}
-		close(jobs)
 		redo := make(chan *shardJob, len(shards))
 		// pushed dedupes artifact uploads per (worker, key) for this run.
 		var pushed sync.Map
@@ -570,12 +654,143 @@ func (c *Client) runSweepFleet(ctx context.Context, ne Experiment, watch Observe
 			totalSlots += n
 		}
 
+		// Hand out the shards. Without a ring every worker slot competes for
+		// the one shared queue; with a ring each shard is pinned at plan time
+		// to the reachable worker ranked highest for its annotation key, so
+		// the whole tier executes a group where its artifacts live. Shards
+		// whose ring order names no reachable worker spill to any worker with
+		// slots; with no reachable worker at all everything goes through the
+		// shared queue to the local pool.
+		queues := make([]*shardQueue, len(c.fleet.bases))
+		for i := range queues {
+			queues[i] = &shardQueue{}
+		}
+		if ringMode && totalSlots > 0 {
+			baseIndex := make(map[string]int, len(c.fleet.bases))
+			for i, b := range c.fleet.bases {
+				baseIndex[b] = i
+			}
+			assign := func(j *shardJob) int {
+				if keys := shardArtifactKeys(ne, j); len(keys) > 0 {
+					for _, m := range rg.Order(keys[0]) {
+						if i, ok := baseIndex[m]; ok && slots[i] > 0 {
+							return i
+						}
+					}
+				}
+				for i := range c.fleet.bases {
+					if slots[i] > 0 {
+						return i
+					}
+				}
+				return -1 // unreachable: totalSlots > 0
+			}
+			for _, j := range shards {
+				queues[assign(j)].push(j)
+			}
+		} else {
+			for _, j := range shards {
+				jobs <- j
+			}
+		}
+		close(jobs)
+
+		// dispatchOne runs one shard against one worker: hedge timer, span,
+		// artifact pre-push, the POST, and — when the worker sheds with 429 —
+		// one retry honoring its Retry-After hint before the local fallback.
+		dispatchOne := func(base string, j *shardJob) {
+			// The hedge timer starts before the artifact pushes: a worker
+			// that stalls on PUT bodies must not hold the shard past the
+			// hedge deadline unprotected. It also spans the Retry-After wait,
+			// so an overloaded worker's backoff never delays the sweep beyond
+			// the hedge policy.
+			var hedge *time.Timer
+			if c.fleet.hedgeAfter > 0 {
+				hedge = time.AfterFunc(c.fleet.hedgeAfter, func() { redispatch(j) })
+			}
+			dctx, dspan := obs.StartSpan(dispatchCtx, "fleet.dispatch",
+				obs.A("worker", base), obs.A("app", j.app),
+				obs.AInt("points", len(j.indices)))
+			dispatchStart := time.Now()
+			// Ship the artifacts this shard needs (and the coordinator has)
+			// before dispatching it, so the worker reuses instead of
+			// rebuilding.
+			c.pushShardArtifacts(dctx, base, ne, j, &pushed)
+			ms, err := c.fleet.postShard(dctx, base, shardExperiment(ne, j))
+			var ra *retryAfterError
+			if errors.As(err, &ra) && dispatchCtx.Err() == nil && !j.done.Load() {
+				wait := min(ra.after, maxRetryAfterWait)
+				dspan.SetAttr("retryAfter", wait.String())
+				c.shardRetries.Add(1)
+				select {
+				case <-time.After(wait):
+					ms, err = c.fleet.postShard(dctx, base, shardExperiment(ne, j))
+				case <-dispatchCtx.Done():
+				}
+			}
+			if hedge != nil {
+				hedge.Stop()
+			}
+			if err == nil {
+				err = j.validateShardReply(ms)
+			}
+			if err != nil {
+				dspan.SetAttr("outcome", "error")
+				dspan.End()
+				if dispatchCtx.Err() != nil {
+					return
+				}
+				redispatch(j)
+				return
+			}
+			observeShard("remote", dispatchStart)
+			if complete(j, ms, nil) {
+				dspan.SetAttr("outcome", "won")
+				c.remote.Add(int64(len(ms)))
+			} else {
+				dspan.SetAttr("outcome", "lost")
+			}
+			dspan.End()
+		}
+
 		var wg sync.WaitGroup
 		for i, base := range c.fleet.bases {
 			for s := 0; s < slots[i]; s++ {
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
+					if ringMode {
+						// Owner-pinned dispatch: drain this worker's own
+						// queue (fully populated before the goroutines
+						// start), then steal from overloaded peers' queues —
+						// a stolen shard still resolves its artifacts through
+						// the ring's peer fetch, so stealing costs one
+						// transfer, not a rebuild.
+						next := func() *shardJob {
+							if j := queues[i].pop(); j != nil {
+								return j
+							}
+							for _, q := range queues {
+								if j := q.pop(); j != nil {
+									return j
+								}
+							}
+							return nil
+						}
+						for {
+							if dispatchCtx.Err() != nil {
+								return
+							}
+							j := next()
+							if j == nil {
+								return
+							}
+							if j.done.Load() {
+								continue
+							}
+							dispatchOne(base, j)
+						}
+					}
 					for {
 						select {
 						case <-dispatchCtx.Done():
@@ -584,46 +799,7 @@ func (c *Client) runSweepFleet(ctx context.Context, ne Experiment, watch Observe
 							if !ok {
 								return
 							}
-							// The hedge timer starts before the artifact
-							// pushes: a worker that stalls on PUT bodies must
-							// not hold the shard past the hedge deadline
-							// unprotected.
-							var hedge *time.Timer
-							if c.fleet.hedgeAfter > 0 {
-								hedge = time.AfterFunc(c.fleet.hedgeAfter, func() { redispatch(j) })
-							}
-							dctx, dspan := obs.StartSpan(dispatchCtx, "fleet.dispatch",
-								obs.A("worker", base), obs.A("app", j.app),
-								obs.AInt("points", len(j.indices)))
-							dispatchStart := time.Now()
-							// Ship the artifacts this shard needs (and the
-							// coordinator has) before dispatching it, so the
-							// worker reuses instead of rebuilding.
-							c.pushShardArtifacts(dctx, base, ne, j, &pushed)
-							ms, err := c.fleet.postShard(dctx, base, shardExperiment(ne, j))
-							if hedge != nil {
-								hedge.Stop()
-							}
-							if err == nil {
-								err = j.validateShardReply(ms)
-							}
-							if err != nil {
-								dspan.SetAttr("outcome", "error")
-								dspan.End()
-								if dispatchCtx.Err() != nil {
-									return
-								}
-								redispatch(j)
-								continue
-							}
-							observeShard("remote", dispatchStart)
-							if complete(j, ms, nil) {
-								dspan.SetAttr("outcome", "won")
-								c.remote.Add(int64(len(ms)))
-							} else {
-								dspan.SetAttr("outcome", "lost")
-							}
-							dspan.End()
+							dispatchOne(base, j)
 						}
 					}
 				}()
@@ -648,27 +824,44 @@ func (c *Client) runSweepFleet(ctx context.Context, ne Experiment, watch Observe
 			go func() {
 				defer wg.Done()
 				jobsCh := primary
+				var steal bool
 				var join <-chan time.Time
 				if jobsCh == nil && c.fleet.hedgeAfter > 0 {
 					join = time.After(c.fleet.hedgeAfter)
 				}
 				for {
 					var j *shardJob
-					select {
-					case <-dispatchCtx.Done():
-						return
-					case <-allDone:
-						return
-					case <-join:
-						jobsCh, join = jobs, nil
-						continue
-					case j = <-redo:
-					case j2, ok := <-jobsCh:
-						if !ok {
-							jobsCh = nil // closed: stop selecting it
-							continue
+					// Past the hedge delay in ring mode, the shared jobs
+					// channel is empty; undispatched shards sit in the
+					// per-worker queues, so joining means stealing there.
+					if steal {
+						for _, q := range queues {
+							if j = q.pop(); j != nil {
+								break
+							}
 						}
-						j = j2
+						if j == nil {
+							steal = false // the queues never refill
+						}
+					}
+					if j == nil {
+						select {
+						case <-dispatchCtx.Done():
+							return
+						case <-allDone:
+							return
+						case <-join:
+							jobsCh, join = jobs, nil
+							steal = ringMode
+							continue
+						case j = <-redo:
+						case j2, ok := <-jobsCh:
+							if !ok {
+								jobsCh = nil // closed: stop selecting it
+								continue
+							}
+							j = j2
+						}
 					}
 					if j.done.Load() {
 						continue // lost hedge: the remote reply already won

@@ -205,7 +205,7 @@ func (r *runArtifacts) latencyModel(ctx context.Context, app *apps.Profile, ch i
 	_, span := obs.StartSpan(ctx, "dse.latency-fit",
 		obs.A("app", app.Name), obs.AInt("channels", ch), obs.A("mem", mem.String()))
 	start := time.Now()
-	defer func() { observeStage(StageLatencyFit, start); span.End() }()
+	defer span.End()
 	if r.backing != nil {
 		if m, ok := r.backing.LatencyModel(key); ok {
 			span.SetAttr("source", "cache")
@@ -215,6 +215,7 @@ func (r *runArtifacts) latencyModel(ctx context.Context, app *apps.Profile, ch i
 	}
 	span.SetAttr("source", "built")
 	m := node.BuildLatencyModel(app, dram.Config{Spec: mem.Spec(), Channels: ch}, dram.FRFCFS, r.seed)
+	observeStage(StageLatencyFit, start)
 	r.lat[key] = &m
 	if r.backing != nil {
 		r.backing.PutLatencyModel(key, m)
@@ -235,7 +236,7 @@ func (r *runArtifacts) burst(ctx context.Context, app *apps.Profile, ranks int) 
 	_, span := obs.StartSpan(ctx, "dse.burst-synthesis",
 		obs.A("app", app.Name), obs.AInt("ranks", ranks))
 	start := time.Now()
-	defer func() { observeStage(StageBurstSynthesis, start); span.End() }()
+	defer span.End()
 	if r.backing != nil {
 		if b, ok := r.backing.Burst(key); ok {
 			span.SetAttr("source", "cache")
@@ -245,6 +246,7 @@ func (r *runArtifacts) burst(ctx context.Context, app *apps.Profile, ranks int) 
 	}
 	span.SetAttr("source", "built")
 	b := apps.BurstTrace(app, ranks, r.seed)
+	observeStage(StageBurstSynthesis, start)
 	r.bursts[key] = b
 	if r.backing != nil {
 		r.backing.PutBurst(key, b)
@@ -257,14 +259,17 @@ func (r *runArtifacts) burst(ctx context.Context, app *apps.Profile, ranks int) 
 // annotating a sample is the most expensive artifact, and within a run
 // each group is walked by exactly one worker, so duplicate builds cannot
 // happen. The stage span covers the cache decode or the build, whichever
-// ran.
+// ran; the stage histogram counts only real builds, so its observation
+// count reads as "annotation passes executed" — a cache or ring-peer hit
+// leaves it untouched.
 func (r *runArtifacts) annotation(ctx context.Context, app *apps.Profile, g AnnGroup, build func() node.Annotation) *node.Annotation {
 	_, span := obs.StartSpan(ctx, "dse.annotate", obs.A("app", app.Name))
 	start := time.Now()
-	defer func() { observeStage(StageAnnotate, start); span.End() }()
+	defer span.End()
 	if r.backing == nil {
 		span.SetAttr("source", "built")
 		a := build()
+		observeStage(StageAnnotate, start)
 		return &a
 	}
 	key := AnnotationKey(r.appHash(app), g, r.sample, r.warmup, r.seed)
@@ -274,6 +279,7 @@ func (r *runArtifacts) annotation(ctx context.Context, app *apps.Profile, g AnnG
 	}
 	span.SetAttr("source", "built")
 	a := build()
+	observeStage(StageAnnotate, start)
 	r.backing.PutAnnotation(key, a)
 	return &a
 }

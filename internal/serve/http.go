@@ -31,6 +31,9 @@ import (
 //	                      ahead of shards so workers reuse instead of rebuild)
 //	GET  /figures/{n}  JSON figure data (1, 4-11; 4 is the rank timeline)
 //	GET  /stats        client, store and artifact-cache counters, replay config
+//	GET  /healthz      replica health: ok / draining / overloaded (non-ok is 503)
+//	GET  /membership   the replica ring this instance routes across
+//	PUT  /membership   replace the ring membership at runtime
 //	GET  /metrics      Prometheus text exposition of the process registry
 //	GET  /debug/trace  recorded spans (NDJSON; ?format=chrome for tracing UIs)
 //	GET  /debug/pprof/ runtime profiles (only with WithPprof)
@@ -47,6 +50,14 @@ func NewHandler(svc *Service, opts ...Option) http.Handler {
 	// Bridge the client's own counters (requests, store and artifact cache,
 	// job pool) into the scrape registry.
 	svc.Client().RegisterMetrics(cfg.reg)
+	// Serve-tier state lives on the Service so the signal handler can reach
+	// StartDraining through it.
+	svc.reg = cfg.reg
+	svc.adm = newAdmission(cfg.admitLimit, cfg.admitQueue, cfg.retryAfter)
+	svc.ringRedirect = cfg.ringRedirect
+	cfg.reg.GaugeFunc("musa_serve_health_state",
+		"Replica health (0 ok, 1 overloaded, 2 draining, 3 down).",
+		func() float64 { return float64(svc.healthState()) })
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /apps", func(w http.ResponseWriter, r *http.Request) {
 		var names []string
@@ -80,13 +91,31 @@ func NewHandler(svc *Service, opts ...Option) http.Handler {
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		c := svc.Client()
 		ranks, network, disabled := c.ReplayDefaults()
+		memtable, blockCache := c.StoreConfig()
+		ringInfo := map[string]any{"enabled": false}
+		if rg := c.Ring(); rg != nil {
+			ringInfo = map[string]any{
+				"enabled": true,
+				"self":    rg.Self(),
+				"members": rg.Members(),
+			}
+		}
+		admInfo := map[string]any{"enabled": svc.adm != nil}
+		if svc.adm != nil {
+			admInfo["limit"] = cap(svc.adm.sem)
+			admInfo["queue"] = svc.adm.queueDepth
+		}
 		writeJSON(w, http.StatusOK, map[string]any{
 			"service": c.Stats(),
 			"stored":  c.StoreLen(),
 			"store": map[string]any{
-				"readOnly": c.StoreReadOnly(),
-				"engine":   c.StoreEngineStats(),
+				"readOnly":        c.StoreReadOnly(),
+				"engine":          c.StoreEngineStats(),
+				"memtableBytes":   memtable,
+				"blockCacheBytes": blockCache,
 			},
+			"ring":      ringInfo,
+			"admission": admInfo,
 			"artifacts": map[string]any{
 				"enabled": c.ArtifactsEnabled(),
 				"cache":   c.ArtifactStats(),
@@ -108,9 +137,12 @@ func NewHandler(svc *Service, opts ...Option) http.Handler {
 			"stored":   c.StoreLen(),
 		})
 	})
-	mux.HandleFunc("POST /simulate", svc.handleSimulate)
-	mux.HandleFunc("POST /dse", svc.handleDSE)
-	mux.HandleFunc("POST /shard", svc.handleShard)
+	mux.HandleFunc("POST /simulate", svc.gate("simulate", svc.handleSimulate))
+	mux.HandleFunc("POST /dse", svc.gate("dse", svc.handleDSE))
+	mux.HandleFunc("POST /shard", svc.gate("shard", svc.handleShard))
+	mux.HandleFunc("GET /healthz", svc.handleHealthz)
+	mux.HandleFunc("GET /membership", svc.handleMembershipGet)
+	mux.HandleFunc("PUT /membership", svc.handleMembershipPut)
 	mux.HandleFunc("GET /artifact/{key}", svc.handleArtifactGet)
 	mux.HandleFunc("PUT /artifact/{key}", svc.handleArtifactPut)
 	mux.HandleFunc("GET /figures/{n}", svc.handleFigure)
@@ -128,8 +160,15 @@ func experimentStatus(err error) int {
 }
 
 func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	// The raw body is kept so a non-owner replica can forward it byte for
+	// byte to the ring owner (routeSimulate below).
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
 	var e musa.Experiment
-	if err := json.NewDecoder(r.Body).Decode(&e); err != nil {
+	if err := json.Unmarshal(body, &e); err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -139,6 +178,9 @@ func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	e.Kind = musa.KindNode
+	if s.routeSimulate(w, r, e, body) {
+		return
+	}
 	start := time.Now()
 	res, err := s.c.Run(r.Context(), e)
 	if err != nil {

@@ -20,14 +20,36 @@ import (
 
 // handlerConfig collects the NewHandler options.
 type handlerConfig struct {
-	reg       *obs.Registry
-	rec       *obs.Recorder
-	pprof     bool
-	accessLog *log.Logger
+	reg          *obs.Registry
+	rec          *obs.Recorder
+	pprof        bool
+	accessLog    *log.Logger
+	admitLimit   int
+	admitQueue   int
+	retryAfter   time.Duration
+	ringRedirect bool
 }
 
 // Option configures NewHandler.
 type Option func(*handlerConfig)
+
+// WithAdmission bounds the heavy endpoints (POST /simulate, /dse, /shard):
+// at most limit requests execute concurrently, at most queue more wait,
+// and the rest are shed with 429 + Retry-After. limit <= 0 disables
+// admission control (the library default; cmd/musa-serve enables it).
+func WithAdmission(limit, queue int) Option {
+	return func(c *handlerConfig) { c.admitLimit, c.admitQueue = limit, queue }
+}
+
+// WithRetryAfter sets the Retry-After hint on shed responses (default 1s).
+func WithRetryAfter(d time.Duration) Option {
+	return func(c *handlerConfig) { c.retryAfter = d }
+}
+
+// WithRingRedirect answers non-owned /simulate requests with a 307 to the
+// owner replica instead of proxying server-side. Cheaper for the replica,
+// but requires redirect-following clients.
+func WithRingRedirect() Option { return func(c *handlerConfig) { c.ringRedirect = true } }
 
 // WithPprof exposes the runtime profiler under GET /debug/pprof/. Off by
 // default: profiles reveal memory contents, so the operator opts in

@@ -37,6 +37,16 @@ var (
 	ErrReadOnly = errors.New("lsm: store opened read-only")
 )
 
+// Default sizing applied when Options leaves the corresponding knob zero.
+// Exported so the layers above (store, client, /stats) can report the
+// effective configuration without re-stating the numbers.
+const (
+	// DefaultMemtableBytes is the memtable flush threshold.
+	DefaultMemtableBytes = 4 << 20
+	// DefaultBlockCacheBytes bounds the inflated-block LRU cache.
+	DefaultBlockCacheBytes = 8 << 20
+)
+
 // Options tunes an engine instance.
 type Options struct {
 	// ReadOnly opens the directory without the writer lock: Put fails with
@@ -140,13 +150,13 @@ func Open(dir string, opts Options) (*DB, error) {
 	db := &DB{dir: dir, opts: opts, readOnly: opts.ReadOnly}
 	db.flushCond = sync.NewCond(&db.mu)
 	if opts.MemtableBytes <= 0 {
-		db.opts.MemtableBytes = 4 << 20
+		db.opts.MemtableBytes = DefaultMemtableBytes
 	}
 	if opts.CompactAt <= 0 {
 		db.opts.CompactAt = 4
 	}
 	if opts.BlockCacheBytes == 0 {
-		db.opts.BlockCacheBytes = 8 << 20
+		db.opts.BlockCacheBytes = DefaultBlockCacheBytes
 	}
 	db.bcache = newBlockCache(db.opts.BlockCacheBytes)
 	if db.readOnly {

@@ -99,6 +99,10 @@ type Options struct {
 	// MemtableBytes overrides the engine's memtable flush threshold
 	// (0 = engine default). Tests use tiny values to exercise flushes.
 	MemtableBytes int
+	// BlockCacheBytes overrides the engine's inflated-block cache bound
+	// (0 = engine default, <0 disables) — the knob replicas tune when they
+	// share a machine's memory budget.
+	BlockCacheBytes int64
 	// OnCompaction, if set, observes each background compaction's duration
 	// in seconds (the metrics bridge).
 	OnCompaction func(seconds float64)
@@ -147,8 +151,9 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	db, err := lsm.Open(dir, lsm.Options{
-		MemtableBytes: opts.MemtableBytes,
-		OnCompaction:  opts.OnCompaction,
+		MemtableBytes:   opts.MemtableBytes,
+		BlockCacheBytes: opts.BlockCacheBytes,
+		OnCompaction:    opts.OnCompaction,
 	})
 	if err != nil {
 		if errors.Is(err, lsm.ErrBusy) {
@@ -179,7 +184,10 @@ func openReadOnly(dir string, opts Options) (*Store, error) {
 	if err := checkSchema(dir, true); err != nil {
 		return nil, err
 	}
-	db, err := lsm.Open(dir, lsm.Options{ReadOnly: true})
+	db, err := lsm.Open(dir, lsm.Options{
+		ReadOnly:        true,
+		BlockCacheBytes: opts.BlockCacheBytes,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}

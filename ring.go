@@ -1,0 +1,232 @@
+package musa
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"musa/internal/dram"
+	"musa/internal/node"
+	"musa/internal/ring"
+	"musa/internal/trace"
+)
+
+// This file is the client half of the horizontally scaled serve tier: the
+// replica ring (re-exported from internal/ring), the route-key derivation
+// that maps an experiment onto its owner replica, and the peer-artifact
+// provider that lets any ring participant fetch a missing sweep artifact
+// from the replica that owns its key — and replicate freshly built ones
+// back to the owner — instead of recomputing. The serve layer consults the
+// same ring for /simulate ownership (internal/serve), the fleet scheduler
+// for shard placement (fleet.go), and cmd/musa-router for thin L7 routing,
+// so every front door converges duplicate work on one machine.
+
+// Ring is the rendezvous-hashed replica membership a serve tier shares;
+// see internal/ring for ownership and health semantics.
+type Ring = ring.Ring
+
+// RingState is one member's locally observed health state.
+type RingState = ring.State
+
+// Re-exported ring health states.
+const (
+	RingOk         = ring.Ok
+	RingOverloaded = ring.Overloaded
+	RingDraining   = ring.Draining
+	RingDown       = ring.Down
+)
+
+// NewRing builds a replica ring over the member base URLs. self is this
+// process's own URL when it is itself a replica (musa-serve -self), empty
+// for coordinators and routers that only dispatch into the ring.
+func NewRing(self string, members []string) *Ring { return ring.New(self, members) }
+
+// Ring returns the client's replica ring (nil when the client is not part
+// of, or routing into, a serve tier). The serve handlers read it for
+// /simulate ownership and PUT /membership updates.
+func (c *Client) Ring() *Ring { return c.opts.Ring }
+
+// RouteKey returns the content address under which the experiment is
+// routed across a replica ring — for node experiments the result-store key
+// itself, so a proxied request coalesces with the owner's local
+// single-flight and store; for every other kind the hash of the canonical
+// encoding. The key is derived after the client's defaults are applied,
+// so replicas must run with identical default flags (the same operational
+// contract fleet shard dispatch already relies on).
+func (c *Client) RouteKey(e Experiment) (string, error) {
+	ne, err := c.fill(e).normalize(c.resolveApp)
+	if err != nil {
+		return "", err
+	}
+	if ne.Kind == KindNode {
+		return nodeKey(ne, ne.App, c.customProfile(ne.App), *ne.Arch, nil), nil
+	}
+	b, err := ne.canonicalJSON(c.customProfile(ne.App), nil)
+	if err != nil {
+		return "", err
+	}
+	return hashKey(b), nil
+}
+
+// peerArtifactWindow bounds one peer artifact transfer (either direction).
+const peerArtifactWindow = time.Minute
+
+// ringHTTPClient serves the client's peer artifact traffic; package-level
+// so the idle connection pool is shared across clients in one process
+// (tests boot several replicas).
+var ringHTTPClient = &http.Client{}
+
+// peerFetchArtifact pulls one artifact blob from the replicas that rank
+// highest for its key, validates it and stores it in the local cache.
+// Best effort with a bounded fan-out: the owner and its first fallback are
+// tried, nobody else — a cold ring must degrade to local recompute, not to
+// a full membership sweep per miss.
+func (c *Client) peerFetchArtifact(key string) bool {
+	r := c.opts.Ring
+	if r == nil || c.art == nil {
+		return false
+	}
+	order := r.Order(key)
+	tried := 0
+	for _, peer := range order {
+		if peer == r.Self() || r.StateOf(peer) == ring.Down {
+			continue
+		}
+		if tried++; tried > 2 {
+			break
+		}
+		if c.fetchArtifactFrom(peer, key) {
+			c.peerArtifactsFetched.Add(1)
+			return true
+		}
+	}
+	c.peerArtifactMisses.Add(1)
+	return false
+}
+
+// fetchArtifactFrom GETs one artifact from a peer and stores it locally.
+func (c *Client) fetchArtifactFrom(peer, key string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), peerArtifactWindow)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/artifact/"+key, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := ringHTTPClient.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+		return false
+	}
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerArtifactBytes))
+	if err != nil {
+		return false
+	}
+	// PutBlob validates the envelope (schema version, kind, key match), so
+	// a corrupt or mis-keyed peer reply is dropped here, never decoded into
+	// a sweep.
+	return c.art.PutBlob(key, blob) == nil
+}
+
+// maxPeerArtifactBytes bounds one peer artifact download, mirroring the
+// serve-side PUT bound.
+const maxPeerArtifactBytes = 256 << 20
+
+// replicateArtifact pushes a freshly built artifact to the owner of its
+// key, so the next replica that misses fetches it from where the ring
+// says it lives. Only replicas replicate (self != ""): coordinators
+// already push shard artifacts ahead of dispatch. Asynchronous and best
+// effort — a lost replica push costs one future recompute, nothing else.
+func (c *Client) replicateArtifact(key string) {
+	r := c.opts.Ring
+	if r == nil || c.art == nil || r.Self() == "" {
+		return
+	}
+	owner := r.Owner(key)
+	if owner == "" || owner == r.Self() || r.StateOf(owner) == ring.Down {
+		return
+	}
+	blob, ok := c.art.Blob(key)
+	if !ok {
+		return
+	}
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), peerArtifactWindow)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, owner+"/artifact/"+key, bytes.NewReader(blob))
+		if err != nil {
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := ringHTTPClient.Do(req)
+		if err != nil {
+			return
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+		if resp.StatusCode == http.StatusNoContent || resp.StatusCode == http.StatusOK {
+			c.peerArtifactsReplicated.Add(1)
+		}
+	}()
+}
+
+// ringArtifacts wraps the client's artifact cache as a dse.ArtifactProvider
+// that falls back to the replica ring on a local miss and replicates local
+// builds to their owners: the distributed read-through / write-behind face
+// of the artifact layer. The local cache stays the source of truth for the
+// running sweep; peers only ever supply validated encoded blobs.
+type ringArtifacts struct{ c *Client }
+
+func (p ringArtifacts) Annotation(key string) (node.Annotation, bool) {
+	if a, ok := p.c.art.Annotation(key); ok {
+		return a, true
+	}
+	if p.c.peerFetchArtifact(key) {
+		return p.c.art.Annotation(key)
+	}
+	return node.Annotation{}, false
+}
+
+func (p ringArtifacts) PutAnnotation(key string, a node.Annotation) {
+	p.c.art.PutAnnotation(key, a)
+	p.c.replicateArtifact(key)
+}
+
+func (p ringArtifacts) LatencyModel(key string) (dram.LatencyModel, bool) {
+	if m, ok := p.c.art.LatencyModel(key); ok {
+		return m, true
+	}
+	if p.c.peerFetchArtifact(key) {
+		return p.c.art.LatencyModel(key)
+	}
+	return dram.LatencyModel{}, false
+}
+
+func (p ringArtifacts) PutLatencyModel(key string, m dram.LatencyModel) {
+	p.c.art.PutLatencyModel(key, m)
+	p.c.replicateArtifact(key)
+}
+
+func (p ringArtifacts) Burst(key string) (*trace.Burst, bool) {
+	if b, ok := p.c.art.Burst(key); ok {
+		return b, true
+	}
+	if p.c.peerFetchArtifact(key) {
+		return p.c.art.Burst(key)
+	}
+	return nil, false
+}
+
+func (p ringArtifacts) PutBurst(key string, b *trace.Burst) {
+	p.c.art.PutBurst(key, b)
+	p.c.replicateArtifact(key)
+}
+
+// String keeps error messages readable if a provider ever leaks into one.
+func (p ringArtifacts) String() string { return fmt.Sprintf("ringArtifacts(%s)", p.c.opts.Ring.Self()) }

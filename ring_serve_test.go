@@ -1,0 +1,400 @@
+package musa_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"musa"
+	"musa/internal/obs"
+	"musa/internal/serve"
+)
+
+// startRingReplicas spins up n in-process musa-serve replicas that all know
+// the full ring membership (including themselves) from the start: every
+// listener binds before any client is built, mirroring how real deployments
+// pass -self/-peers. The opts callback customizes each replica; nil gets
+// sensible test defaults.
+func startRingReplicas(t *testing.T, n int, opts func(i int) (musa.ClientOptions, []serve.Option)) ([]string, []*musa.Client) {
+	t.Helper()
+	servers := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	for i := range servers {
+		servers[i] = httptest.NewUnstartedServer(nil)
+		urls[i] = "http://" + servers[i].Listener.Addr().String()
+	}
+	clients := make([]*musa.Client, n)
+	for i, ts := range servers {
+		co := musa.ClientOptions{SweepWorkers: 2, MaxJobs: 2}
+		var so []serve.Option
+		if opts != nil {
+			co, so = opts(i)
+		}
+		co.Ring = musa.NewRing(urls[i], urls)
+		c, err := musa.NewClient(co)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+		t.Cleanup(func() { c.Close() })
+		ts.Config.Handler = serve.NewHandler(serve.New(c), so...)
+		ts.Start()
+		t.Cleanup(ts.Close)
+	}
+	return urls, clients
+}
+
+// counterValue reads one labeled series of a counter family from reg.
+func counterValue(reg *obs.Registry, name string, labels map[string]string) float64 {
+	for _, f := range reg.Snapshot() {
+		if f.Name != name {
+			continue
+		}
+	series:
+		for _, s := range f.Series {
+			for k, v := range labels {
+				found := false
+				for _, l := range s.Labels {
+					if l.Name == k && l.Value == v {
+						found = true
+						break
+					}
+				}
+				if !found {
+					continue series
+				}
+			}
+			return s.Value
+		}
+	}
+	return 0
+}
+
+// stageObservations reads the observation count of one dse pipeline stage
+// from the process-global registry. Tests assert on deltas, never absolute
+// values, since every test in the binary shares the registry.
+func stageObservations(stage string) uint64 {
+	for _, f := range obs.DefaultRegistry().Snapshot() {
+		if f.Name != "musa_dse_stage_seconds" {
+			continue
+		}
+		for _, s := range f.Series {
+			for _, l := range s.Labels {
+				if l.Name == "stage" && l.Value == stage {
+					return s.Count
+				}
+			}
+		}
+	}
+	return 0
+}
+
+// TestRingSweepByteIdentical is the acceptance contract for the scaled
+// serve tier: a sweep dispatched through a 3-replica ring (owner-pinned
+// shards, peer artifact fetch) merges into a dataset byte-identical to the
+// in-process run.
+func TestRingSweepByteIdentical(t *testing.T) {
+	exp := fleetTestExperiment(t)
+	ctx := context.Background()
+
+	local, err := musa.NewClient(musa.ClientOptions{SweepWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+	want, err := local.Run(ctx, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	urls, _ := startRingReplicas(t, 3, nil)
+	coord, err := musa.NewClient(musa.ClientOptions{
+		Workers: urls, SweepWorkers: 2, CacheDir: t.TempDir(),
+		Ring: musa.NewRing("", urls), // dispatch into the ring without joining it
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	got, err := coord.Run(ctx, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(canonicalMeasurements(t, got), canonicalMeasurements(t, want)) {
+		t.Fatal("ring-dispatched sweep differs from the in-process run")
+	}
+	st := coord.Stats()
+	if int(st.Remote) != len(want.Sweep.Measurements) {
+		t.Fatalf("remote = %d, want all %d measurements from replicas", st.Remote, len(want.Sweep.Measurements))
+	}
+	if st.Redispatched != 0 {
+		t.Fatalf("redispatched = %d shards with all replicas healthy, want 0", st.Redispatched)
+	}
+
+	// Store interop: the coordinator checkpointed the merged sweep under the
+	// same node keys the in-process runner writes, so re-requesting one
+	// swept point is a store hit, not a simulation.
+	hitsBefore := coord.Stats().StoreHits
+	node := musa.Experiment{
+		Kind: musa.KindNode, App: exp.Apps[0], PointIndex: &exp.PointIndices[0],
+		Sample: exp.Sample, Warmup: exp.Warmup, Seed: exp.Seed, ReplayRanks: exp.ReplayRanks,
+	}
+	if _, err := coord.Run(ctx, node); err != nil {
+		t.Fatal(err)
+	}
+	if coord.Stats().StoreHits != hitsBefore+1 {
+		t.Fatal("swept point not served from the coordinator store under the node key")
+	}
+}
+
+// TestRingSimulateCoalesces is distributed single-flight: identical
+// /simulate requests hitting every replica of a 3-ring concurrently all
+// converge on the key's owner, which computes the measurement exactly once.
+// Non-owners account their forwards under the proxied ring counter.
+func TestRingSimulateCoalesces(t *testing.T) {
+	regs := make([]*obs.Registry, 3)
+	urls, clients := startRingReplicas(t, 3, func(i int) (musa.ClientOptions, []serve.Option) {
+		regs[i] = obs.NewRegistry()
+		return musa.ClientOptions{SweepWorkers: 2, MaxJobs: 4, CacheDir: t.TempDir()},
+			[]serve.Option{serve.WithRegistry(regs[i])}
+	})
+
+	body := `{"app":"btmz","pointIndex":5,"sample":20000,"warmup":40000,"seed":9,"noReplay":true}`
+	const perReplica = 3
+	type reply struct {
+		code        int
+		measurement string
+	}
+	replies := make(chan reply, perReplica*len(urls))
+	var wg sync.WaitGroup
+	for _, u := range urls {
+		for k := 0; k < perReplica; k++ {
+			wg.Add(1)
+			go func(u string) {
+				defer wg.Done()
+				resp, err := http.Post(u+"/simulate", "application/json", strings.NewReader(body))
+				if err != nil {
+					replies <- reply{code: -1, measurement: err.Error()}
+					return
+				}
+				defer resp.Body.Close()
+				var out struct {
+					Measurement json.RawMessage `json:"measurement"`
+				}
+				json.NewDecoder(resp.Body).Decode(&out)
+				replies <- reply{code: resp.StatusCode, measurement: string(out.Measurement)}
+			}(u)
+		}
+	}
+	wg.Wait()
+	close(replies)
+
+	first := ""
+	for r := range replies {
+		if r.code != http.StatusOK {
+			t.Fatalf("replica answered %d (%s), want 200", r.code, r.measurement)
+		}
+		if first == "" {
+			first = r.measurement
+		} else if r.measurement != first {
+			t.Fatal("replicas returned different measurements for one experiment")
+		}
+	}
+
+	var simulated int64
+	for _, c := range clients {
+		simulated += c.Stats().Simulated
+	}
+	if simulated != 1 {
+		t.Fatalf("simulated = %d across the ring for %d identical requests, want exactly 1",
+			simulated, perReplica*len(urls))
+	}
+	var proxied, local float64
+	for _, reg := range regs {
+		proxied += counterValue(reg, "musa_ring_owner_requests_total", map[string]string{"result": "proxied"})
+		local += counterValue(reg, "musa_ring_owner_requests_total", map[string]string{"result": "local"})
+	}
+	if want := float64(2 * perReplica); proxied != want {
+		t.Fatalf("proxied = %v, want %v (every non-owner request forwards)", proxied, want)
+	}
+	if want := float64(3 * perReplica); local != want {
+		t.Fatalf("local = %v, want %v (the owner executes direct and proxied requests)", local, want)
+	}
+}
+
+// TestRingRedirect covers the 307 alternative to proxying: the non-owner
+// answers with Location pointing at the owner's /simulate, and following it
+// by hand lands on a replica that executes.
+func TestRingRedirect(t *testing.T) {
+	urls, _ := startRingReplicas(t, 2, func(i int) (musa.ClientOptions, []serve.Option) {
+		return musa.ClientOptions{SweepWorkers: 2, MaxJobs: 2, CacheDir: t.TempDir()},
+			[]serve.Option{serve.WithRingRedirect()}
+	})
+	noFollow := &http.Client{
+		CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+	}
+	body := `{"app":"btmz","pointIndex":7,"sample":20000,"warmup":40000,"seed":3,"noReplay":true}`
+
+	codes := map[string]int{}
+	location := ""
+	for _, u := range urls {
+		resp, err := noFollow.Post(u+"/simulate", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		codes[u] = resp.StatusCode
+		if resp.StatusCode == http.StatusTemporaryRedirect {
+			location = resp.Header.Get("Location")
+		}
+	}
+	redirects, owner := 0, ""
+	for u, code := range codes {
+		switch code {
+		case http.StatusTemporaryRedirect:
+			redirects++
+		case http.StatusOK:
+			owner = u
+		default:
+			t.Fatalf("replica %s answered %d, want 200 or 307", u, code)
+		}
+	}
+	if redirects != 1 || owner == "" {
+		t.Fatalf("codes = %v, want exactly one 307 and one 200", codes)
+	}
+	if location != owner+"/simulate" {
+		t.Fatalf("Location = %q, want %q", location, owner+"/simulate")
+	}
+	// Following the redirect by hand executes on the owner.
+	resp, err := http.Post(location, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("followed redirect = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestRingPeerArtifactFetch is the replication read path: a replica whose
+// ring peer already built a shard's annotation pulls it over HTTP instead
+// of re-running the annotate stage. The stage histogram's observation count
+// is the proof — it must not advance on the second replica's run.
+func TestRingPeerArtifactFetch(t *testing.T) {
+	// The builder is a plain ringless worker: it never replicates, so the
+	// artifact can only reach the replica through the peer fetch.
+	w, _ := newFleetWorkerClient(t, musa.ClientOptions{SweepWorkers: 2, MaxJobs: 2}, nil)
+
+	srv := httptest.NewUnstartedServer(nil)
+	r1URL := "http://" + srv.Listener.Addr().String()
+	c1, err := musa.NewClient(musa.ClientOptions{
+		SweepWorkers: 2, MaxJobs: 2,
+		Ring: musa.NewRing(r1URL, []string{r1URL, w.URL}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c1.Close() })
+	srv.Config.Handler = serve.NewHandler(serve.New(c1))
+	srv.Start()
+	t.Cleanup(srv.Close)
+
+	shard := `{"apps":["btmz"],"pointIndices":[0,1,2],"sample":20000,"warmup":40000,"seed":1,"noReplay":true}`
+	runShard := func(url string) string {
+		t.Helper()
+		resp, err := http.Post(url+"/shard", "application/json", strings.NewReader(shard))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/shard = %d, want 200", resp.StatusCode)
+		}
+		var out struct {
+			Measurements json.RawMessage `json:"measurements"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return string(out.Measurements)
+	}
+
+	before := stageObservations("annotate")
+	fromBuilder := runShard(w.URL)
+	mid := stageObservations("annotate")
+	if mid == before {
+		t.Fatal("builder ran no annotate stage; the test premise is broken")
+	}
+
+	fromReplica := runShard(r1URL)
+	if after := stageObservations("annotate"); after != mid {
+		t.Fatalf("replica re-ran annotate (%d new observations) instead of fetching from its peer; stats %+v",
+			after-mid, c1.Stats())
+	}
+	if st := c1.Stats(); st.PeerArtifactsFetched < 1 || st.PeerArtifactMisses != 0 {
+		t.Fatalf("peer fetches = %d with %d misses, want >= 1 with 0 (every artifact came from the peer)",
+			st.PeerArtifactsFetched, st.PeerArtifactMisses)
+	}
+	if fromReplica != fromBuilder {
+		t.Fatal("shard run on the replica differs from the builder's")
+	}
+}
+
+// TestFleetRetryAfter429 checks the coordinator honors a worker's 429 +
+// Retry-After with one bounded retry against the same worker instead of
+// immediately redispatching the shard locally.
+func TestFleetRetryAfter429(t *testing.T) {
+	exp := fleetTestExperiment(t)
+	ctx := context.Background()
+
+	var shedOnce atomic.Bool
+	w := newFleetWorker(t, func(h http.Handler) http.Handler {
+		return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/shard" && shedOnce.CompareAndSwap(false, true) {
+				rw.Header().Set("Retry-After", "0")
+				http.Error(rw, "overloaded", http.StatusTooManyRequests)
+				return
+			}
+			h.ServeHTTP(rw, r)
+		})
+	})
+
+	local, err := musa.NewClient(musa.ClientOptions{SweepWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+	want, err := local.Run(ctx, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord, err := musa.NewClient(musa.ClientOptions{Workers: []string{w.URL}, SweepWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	got, err := coord.Run(ctx, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(canonicalMeasurements(t, got), canonicalMeasurements(t, want)) {
+		t.Fatal("sweep through a shedding worker differs from the in-process run")
+	}
+	st := coord.Stats()
+	if st.ShardRetries < 1 {
+		t.Fatalf("shardRetries = %d, want >= 1 (the 429 must be retried, not abandoned)", st.ShardRetries)
+	}
+	if st.Redispatched != 0 {
+		t.Fatalf("redispatched = %d, want 0 (the retry keeps the shard remote)", st.Redispatched)
+	}
+	if int(st.Remote) != len(want.Sweep.Measurements) {
+		t.Fatalf("remote = %d, want all %d measurements", st.Remote, len(want.Sweep.Measurements))
+	}
+}
