@@ -42,15 +42,15 @@ func TestSweepColdVsWarmArtifacts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cs := cold.ArtifactStats()
+	cs := cold.Snapshot().Artifacts.Stats
 	if cs.Annotations.Misses == 0 || cs.Annotations.Puts == 0 {
 		t.Fatalf("cold run did not build and persist annotations: %+v", cs)
 	}
 	if cs.Entries == 0 || cs.BytesWritten == 0 {
 		t.Fatalf("cold run persisted nothing: %+v", cs)
 	}
-	if err := cold.ArtifactErr(); err != nil {
-		t.Fatal(err)
+	if msg := cold.Snapshot().Artifacts.Err; msg != "" {
+		t.Fatal(msg)
 	}
 	if err := cold.Close(); err != nil {
 		t.Fatal(err)
@@ -74,7 +74,7 @@ func TestSweepColdVsWarmArtifacts(t *testing.T) {
 	if string(got) != string(want) {
 		t.Fatalf("warm dataset differs from cold:\n%s\nvs\n%s", got, want)
 	}
-	ws := warm.ArtifactStats()
+	ws := warm.Snapshot().Artifacts.Stats
 	if ws.Annotations.Misses != 0 || ws.Annotations.Hits == 0 {
 		t.Fatalf("warm run rebuilt annotations: %+v", ws.Annotations)
 	}
@@ -116,8 +116,8 @@ func TestArtifactCacheOffIsCold(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer off.Close()
-	if on.ArtifactsEnabled() == false || off.ArtifactsEnabled() {
-		t.Fatal("ArtifactsEnabled does not reflect the options")
+	if !on.Snapshot().Artifacts.Enabled || off.Snapshot().Artifacts.Enabled {
+		t.Fatal("Snapshot().Artifacts.Enabled does not reflect the options")
 	}
 
 	r1, err := on.Run(ctx, exp)
@@ -133,7 +133,7 @@ func TestArtifactCacheOffIsCold(t *testing.T) {
 	if string(j1) != string(j2) {
 		t.Fatal("artifact cache changed the dataset")
 	}
-	if st := off.ArtifactStats(); st != (musa.ArtifactStats{}) {
+	if st := off.Snapshot().Artifacts.Stats; st != (musa.ArtifactStats{}) {
 		t.Fatalf("disabled cache reports activity: %+v", st)
 	}
 }

@@ -130,7 +130,7 @@ func BenchmarkClientSweepReduced(b *testing.B) {
 // cache pre-populated by an untimed priming run, so every iteration
 // re-simulates each point from cached annotations, DRAM latency curves and
 // burst traces instead of rebuilding them. The gap between the two
-// benchmarks in BENCH_7.json is the artifact-reuse speedup;
+// benchmarks in BENCH_9.json is the artifact-reuse speedup;
 // TestSweepColdVsWarmArtifacts proves the datasets are byte-identical.
 func BenchmarkClientSweepWarmArtifacts(b *testing.B) {
 	artDir := b.TempDir()
@@ -161,7 +161,7 @@ func BenchmarkClientSweepWarmArtifacts(b *testing.B) {
 			b.Fatalf("%d measurements", len(res.Sweep.Measurements))
 		}
 	}
-	if st := client.ArtifactStats(); st.Annotations.Misses != 0 {
+	if st := client.Snapshot().Artifacts.Stats; st.Annotations.Misses != 0 {
 		b.Fatalf("warm benchmark rebuilt %d annotations", st.Annotations.Misses)
 	}
 }

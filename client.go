@@ -174,19 +174,27 @@ type Result struct {
 	Sweep *Sweep `json:"sweep,omitempty"`
 	// Unconventional is the KindUnconventional outcome.
 	Unconventional []UnconventionalRow `json:"unconventional,omitempty"`
+	// Optimize is the KindOptimize outcome. On cancellation it holds the
+	// rung history completed so far.
+	Optimize *OptimizeResult `json:"optimize,omitempty"`
 }
 
-// Observer receives streaming callbacks from Client.RunStream. Both fields
+// Observer receives streaming callbacks from Client.RunStream. All fields
 // are optional. Each callback is serialized with itself (no two Progress
-// calls, and no two Measurement calls, run concurrently), but Progress and
-// Measurement may overlap each other.
+// calls, and no two Measurement calls, run concurrently), but different
+// callbacks may overlap each other.
 type Observer struct {
 	// Progress receives (done, total, cached) measurement counts as a
-	// sweep advances (and a single 1/1 tick for node experiments).
+	// sweep or optimize search advances (and a single 1/1 tick for node
+	// experiments). For optimize experiments the counts are cumulative
+	// probes across the whole fidelity ladder.
 	Progress func(done, total, cached int)
-	// Measurement receives each completed measurement of node and sweep
-	// experiments, including store hits.
+	// Measurement receives each completed measurement of node, sweep and
+	// optimize experiments, including store hits.
 	Measurement func(m Measurement)
+	// Rung receives each completed successive-halving rung of an optimize
+	// experiment, in ladder order.
+	Rung func(r RungSummary)
 }
 
 // call is one in-flight node computation that duplicate requests wait on.
@@ -217,10 +225,15 @@ type Client struct {
 	// goroutines while RegisterMetrics may swap registries.
 	compHist atomic.Pointer[obs.Histogram]
 
+	// optRungHist is the registered rung-duration histogram, fed by
+	// runOptimize (same registry-swap pattern as compHist).
+	optRungHist atomic.Pointer[obs.Histogram]
+
 	requests, storeHits, storeMisses, coalesced, simulated atomic.Int64
 	remote, redispatched, artifactsPushed, shardRetries    atomic.Int64
 	peerArtifactsFetched, peerArtifactMisses               atomic.Int64
 	peerArtifactsReplicated                                atomic.Int64
+	optProbesCheap, optProbesFull                          atomic.Int64
 }
 
 // NewClient validates the options, opens the result store when CacheDir is
@@ -324,56 +337,6 @@ func (c *Client) Stats() ClientStats {
 	}
 }
 
-// MaxJobs returns the client's concurrent-job bound — the capacity a
-// musa-serve worker advertises on /capacity.
-func (c *Client) MaxJobs() int { return cap(c.sem) }
-
-// InFlight returns the number of simulation jobs currently holding a slot.
-func (c *Client) InFlight() int { return len(c.sem) }
-
-// StoreLen returns the number of measurements in the result store (0
-// without one).
-func (c *Client) StoreLen() int {
-	if c.st == nil {
-		return 0
-	}
-	return c.st.Len()
-}
-
-// StoreEngineStats returns a snapshot of the result store's LSM engine
-// counters (zero without a CacheDir): memtable occupancy, segment and
-// bloom-filter traffic, WAL and compaction activity.
-func (c *Client) StoreEngineStats() lsm.Stats {
-	if c.st == nil {
-		return lsm.Stats{}
-	}
-	return c.st.EngineStats()
-}
-
-// StoreReadOnly reports whether the result store was opened read-only.
-func (c *Client) StoreReadOnly() bool {
-	return c.st != nil && c.st.ReadOnly()
-}
-
-// StoreConfig returns the result store's effective engine sizing — the
-// memtable flush threshold and the inflated-block cache bound, with the
-// engine defaults resolved — so /stats reports what a replica is actually
-// configured with, not just what the flags said.
-func (c *Client) StoreConfig() (memtableBytes int64, blockCacheBytes int64) {
-	memtableBytes = int64(c.opts.StoreMemtableBytes)
-	if memtableBytes <= 0 {
-		memtableBytes = lsm.DefaultMemtableBytes
-	}
-	blockCacheBytes = c.opts.StoreBlockCacheBytes
-	if blockCacheBytes == 0 {
-		blockCacheBytes = lsm.DefaultBlockCacheBytes
-	}
-	if blockCacheBytes < 0 {
-		blockCacheBytes = 0 // disabled
-	}
-	return memtableBytes, blockCacheBytes
-}
-
 // artifacts returns the client's artifact provider for dse.Options without
 // producing a typed-nil interface when the cache is disabled. With a ring
 // configured the cache is wrapped in the peer-fetching provider: a local
@@ -387,28 +350,6 @@ func (c *Client) artifacts() dse.ArtifactProvider {
 		return ringArtifacts{c: c}
 	}
 	return c.art
-}
-
-// ArtifactsEnabled reports whether the client holds an artifact cache.
-func (c *Client) ArtifactsEnabled() bool { return c.art != nil }
-
-// ArtifactStats returns a snapshot of the artifact-cache counters (zero
-// with NoArtifacts).
-func (c *Client) ArtifactStats() store.ArtifactStats {
-	if c.art == nil {
-		return store.ArtifactStats{}
-	}
-	return c.art.Stats()
-}
-
-// ArtifactErr returns the first artifact blob I/O error the cache
-// swallowed (the cache is best-effort; a failing disk degrades it to
-// rebuild-every-time).
-func (c *Client) ArtifactErr() error {
-	if c.art == nil {
-		return nil
-	}
-	return c.art.Err()
 }
 
 // ArtifactBlob returns the encoded artifact stored under key, byte for
@@ -427,24 +368,6 @@ func (c *Client) ArtifactPut(key string, blob []byte) error {
 		return errors.New("musa: artifact cache disabled")
 	}
 	return c.art.PutBlob(key, blob)
-}
-
-// ReplayDefaults returns the client's normalized default replay
-// configuration: the rank counts (nil when disabled), the network scenario
-// name and whether the replay stage is disabled by default.
-func (c *Client) ReplayDefaults() (ranks []int, network string, disabled bool) {
-	if c.opts.NoReplay {
-		return nil, "", true
-	}
-	ranks = c.opts.ReplayRanks
-	if ranks == nil {
-		ranks = DefaultReplayRanks()
-	}
-	network = c.opts.Network
-	if network == "" {
-		network = "mn4"
-	}
-	return ranks, network, false
 }
 
 // RegisterApplication adds a custom application model to the client's
@@ -508,12 +431,19 @@ func (c *Client) fill(e Experiment) Experiment {
 	if kind == "" {
 		kind = KindNode
 	}
+	if e.Replay != nil {
+		// A nested replay sub-spec is a complete, explicit configuration:
+		// injecting flat client defaults beside it would either conflict
+		// with it or silently override parts of what the caller spelled out.
+		return e
+	}
 	if e.Network == "" && kind != KindUnconventional {
 		// Unconventional experiments take no network; injecting the client
 		// default would fail their validation.
 		e.Network = c.opts.Network
 	}
-	if (kind == KindNode || kind == KindSweep) && e.ReplayRanks == nil && !e.NoReplay {
+	if (kind == KindNode || kind == KindSweep || kind == KindOptimize) &&
+		e.ReplayRanks == nil && !e.NoReplay {
 		if c.opts.NoReplay {
 			e.NoReplay = true
 		} else {
@@ -573,6 +503,8 @@ func (c *Client) RunStream(ctx context.Context, e Experiment, watch Observer) (*
 		return c.runSweep(ctx, ne, watch)
 	case KindUnconventional:
 		return c.runUnconventional(ctx, ne)
+	case KindOptimize:
+		return c.runOptimize(ctx, ne, watch)
 	}
 	return nil, fmt.Errorf("%w %q", ErrBadKind, ne.Kind) // unreachable after normalize
 }
@@ -873,22 +805,29 @@ func (c *Client) RegisterMetrics(reg *obs.Registry) {
 	reg.CounterFunc("musa_ring_artifact_replicated_total", "Artifacts replicated to their ring owners.",
 		stat(func(s ClientStats) int64 { return s.PeerArtifactsReplicated }))
 	reg.GaugeFunc("musa_jobs_in_flight", "Simulation jobs currently holding a pool slot.",
-		func() float64 { return float64(c.InFlight()) })
+		func() float64 { return float64(len(c.sem)) })
 	reg.GaugeFunc("musa_jobs_max", "Concurrent-job bound of the pool (the /capacity advertisement).",
-		func() float64 { return float64(c.MaxJobs()) })
+		func() float64 { return float64(cap(c.sem)) })
+
+	reg.CounterFunc("musa_opt_probes_total", "Optimize-search probes dispatched, by fidelity rung class.",
+		func() float64 { return float64(c.optProbesCheap.Load()) }, obs.L("fidelity", "cheap"))
+	reg.CounterFunc("musa_opt_probes_total", "Optimize-search probes dispatched, by fidelity rung class.",
+		func() float64 { return float64(c.optProbesFull.Load()) }, obs.L("fidelity", "full"))
+	c.optRungHist.Store(reg.Histogram("musa_opt_rung_seconds",
+		"Wall time of each completed successive-halving rung.", obs.DurationBuckets()))
 
 	reg.CounterFunc("musa_store_hits_total", "Measurements served from the result store.",
 		stat(func(s ClientStats) int64 { return s.StoreHits }))
 	reg.CounterFunc("musa_store_misses_total", "Result-store lookups that found nothing.",
 		stat(func(s ClientStats) int64 { return s.StoreMisses }))
 	reg.GaugeFunc("musa_store_entries", "Measurements in the result store.",
-		func() float64 { return float64(c.StoreLen()) })
+		func() float64 { return float64(c.storeSnapshot().Len) })
 
 	// LSM engine internals: memtable occupancy, segment shape, bloom-filter
 	// effectiveness, and maintenance activity. All read the engine's counter
 	// snapshot at scrape time; zero without a CacheDir.
 	eng := func(f func(lsm.Stats) float64) func() float64 {
-		return func() float64 { return f(c.StoreEngineStats()) }
+		return func() float64 { return f(c.storeSnapshot().Engine) }
 	}
 	reg.GaugeFunc("musa_lsm_memtable_bytes", "Payload bytes buffered in the engine memtable.",
 		eng(func(s lsm.Stats) float64 { return float64(s.MemtableBytes) }))
@@ -945,18 +884,18 @@ func (c *Client) RegisterMetrics(reg *obs.Registry) {
 	for _, k := range kinds {
 		get := k.get
 		reg.CounterFunc("musa_artifact_hits_total", "Artifact-cache hits by kind.",
-			func() float64 { return float64(get(c.ArtifactStats()).Hits) }, obs.L("kind", k.kind))
+			func() float64 { return float64(get(c.artifactsSnapshot().Stats).Hits) }, obs.L("kind", k.kind))
 		reg.CounterFunc("musa_artifact_misses_total", "Artifact-cache misses by kind.",
-			func() float64 { return float64(get(c.ArtifactStats()).Misses) }, obs.L("kind", k.kind))
+			func() float64 { return float64(get(c.artifactsSnapshot().Stats).Misses) }, obs.L("kind", k.kind))
 		reg.CounterFunc("musa_artifact_puts_total", "Artifacts stored by kind.",
-			func() float64 { return float64(get(c.ArtifactStats()).Puts) }, obs.L("kind", k.kind))
+			func() float64 { return float64(get(c.artifactsSnapshot().Stats).Puts) }, obs.L("kind", k.kind))
 	}
 	reg.CounterFunc("musa_artifact_bytes_total", "Encoded artifact blob traffic.",
-		func() float64 { return float64(c.ArtifactStats().BytesRead) }, obs.L("direction", "read"))
+		func() float64 { return float64(c.artifactsSnapshot().Stats.BytesRead) }, obs.L("direction", "read"))
 	reg.CounterFunc("musa_artifact_bytes_total", "Encoded artifact blob traffic.",
-		func() float64 { return float64(c.ArtifactStats().BytesWritten) }, obs.L("direction", "written"))
+		func() float64 { return float64(c.artifactsSnapshot().Stats.BytesWritten) }, obs.L("direction", "written"))
 	reg.GaugeFunc("musa_artifact_entries", "Distinct artifacts held by the cache.",
-		func() float64 { return float64(c.ArtifactStats().Entries) })
+		func() float64 { return float64(c.artifactsSnapshot().Stats.Entries) })
 }
 
 // runUnconventional simulates the Table II configurations under a job slot.

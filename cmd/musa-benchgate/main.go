@@ -27,6 +27,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // BenchFile is the schema of BENCH_*.json and the checked-in baseline.
@@ -35,16 +36,21 @@ type BenchFile struct {
 	Benchmarks []Bench `json:"benchmarks"`
 }
 
-// Bench is one parsed benchmark result.
+// Bench is one parsed benchmark result. Extra carries any custom
+// b.ReportMetric pairs trailing the ns/op column (unit -> value), e.g. the
+// optimizer's probe-cost-ratio; extras ride along in the artifact and the
+// report but are never gated.
 type Bench struct {
-	Name    string  `json:"name"`
-	Iters   int64   `json:"iters"`
-	NsPerOp float64 `json:"nsPerOp"`
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	NsPerOp float64            `json:"nsPerOp"`
+	Extra   map[string]float64 `json:"extra,omitempty"`
 }
 
 // benchLine matches `BenchmarkName-8   12   3456 ns/op [...]`; the GOMAXPROCS
-// suffix is stripped so baselines survive runner-core-count changes.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(\d+(?:\.\d+)?) ns/op`)
+// suffix is stripped so baselines survive runner-core-count changes. The
+// trailing capture holds any further `value unit` metric pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(\d+(?:\.\d+)?) ns/op(.*)$`)
 
 func main() {
 	log.SetFlags(0)
@@ -119,7 +125,21 @@ func Parse(r io.Reader) (*BenchFile, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bad ns/op in %q: %v", sc.Text(), err)
 		}
-		out.Benchmarks = append(out.Benchmarks, Bench{Name: m[1], Iters: iters, NsPerOp: ns})
+		b := Bench{Name: m[1], Iters: iters, NsPerOp: ns}
+		// Trailing `value unit` pairs: testing's standard extras (B/op,
+		// allocs/op, MB/s) and anything a benchmark adds via b.ReportMetric.
+		fields := strings.Fields(m[4])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad metric value in %q: %v", sc.Text(), err)
+			}
+			if b.Extra == nil {
+				b.Extra = map[string]float64{}
+			}
+			b.Extra[fields[i+1]] = v
+		}
+		out.Benchmarks = append(out.Benchmarks, b)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -159,6 +179,7 @@ func Gate(base, cur *BenchFile, maxRegress float64) (report []string, failed boo
 		}
 		report = append(report, fmt.Sprintf("%s %s: %.0f ns/op vs baseline %.0f (%+.1f%%)",
 			verdict, b.Name, c.NsPerOp, b.NsPerOp, (ratio-1)*100))
+		report = append(report, extraLines(c)...)
 	}
 	var extra []string
 	for name := range curBy {
@@ -168,8 +189,24 @@ func Gate(base, cur *BenchFile, maxRegress float64) (report []string, failed boo
 	for _, name := range extra {
 		report = append(report, fmt.Sprintf("new  %s: %.0f ns/op — not in the baseline; reported, never gated (adopt with -write-baseline)",
 			name, curBy[name].NsPerOp))
+		report = append(report, extraLines(curBy[name])...)
 	}
 	return report, failed
+}
+
+// extraLines renders a benchmark's custom metrics (probe-cost-ratio and
+// friends) as informational report lines; they never gate.
+func extraLines(b Bench) []string {
+	units := make([]string, 0, len(b.Extra))
+	for u := range b.Extra {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	out := make([]string, 0, len(units))
+	for _, u := range units {
+		out = append(out, fmt.Sprintf("info %s: %g %s (reported, not gated)", b.Name, b.Extra[u], u))
+	}
+	return out
 }
 
 func writeJSON(path string, v any) error {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -14,6 +15,7 @@ BenchmarkSweepReplayOverhead/node-only-8 	       1	 901000000 ns/op
 BenchmarkSweepReplayOverhead/replay-8    	       2	1202000000 ns/op
 some unrelated line
 BenchmarkAblationFusionWindow/minrun=16-8 	       1	   8399523 ns/op
+BenchmarkOptimizeReference-8 	       1	 432100000 ns/op	         0.199 probe-cost-ratio	    2048 B/op	       7 allocs/op
 BenchmarkTable1DesignSpace  	       1	    164989 ns/op
 PASS
 ok  	musa	12.345s
@@ -32,6 +34,10 @@ func TestParse(t *testing.T) {
 		// keeps sub-benchmark parameters out of its way.
 		{Name: "BenchmarkAblationFusionWindow/minrun=16", Iters: 1, NsPerOp: 8399523},
 		{Name: "BenchmarkClientSweepReduced", Iters: 1, NsPerOp: 2045670000},
+		// Trailing `value unit` pairs — testing's standard extras and
+		// b.ReportMetric outputs — land in Extra.
+		{Name: "BenchmarkOptimizeReference", Iters: 1, NsPerOp: 432100000,
+			Extra: map[string]float64{"probe-cost-ratio": 0.199, "B/op": 2048, "allocs/op": 7}},
 		{Name: "BenchmarkSweepReplayOverhead/node-only", Iters: 1, NsPerOp: 901000000},
 		{Name: "BenchmarkSweepReplayOverhead/replay", Iters: 2, NsPerOp: 1202000000},
 		{Name: "BenchmarkTable1DesignSpace", Iters: 1, NsPerOp: 164989},
@@ -40,7 +46,7 @@ func TestParse(t *testing.T) {
 		t.Fatalf("parsed %d benchmarks, want %d: %+v", len(got.Benchmarks), len(want), got.Benchmarks)
 	}
 	for i, w := range want {
-		if got.Benchmarks[i] != w {
+		if !reflect.DeepEqual(got.Benchmarks[i], w) {
 			t.Errorf("benchmark %d = %+v, want %+v", i, got.Benchmarks[i], w)
 		}
 	}
@@ -53,7 +59,9 @@ func TestGate(t *testing.T) {
 		{Name: "Gone", NsPerOp: 1000},
 	}}
 	cur := &BenchFile{Benchmarks: []Bench{
-		{Name: "A", NsPerOp: 1249}, // +24.9%: inside the gate
+		// +24.9%: inside the gate. Its custom metric is reported but can
+		// never fail the gate, whatever its value does vs the baseline.
+		{Name: "A", NsPerOp: 1249, Extra: map[string]float64{"probe-cost-ratio": 0.199}},
 		{Name: "B", NsPerOp: 1251}, // +25.1%: regression
 		{Name: "New", NsPerOp: 5},  // not in baseline: reported only
 	}}
@@ -62,7 +70,8 @@ func TestGate(t *testing.T) {
 		t.Fatal("gate passed despite a >25% regression and a missing benchmark")
 	}
 	joined := strings.Join(report, "\n")
-	for _, want := range []string{"ok   A", "FAIL B", "FAIL Gone", "new  New"} {
+	for _, want := range []string{"ok   A", "FAIL B", "FAIL Gone", "new  New",
+		"info A: 0.199 probe-cost-ratio (reported, not gated)"} {
 		if !strings.Contains(joined, want) {
 			t.Errorf("report missing %q:\n%s", want, joined)
 		}

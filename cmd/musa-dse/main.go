@@ -21,6 +21,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -59,6 +60,13 @@ func main() {
 	noReplay := flag.Bool("no-replay", false, "disable the cluster-level MPI replay stage")
 	network := flag.String("network", "", "interconnect model: mn4, hdr200 or eth10 (default mn4)")
 	timelineRanks := flag.Int("ranks", 64, "rank count for the -fig 4 timeline")
+	optimize := flag.Bool("optimize", false, "run a successive-halving search over the design space instead of figures")
+	objectives := flag.String("objectives", "", "optimize: comma-separated objectives from time,energy,edp (default all)")
+	maxPower := flag.Float64("max-power", 0, "optimize: average node power cap in watts (0 = unconstrained)")
+	eta := flag.Int("eta", 0, "optimize: halving factor, 2-8 (0 = 4)")
+	optRungs := flag.Int("opt-rungs", 0, "optimize: fidelity-ladder depth cap (0 = derived)")
+	finalists := flag.Int("finalists", 0, "optimize: full-fidelity finalists (0 = max(4, eta+1))")
+	minSample := flag.Int64("min-sample", 0, "optimize: cheap-rung sample floor in micro-ops (0 = 2000)")
 	memtableBytes := flag.Int("store-memtable-bytes", 0, "LSM memtable flush threshold in bytes (0 = default)")
 	blockCacheBytes := flag.Int64("store-block-cache-bytes", 0, "LSM block cache size in bytes (0 = default, negative = disabled)")
 	obsDump := obs.RegisterFlags(flag.CommandLine)
@@ -81,8 +89,8 @@ func main() {
 		must(tbl.Write(os.Stdout))
 		return
 	}
-	if *figure == 0 && !*all {
-		log.Fatal("nothing to do: pass -list, -fig N or -all")
+	if *figure == 0 && !*all && !*optimize {
+		log.Fatal("nothing to do: pass -list, -fig N, -all or -optimize")
 	}
 
 	// One sweep experiment feeds every dataset-derived figure; the replay
@@ -124,10 +132,11 @@ func main() {
 	if *verbose {
 		defer func() {
 			printStageBreakdown()
-			st := client.Stats()
+			snap := client.Snapshot()
+			st := snap.Stats
 			fmt.Fprintf(os.Stderr, "stats: %d requests, %d store hits, %d simulated\n",
 				st.Requests, st.StoreHits, st.Simulated)
-			as := client.ArtifactStats()
+			as := snap.Artifacts.Stats
 			fmt.Fprintf(os.Stderr,
 				"artifacts: %d entries; ann %d/%d hit/miss, latency %d/%d, burst %d/%d; %d B read, %d B written\n",
 				as.Entries,
@@ -135,8 +144,8 @@ func main() {
 				as.LatencyModels.Hits, as.LatencyModels.Misses,
 				as.Bursts.Hits, as.Bursts.Misses,
 				as.BytesRead, as.BytesWritten)
-			if err := client.ArtifactErr(); err != nil {
-				fmt.Fprintf(os.Stderr, "artifacts: degraded: %v\n", err)
+			if snap.Artifacts.Err != "" {
+				fmt.Fprintf(os.Stderr, "artifacts: degraded: %s\n", snap.Artifacts.Err)
 			}
 		}()
 	}
@@ -153,9 +162,39 @@ func main() {
 		}
 	}
 
+	ctx := context.Background()
+	if *optimize {
+		// Ask a question instead of sweeping: one KindOptimize experiment
+		// recovers the grid optimum at a fraction of the grid's cost.
+		app := "lulesh"
+		if len(exp.Apps) == 1 {
+			app = exp.Apps[0]
+		} else if len(exp.Apps) > 1 {
+			log.Fatal("-optimize searches one application; pass -apps with a single name")
+		}
+		oexp := musa.Experiment{
+			Kind: musa.KindOptimize, App: app,
+			Sample: *sample, Warmup: *warmup, Seed: *seed, Recompute: !*resume,
+			Optimize: &musa.OptimizeSpec{
+				MaxPowerW: *maxPower, Eta: *eta, Rungs: *optRungs,
+				Finalists: *finalists, MinSample: *minSample,
+			},
+		}
+		if *objectives != "" {
+			oexp.Optimize.Objectives = strings.Split(*objectives, ",")
+		}
+		if err := oexp.SetReplayFlags(*replayRanks, *noReplay, *network); err != nil {
+			log.Fatal(err)
+		}
+		if err := oexp.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		runOptimizeSearch(ctx, client, oexp, *jsonOut, *csv, *quiet)
+		return
+	}
+
 	// Figures 4 and 11 run their own simulations and ignore the sweep
 	// dataset; skip the sweep when nothing else was requested.
-	ctx := context.Background()
 	var d *musa.Sweep
 	if *all || (*figure != 4 && *figure != 11) {
 		res, err := client.RunStream(ctx, exp, watch)
@@ -209,6 +248,73 @@ func main() {
 			fmt.Println(fig.Text)
 		}
 	}
+}
+
+// runOptimizeSearch executes the -optimize mode and renders the rung
+// history, the Pareto frontier, the recommendation and the cost saving
+// against an exhaustive grid sweep.
+func runOptimizeSearch(ctx context.Context, client *musa.Client, exp musa.Experiment, jsonOut, csvOut, quiet bool) {
+	var watch musa.Observer
+	if !quiet {
+		watch.Progress = func(done, total, cached int) {
+			if done%50 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "\roptimize: %d/%d probes (%d cached)", done, total, cached)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+		watch.Rung = func(r musa.RungSummary) {
+			fmt.Fprintf(os.Stderr, "\rrung %d: %d candidates at %.1f%% fidelity -> %d survivors\n",
+				r.Rung, r.Candidates, 100*r.FidelityFraction, len(r.Survivors))
+		}
+	}
+	res, err := client.RunStream(ctx, exp, watch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	o := res.Optimize
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		must(enc.Encode(o))
+		return
+	}
+	rungs := report.NewTable(
+		fmt.Sprintf("successive halving: %s, %d candidates", o.App, o.Candidates),
+		"rung", "candidates", "fidelity", "sample", "replay", "cost Minstr", "survivors")
+	for _, r := range o.Rungs {
+		rungs.AddRow(r.Rung, r.Candidates, fmt.Sprintf("%.1f%%", 100*r.FidelityFraction),
+			r.Sample, r.Replay, fmt.Sprintf("%.1f", float64(r.CostInstrs)/1e6), len(r.Survivors))
+	}
+	frontier := report.NewTable("Pareto frontier (full fidelity)",
+		"#", "configuration", "time ms", "energy J", "EDP mJs", "power W", "feasible")
+	for _, fp := range o.Frontier {
+		frontier.AddRow(fp.PointIndex, fp.Label,
+			fmt.Sprintf("%.3f", fp.Objectives.TimeNs/1e6),
+			fmt.Sprintf("%.3f", fp.Objectives.EnergyJ),
+			fmt.Sprintf("%.3f", fp.Objectives.EDP*1e3),
+			fmt.Sprintf("%.1f", fp.PowerW),
+			fp.Feasible)
+	}
+	for _, t := range []*report.Table{rungs, frontier} {
+		if csvOut {
+			must(t.WriteCSV(os.Stdout))
+		} else {
+			must(t.Write(os.Stdout))
+		}
+		fmt.Println()
+	}
+	if o.Best != nil {
+		fmt.Printf("best: #%d %s (EDP %.3f mJs)\n",
+			o.Best.PointIndex, o.Best.Label, o.Best.Objectives.EDP*1e3)
+	}
+	if o.Infeasible {
+		fmt.Printf("note: no configuration satisfies the %g W power cap; frontier is unconstrained\n",
+			o.MaxPowerW)
+	}
+	fmt.Printf("cost: %.1f Minstr probed vs %.1f Minstr grid (ratio %.3f)\n",
+		float64(o.ProbeCostInstrs)/1e6, float64(o.GridCostInstrs)/1e6, o.CostRatio)
 }
 
 // printStageBreakdown renders the per-stage time table from the process

@@ -17,6 +17,7 @@
 //	GET  /capacity     advertised -max-jobs and in-flight jobs (fleet probe)
 //	POST /simulate     {"app":"lulesh","pointIndex":42} -> one measurement
 //	POST /dse          {"apps":["hydro"],"sample":60000} -> NDJSON stream
+//	POST /optimize     {"app":"hydro","optimize":{}} -> NDJSON rung stream
 //	POST /shard        {"apps":["hydro"],"pointIndices":[0,1]} -> plain JSON
 //	GET  /artifact/{key}  one encoded sweep artifact (annotation, latency
 //	                      model, burst trace) from the artifact cache
@@ -125,15 +126,16 @@ func main() {
 		}
 		log.Fatal(err)
 	}
+	snap := client.Snapshot()
 	mode := ""
-	if client.StoreReadOnly() {
+	if snap.Store.ReadOnly {
 		mode = " (read-only)"
 	}
-	log.Printf("store %s%s: %d measurements", *cacheDir, mode, client.StoreLen())
-	if client.ArtifactsEnabled() {
-		log.Printf("artifact cache: %d artifacts", client.ArtifactStats().Entries)
+	log.Printf("store %s%s: %d measurements", *cacheDir, mode, snap.Store.Len)
+	if snap.Artifacts.Enabled {
+		log.Printf("artifact cache: %d artifacts", snap.Artifacts.Stats.Entries)
 	}
-	log.Printf("advertising capacity: %d concurrent jobs (/capacity)", client.MaxJobs())
+	log.Printf("advertising capacity: %d concurrent jobs (/capacity)", snap.Jobs.Max)
 
 	var handlerOpts []serve.Option
 	if *pprofFlag {
@@ -148,7 +150,7 @@ func main() {
 	// Retry-After rather than queue unboundedly.
 	limit := *admit
 	if limit == 0 {
-		limit = 4 * client.MaxJobs()
+		limit = 4 * snap.Jobs.Max
 	}
 	if limit > 0 {
 		handlerOpts = append(handlerOpts, serve.WithAdmission(limit, *admitQueue))
@@ -191,7 +193,7 @@ func main() {
 	if err := client.Close(); err != nil {
 		log.Printf("store close: %v", err)
 	}
-	log.Printf("store %s: %d measurements", *cacheDir, client.StoreLen())
+	log.Printf("store %s: %d measurements", *cacheDir, client.Snapshot().Store.Len)
 }
 
 // splitList parses a comma-separated flag value, dropping empty elements.

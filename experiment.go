@@ -35,6 +35,11 @@ const (
 	// KindUnconventional simulates the Table II application-specific
 	// configurations against their DSE-Best baselines.
 	KindUnconventional Kind = "unconventional"
+	// KindOptimize is a successive-halving multi-fidelity search over the
+	// Table I grid (or a PointIndices subset): cheap probes first, survivors
+	// promoted to full fidelity, a Pareto frontier over (time, energy, EDP)
+	// as the result. Configured by the nested OptimizeSpec.
+	KindOptimize Kind = "optimize"
 )
 
 // Typed request-validation errors. Every one of them wraps ErrExperiment,
@@ -62,6 +67,11 @@ var (
 	ErrBadCoreCounts = fmt.Errorf("%w: bad core counts", ErrExperiment)
 	// ErrBadFidelity reports invalid sample/warmup sizes.
 	ErrBadFidelity = fmt.Errorf("%w: bad fidelity", ErrExperiment)
+	// ErrBadOptimize reports an invalid or misplaced optimize sub-spec.
+	ErrBadOptimize = fmt.Errorf("%w: bad optimize spec", ErrExperiment)
+	// ErrSpecConflict reports a nested sub-spec (Replay) disagreeing with
+	// the legacy flat aliases of the same fields.
+	ErrSpecConflict = fmt.Errorf("%w: conflicting spec aliases", ErrExperiment)
 )
 
 // Experiment is the one canonical request type of the MUSA-Go pipeline:
@@ -110,14 +120,26 @@ type Experiment struct {
 
 	// ReplayRanks are the cluster-replay rank counts attached to node and
 	// sweep measurements (nil = 64 and 256; an explicit empty list means
-	// node-only, like NoReplay).
+	// node-only, like NoReplay). Flat alias of Replay.Ranks.
 	ReplayRanks []int `json:"replayRanks,omitempty"`
 	// NoReplay disables the cluster replay stage of node/sweep experiments.
+	// Flat alias of Replay.Disable.
 	NoReplay bool `json:"noReplay,omitempty"`
 	// Network names the interconnect scenario: "mn4", "hdr200" or "eth10"
 	// ("" = "mn4"). It drives the cluster replay of node/sweep experiments
-	// and the whole replay of full-app/scaling ones.
+	// and the whole replay of full-app/scaling ones. Flat alias of
+	// Replay.Network.
 	Network string `json:"network,omitempty"`
+
+	// Replay is the nested replay sub-spec — the preferred spelling of the
+	// flat ReplayRanks / NoReplay / Network aliases above. Normalize keeps
+	// both in sync (and rejects a nested spec that contradicts explicitly
+	// set flat fields with ErrSpecConflict), so either spelling produces
+	// the same canonical encoding and store key.
+	Replay *ReplaySpec `json:"replay,omitempty"`
+	// Optimize configures a KindOptimize experiment's successive-halving
+	// search (nil on that kind = all defaults; rejected on every other).
+	Optimize *OptimizeSpec `json:"optimize,omitempty"`
 
 	// Recompute forces fresh simulation even for stored results (the fresh
 	// measurements overwrite the store). It is an execution hint: it does
@@ -143,6 +165,8 @@ type experimentWire struct {
 	ReplayRanks  []int
 	NoReplay     bool
 	Network      string
+	Replay       *ReplaySpec
+	Optimize     *OptimizeSpec
 	Recompute    bool
 }
 
@@ -165,6 +189,7 @@ func (e *Experiment) UnmarshalJSON(b []byte) error {
 		Sample: w.Sample, Warmup: w.Warmup, Seed: w.Seed,
 		Ranks: w.Ranks, CoreCounts: w.CoreCounts,
 		ReplayRanks: w.ReplayRanks, NoReplay: w.NoReplay, Network: w.Network,
+		Replay: w.Replay, Optimize: w.Optimize,
 		Recompute: w.Recompute,
 	}
 	return nil
@@ -200,10 +225,33 @@ func (e Experiment) normalize(resolve appResolver) (Experiment, error) {
 		e.Kind = KindNode
 	}
 	switch e.Kind {
-	case KindNode, KindFullApp, KindScaling, KindSweep, KindUnconventional:
+	case KindNode, KindFullApp, KindScaling, KindSweep, KindUnconventional, KindOptimize:
 	default:
-		return Experiment{}, fmt.Errorf("%w %q (valid: %s, %s, %s, %s, %s)",
-			ErrBadKind, e.Kind, KindNode, KindFullApp, KindScaling, KindSweep, KindUnconventional)
+		return Experiment{}, fmt.Errorf("%w %q (valid: %s, %s, %s, %s, %s, %s)",
+			ErrBadKind, e.Kind, KindNode, KindFullApp, KindScaling, KindSweep, KindUnconventional, KindOptimize)
+	}
+
+	// Fold the nested replay sub-spec into the flat alias fields the rest
+	// of normalization (and the canonical encoding) works on. A flat field
+	// that was set explicitly must agree with the nested spelling.
+	if e.Replay != nil {
+		r := *e.Replay
+		if e.ReplayRanks != nil && !slices.Equal(e.ReplayRanks, r.Ranks) {
+			return Experiment{}, fmt.Errorf("%w: ReplayRanks %v vs Replay.Ranks %v", ErrSpecConflict, e.ReplayRanks, r.Ranks)
+		}
+		if e.NoReplay && !r.Disable {
+			return Experiment{}, fmt.Errorf("%w: NoReplay set but Replay.Disable is not", ErrSpecConflict)
+		}
+		if e.Network != "" && r.Network != "" && e.Network != r.Network {
+			return Experiment{}, fmt.Errorf("%w: Network %q vs Replay.Network %q", ErrSpecConflict, e.Network, r.Network)
+		}
+		if r.Ranks != nil {
+			e.ReplayRanks = r.Ranks
+		}
+		e.NoReplay = e.NoReplay || r.Disable
+		if r.Network != "" {
+			e.Network = r.Network
+		}
 	}
 
 	// Fidelity knobs are kind-independent.
@@ -215,9 +263,10 @@ func (e Experiment) normalize(resolve appResolver) (Experiment, error) {
 		e.Seed = 1
 	}
 
-	// Application resolution.
+	// Application resolution. An optimize search targets one application:
+	// its probes answer a question about that app, not a cross-app survey.
 	switch e.Kind {
-	case KindNode, KindFullApp, KindScaling:
+	case KindNode, KindFullApp, KindScaling, KindOptimize:
 		if len(e.Apps) > 0 {
 			return Experiment{}, fmt.Errorf("%w: %s experiments take App, not Apps", ErrExperiment, e.Kind)
 		}
@@ -273,9 +322,9 @@ func (e Experiment) normalize(resolve appResolver) (Experiment, error) {
 		if e.PointIndices != nil {
 			return Experiment{}, fmt.Errorf("%w: PointIndices is a sweep field", ErrBadPoint)
 		}
-	case KindSweep:
+	case KindSweep, KindOptimize:
 		if e.Arch != nil || e.PointIndex != nil {
-			return Experiment{}, fmt.Errorf("%w: sweeps take PointIndices, not Arch/PointIndex", ErrBadArch)
+			return Experiment{}, fmt.Errorf("%w: %s experiments take PointIndices, not Arch/PointIndex", ErrBadArch, e.Kind)
 		}
 		if e.PointIndices != nil {
 			if len(e.PointIndices) == 0 {
@@ -332,9 +381,12 @@ func (e Experiment) normalize(resolve appResolver) (Experiment, error) {
 		return Experiment{}, fmt.Errorf("%w: CoreCounts is a scaling field", ErrBadCoreCounts)
 	}
 
-	// Replay configuration and network.
+	// Replay configuration and network. Optimize experiments carry the
+	// full-fidelity (final-rung) replay configuration: cheap rungs drop the
+	// replay stage on their own, and the final rung reuses these fields
+	// verbatim so its probes share store keys with an equivalent sweep.
 	switch e.Kind {
-	case KindNode, KindSweep:
+	case KindNode, KindSweep, KindOptimize:
 		if e.ReplayRanks != nil && len(e.ReplayRanks) == 0 {
 			// An explicit empty list means node-only, like NoReplay.
 			e.NoReplay, e.ReplayRanks = true, nil
@@ -376,6 +428,38 @@ func (e Experiment) normalize(resolve appResolver) (Experiment, error) {
 		}
 	}
 
+	// Optimize sub-spec: validated and materialized on KindOptimize,
+	// rejected everywhere else.
+	if e.Kind == KindOptimize {
+		spec := e.Optimize
+		if spec == nil {
+			spec = &OptimizeSpec{}
+		}
+		n := len(e.PointIndices)
+		if n == 0 {
+			n = PointCount()
+		}
+		ns, err := spec.normalized(n)
+		if err != nil {
+			return Experiment{}, err
+		}
+		e.Optimize = ns
+	} else if e.Optimize != nil {
+		return Experiment{}, fmt.Errorf("%w: Optimize applies to %s experiments only", ErrBadOptimize, KindOptimize)
+	}
+
+	// The normalized form carries the nested replay spelling alongside the
+	// flat alias fields, mirroring them exactly (Normalize is idempotent:
+	// re-folding an equal mirror is a no-op).
+	switch e.Kind {
+	case KindNode, KindSweep, KindOptimize:
+		e.Replay = &ReplaySpec{Ranks: e.ReplayRanks, Disable: e.NoReplay, Network: e.Network}
+	case KindFullApp, KindScaling:
+		e.Replay = &ReplaySpec{Network: e.Network}
+	default:
+		e.Replay = nil
+	}
+
 	return e, nil
 }
 
@@ -400,6 +484,10 @@ type canonicalExperiment struct {
 	ReplayRanks  []int         `json:"replayRanks,omitempty"`
 	Network      *net.Model    `json:"network,omitempty"`
 	NoReplay     bool          `json:"noReplay,omitempty"`
+	// Optimize is only set on KindOptimize experiments (nil elsewhere and
+	// omitted, so the encodings — and store keys — of every pre-existing
+	// kind are byte-identical to schema v3 before the field existed).
+	Optimize *OptimizeSpec `json:"optimize,omitempty"`
 }
 
 // CanonicalJSON returns the canonical encoding of the experiment: the
@@ -427,6 +515,7 @@ func (e Experiment) canonicalJSON(custom *apps.Profile, model *net.Model) ([]byt
 		Sample: e.Sample, Warmup: e.Warmup, Seed: e.Seed,
 		Ranks: e.Ranks, CoreCounts: e.CoreCounts,
 		ReplayRanks: e.ReplayRanks, NoReplay: e.NoReplay,
+		Optimize: e.Optimize,
 	}
 	switch {
 	case model != nil:

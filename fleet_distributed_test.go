@@ -159,8 +159,8 @@ func TestFleetShardMergeDeterminism(t *testing.T) {
 			if st := coord.Stats(); st.Remote != int64(len(exp.PointIndices)) {
 				t.Fatalf("remote-computed = %d, want %d", st.Remote, len(exp.PointIndices))
 			}
-			if coord.StoreLen() != len(exp.PointIndices) {
-				t.Fatalf("coordinator store has %d entries, want %d", coord.StoreLen(), len(exp.PointIndices))
+			if n := coord.Snapshot().Store.Len; n != len(exp.PointIndices) {
+				t.Fatalf("coordinator store has %d entries, want %d", n, len(exp.PointIndices))
 			}
 
 			// Store-key interop: a single-point node experiment over a swept
@@ -406,7 +406,7 @@ func TestFleetWorkerReusesCoordinatorArtifacts(t *testing.T) {
 	if st := coord.Stats(); st.ArtifactsPushed == 0 {
 		t.Fatal("coordinator pushed no artifacts")
 	}
-	ws := workerClient.ArtifactStats()
+	ws := workerClient.Snapshot().Artifacts.Stats
 	if ws.Annotations.Misses != 0 {
 		t.Fatalf("worker rebuilt %d annotations despite coordinator pushes: %+v", ws.Annotations.Misses, ws)
 	}

@@ -10,6 +10,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"musa"
@@ -25,6 +26,8 @@ import (
 //	GET  /capacity     advertised MaxJobs and in-flight jobs (fleet probe)
 //	POST /simulate     one node experiment (store-backed, coalesced)
 //	POST /dse          sweep experiment; streams NDJSON progress then the result
+//	POST /optimize     successive-halving search; streams NDJSON progress and
+//	                   rung events, then the OptimizeResult
 //	POST /shard        sweep subset for a fleet coordinator; plain JSON reply
 //	GET  /artifact/{key}  one encoded sweep artifact from the artifact cache
 //	PUT  /artifact/{key}  store an artifact (fleet coordinators push these
@@ -90,8 +93,7 @@ func NewHandler(svc *Service, opts ...Option) http.Handler {
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		c := svc.Client()
-		ranks, network, disabled := c.ReplayDefaults()
-		memtable, blockCache := c.StoreConfig()
+		snap := c.Snapshot()
 		ringInfo := map[string]any{"enabled": false}
 		if rg := c.Ring(); rg != nil {
 			ringInfo = map[string]any{
@@ -105,40 +107,43 @@ func NewHandler(svc *Service, opts ...Option) http.Handler {
 			admInfo["limit"] = cap(svc.adm.sem)
 			admInfo["queue"] = svc.adm.queueDepth
 		}
+		// The wire shape predates Client.Snapshot and is kept stable: the
+		// fleet migration tooling reads .store.engine.* and .stored.
 		writeJSON(w, http.StatusOK, map[string]any{
-			"service": c.Stats(),
-			"stored":  c.StoreLen(),
+			"service": snap.Stats,
+			"stored":  snap.Store.Len,
 			"store": map[string]any{
-				"readOnly":        c.StoreReadOnly(),
-				"engine":          c.StoreEngineStats(),
-				"memtableBytes":   memtable,
-				"blockCacheBytes": blockCache,
+				"readOnly":        snap.Store.ReadOnly,
+				"engine":          snap.Store.Engine,
+				"memtableBytes":   snap.Store.MemtableBytes,
+				"blockCacheBytes": snap.Store.BlockCacheBytes,
 			},
 			"ring":      ringInfo,
 			"admission": admInfo,
 			"artifacts": map[string]any{
-				"enabled": c.ArtifactsEnabled(),
-				"cache":   c.ArtifactStats(),
+				"enabled": snap.Artifacts.Enabled,
+				"cache":   snap.Artifacts.Stats,
 			},
 			"replay": map[string]any{
-				"disabled": disabled,
-				"ranks":    ranks,
-				"network":  network,
+				"disabled": snap.Replay.Disabled,
+				"ranks":    snap.Replay.Ranks,
+				"network":  snap.Replay.Network,
 			},
 			"schemaVersion":         store.SchemaVersion,
 			"artifactSchemaVersion": dse.ArtifactSchemaVersion,
 		})
 	})
 	mux.HandleFunc("GET /capacity", func(w http.ResponseWriter, r *http.Request) {
-		c := svc.Client()
+		snap := svc.Client().Snapshot()
 		writeJSON(w, http.StatusOK, map[string]any{
-			"maxJobs":  c.MaxJobs(),
-			"inFlight": c.InFlight(),
-			"stored":   c.StoreLen(),
+			"maxJobs":  snap.Jobs.Max,
+			"inFlight": snap.Jobs.InFlight,
+			"stored":   snap.Store.Len,
 		})
 	})
 	mux.HandleFunc("POST /simulate", svc.gate("simulate", svc.handleSimulate))
 	mux.HandleFunc("POST /dse", svc.gate("dse", svc.handleDSE))
+	mux.HandleFunc("POST /optimize", svc.gate("optimize", svc.handleOptimize))
 	mux.HandleFunc("POST /shard", svc.gate("shard", svc.handleShard))
 	mux.HandleFunc("GET /healthz", svc.handleHealthz)
 	mux.HandleFunc("GET /membership", svc.handleMembershipGet)
@@ -159,6 +164,32 @@ func experimentStatus(err error) int {
 	return http.StatusInternalServerError
 }
 
+// pointAliasOnce gates the once-per-process deprecation log line below.
+var pointAliasOnce sync.Once
+
+// noteDeprecatedAliases inspects a raw experiment body for legacy wire
+// spellings — today only the "point" alias for "arch" — and records their
+// use: one musa_http_deprecated_total{field} increment per request plus a
+// single log line per process. The alias still decodes; it is slated for
+// removal with wire schema v4 (see DESIGN.md "Deprecations").
+func (s *Service) noteDeprecatedAliases(body []byte) {
+	var probe struct {
+		Point json.RawMessage `json:"point"`
+	}
+	if json.Unmarshal(body, &probe) != nil || probe.Point == nil {
+		return
+	}
+	if s.reg != nil {
+		s.reg.Counter("musa_http_deprecated_total",
+			"Requests using deprecated wire-format fields.",
+			obs.L("field", "point")).Inc()
+	}
+	pointAliasOnce.Do(func() {
+		errorLog.Printf(`deprecated: request used the legacy "point" key; ` +
+			`send "arch" instead — "point" is removed in wire schema v4 (see DESIGN.md)`)
+	})
+}
+
 func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	// The raw body is kept so a non-owner replica can forward it byte for
 	// byte to the ring owner (routeSimulate below).
@@ -172,6 +203,7 @@ func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	s.noteDeprecatedAliases(body)
 	if e.Kind != "" && e.Kind != musa.KindNode {
 		httpError(w, http.StatusBadRequest,
 			fmt.Errorf("%w: /simulate runs %q experiments, got %q", musa.ErrBadKind, musa.KindNode, e.Kind))
@@ -208,6 +240,7 @@ func (s *Service) handleDSE(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	s.noteDeprecatedAliases(body)
 	// Stream-control fields ride alongside the experiment on the wire.
 	var ctl struct {
 		ProgressEvery int `json:"progressEvery"`
@@ -288,6 +321,93 @@ func (s *Service) handleDSE(w http.ResponseWriter, r *http.Request) {
 	emit(out)
 }
 
+// handleOptimize runs a successive-halving search and streams its life as
+// NDJSON: cumulative probe progress, one "rung" event per completed ladder
+// level, then the "result" event carrying the full OptimizeResult (Pareto
+// frontier, recommendation, cost accounting). Like /dse, the request is
+// validated before the 200 status commits the stream.
+func (s *Service) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	var e musa.Experiment
+	if err := json.Unmarshal(body, &e); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.noteDeprecatedAliases(body)
+	var ctl struct {
+		ProgressEvery int `json:"progressEvery"`
+	}
+	if err := json.Unmarshal(body, &ctl); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if e.Kind != "" && e.Kind != musa.KindOptimize {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("%w: /optimize runs %q experiments, got %q", musa.ErrBadKind, musa.KindOptimize, e.Kind))
+		return
+	}
+	e.Kind = musa.KindOptimize
+	if err := e.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	every := ctl.ProgressEvery
+	if every <= 0 {
+		every = 50
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	var streamErr error
+	emit := func(v any) {
+		if streamErr != nil {
+			return
+		}
+		if err := r.Context().Err(); err != nil {
+			streamErr = err
+			return
+		}
+		if err := enc.Encode(v); err != nil {
+			streamErr = err
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	start := time.Now()
+	var done, total, cached int
+	res, err := s.c.RunStream(r.Context(), e, musa.Observer{
+		Progress: func(d, t, c int) {
+			done, total, cached = d, t, c
+			if d%every == 0 || d == t {
+				emit(map[string]any{"type": "progress", "done": d, "total": t, "cached": c})
+			}
+		},
+		Rung: func(rs musa.RungSummary) {
+			emit(map[string]any{"type": "rung", "rung": rs})
+		},
+	})
+	if err != nil {
+		emit(map[string]any{"type": "error", "error": err.Error(),
+			"done": done, "total": total, "cached": cached})
+		return
+	}
+	emit(map[string]any{
+		"type":      "result",
+		"optimize":  res.Optimize,
+		"cached":    cached,
+		"elapsedMs": float64(time.Since(start).Microseconds()) / 1e3,
+	})
+}
+
 // handleShard executes a sweep subset on behalf of a fleet coordinator and
 // returns the measurements as one plain JSON document: unlike the
 // NDJSON-streaming /dse endpoint, a shard reply must be all-or-nothing so
@@ -358,7 +478,7 @@ func (s *Service) handleArtifactPut(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("serve: bad artifact key %q", key))
 		return
 	}
-	if !s.c.ArtifactsEnabled() {
+	if !s.c.Snapshot().Artifacts.Enabled {
 		httpError(w, http.StatusServiceUnavailable, errors.New("serve: artifact cache disabled"))
 		return
 	}

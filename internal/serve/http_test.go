@@ -464,8 +464,8 @@ func TestCapacityEndpoint(t *testing.T) {
 	if code := getJSON(t, ts.URL+"/capacity", &cap); code != http.StatusOK {
 		t.Fatalf("/capacity -> %d", code)
 	}
-	if cap.MaxJobs != svc.Client().MaxJobs() || cap.MaxJobs != 4 {
-		t.Fatalf("/capacity maxJobs = %d, want %d", cap.MaxJobs, svc.Client().MaxJobs())
+	if jobs := svc.Client().Snapshot().Jobs; cap.MaxJobs != jobs.Max || cap.MaxJobs != 4 {
+		t.Fatalf("/capacity maxJobs = %d, want %d", cap.MaxJobs, jobs.Max)
 	}
 	if cap.InFlight != 0 {
 		t.Fatalf("/capacity inFlight = %d on an idle server", cap.InFlight)
@@ -492,8 +492,8 @@ func TestShardEndpoint(t *testing.T) {
 			t.Fatalf("malformed shard measurement: %+v", m)
 		}
 	}
-	if svc.Client().StoreLen() != 3 {
-		t.Fatalf("shard did not checkpoint into the worker store: %d entries", svc.Client().StoreLen())
+	if n := svc.Client().Snapshot().Store.Len; n != 3 {
+		t.Fatalf("shard did not checkpoint into the worker store: %d entries", n)
 	}
 
 	// The same shard again is a pure store read.

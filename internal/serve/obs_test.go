@@ -265,7 +265,7 @@ func TestDebugTraceEndpoint(t *testing.T) {
 // artifact-cache counters do not advance for any of them.
 func TestArtifactErrorPaths(t *testing.T) {
 	ts, svc, _, _ := obsServer(t)
-	before := svc.Client().ArtifactStats()
+	before := svc.Client().Snapshot().Artifacts.Stats
 
 	put := func(key, body string) int {
 		req, err := http.NewRequest(http.MethodPut, ts.URL+"/artifact/"+key, strings.NewReader(body))
@@ -307,7 +307,7 @@ func TestArtifactErrorPaths(t *testing.T) {
 		t.Fatalf("PUT oversized body = %d, want 413", code)
 	}
 
-	if after := svc.Client().ArtifactStats(); after != before {
+	if after := svc.Client().Snapshot().Artifacts.Stats; after != before {
 		t.Fatalf("artifact counters advanced on error paths:\nbefore %+v\nafter  %+v", before, after)
 	}
 }

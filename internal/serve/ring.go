@@ -188,10 +188,11 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusServiceUnavailable
 	}
 	c := s.c
+	jobs := c.Snapshot().Jobs
 	out := map[string]any{
 		"status":   state.String(),
-		"inFlight": c.InFlight(),
-		"maxJobs":  c.MaxJobs(),
+		"inFlight": jobs.InFlight,
+		"maxJobs":  jobs.Max,
 	}
 	if s.adm != nil {
 		out["admitted"] = len(s.adm.sem)

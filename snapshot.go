@@ -1,0 +1,210 @@
+package musa
+
+import (
+	"path/filepath"
+
+	"musa/internal/store"
+	"musa/internal/store/lsm"
+)
+
+// Snapshot is one coherent view of everything a Client exposes for
+// introspection: the request counters, job-pool occupancy, result-store
+// state and effective sizing, the artifact cache, and the default replay
+// configuration. It replaces the former per-facet accessor methods
+// (StoreLen, StoreEngineStats, ArtifactStats, InFlight, ...), which
+// remain as thin deprecated wrappers. The struct marshals cleanly, so
+// /stats-style endpoints can serve it (or pieces of it) directly.
+type Snapshot struct {
+	// Stats are the client request counters.
+	Stats ClientStats `json:"stats"`
+	// Jobs is the simulation job pool's occupancy.
+	Jobs JobsSnapshot `json:"jobs"`
+	// Store is the result store's state (Enabled false without CacheDir).
+	Store StoreSnapshot `json:"store"`
+	// Artifacts is the artifact cache's state (Enabled false with
+	// NoArtifacts).
+	Artifacts ArtifactsSnapshot `json:"artifacts"`
+	// Replay is the client's default replay configuration.
+	Replay ReplaySnapshot `json:"replay"`
+}
+
+// JobsSnapshot is the job pool's occupancy: Max is the concurrent-job
+// bound a musa-serve worker advertises on /capacity, InFlight how many
+// jobs currently hold a slot.
+type JobsSnapshot struct {
+	Max      int `json:"max"`
+	InFlight int `json:"inFlight"`
+}
+
+// StoreSnapshot is the result store's state: entry count, writer mode,
+// the LSM engine counters, and the effective engine sizing with defaults
+// resolved (what the store actually runs with, not what the flags said).
+type StoreSnapshot struct {
+	Enabled         bool      `json:"enabled"`
+	ReadOnly        bool      `json:"readOnly"`
+	Len             int       `json:"len"`
+	Engine          lsm.Stats `json:"engine"`
+	MemtableBytes   int64     `json:"memtableBytes"`
+	BlockCacheBytes int64     `json:"blockCacheBytes"`
+	// Dir is the store directory ("" without one).
+	Dir string `json:"dir,omitempty"`
+}
+
+// ArtifactsSnapshot is the artifact cache's state. Err carries the first
+// swallowed blob I/O error as text (the cache is best-effort; a failing
+// disk degrades it to rebuild-every-time rather than failing runs).
+type ArtifactsSnapshot struct {
+	Enabled bool          `json:"enabled"`
+	Stats   ArtifactStats `json:"stats"`
+	Err     string        `json:"err,omitempty"`
+	// Dir is the cache directory ("" for the in-memory cache).
+	Dir string `json:"dir,omitempty"`
+}
+
+// ReplaySnapshot is the client's normalized default replay configuration
+// for experiments that do not set their own.
+type ReplaySnapshot struct {
+	Disabled bool   `json:"disabled"`
+	Ranks    []int  `json:"ranks,omitempty"`
+	Network  string `json:"network,omitempty"`
+}
+
+// Snapshot returns one coherent introspection snapshot of the client.
+// The facets are read independently (each atomically consistent with
+// itself); taking a snapshot is cheap enough for scrape paths.
+func (c *Client) Snapshot() Snapshot {
+	return Snapshot{
+		Stats:     c.Stats(),
+		Jobs:      JobsSnapshot{Max: cap(c.sem), InFlight: len(c.sem)},
+		Store:     c.storeSnapshot(),
+		Artifacts: c.artifactsSnapshot(),
+		Replay:    c.replaySnapshot(),
+	}
+}
+
+func (c *Client) storeSnapshot() StoreSnapshot {
+	memtable := int64(c.opts.StoreMemtableBytes)
+	if memtable <= 0 {
+		memtable = lsm.DefaultMemtableBytes
+	}
+	blockCache := c.opts.StoreBlockCacheBytes
+	if blockCache == 0 {
+		blockCache = lsm.DefaultBlockCacheBytes
+	}
+	if blockCache < 0 {
+		blockCache = 0 // disabled
+	}
+	out := StoreSnapshot{
+		Enabled:         c.st != nil,
+		MemtableBytes:   memtable,
+		BlockCacheBytes: blockCache,
+		Dir:             c.opts.CacheDir,
+	}
+	if c.st != nil {
+		out.ReadOnly = c.st.ReadOnly()
+		out.Len = c.st.Len()
+		out.Engine = c.st.EngineStats()
+	}
+	return out
+}
+
+func (c *Client) artifactsSnapshot() ArtifactsSnapshot {
+	if c.art == nil {
+		return ArtifactsSnapshot{}
+	}
+	out := ArtifactsSnapshot{Enabled: true, Stats: c.art.Stats()}
+	if err := c.art.Err(); err != nil {
+		out.Err = err.Error()
+	}
+	if dir := c.opts.ArtifactCache; dir != "" {
+		out.Dir = dir
+	} else if c.opts.CacheDir != "" {
+		out.Dir = filepath.Join(c.opts.CacheDir, "artifacts")
+	}
+	return out
+}
+
+func (c *Client) replaySnapshot() ReplaySnapshot {
+	if c.opts.NoReplay {
+		return ReplaySnapshot{Disabled: true}
+	}
+	ranks := c.opts.ReplayRanks
+	if ranks == nil {
+		ranks = DefaultReplayRanks()
+	}
+	network := c.opts.Network
+	if network == "" {
+		network = "mn4"
+	}
+	return ReplaySnapshot{Ranks: ranks, Network: network}
+}
+
+// Deprecated accessor wrappers. Each predates Snapshot and survives for
+// API compatibility only; new code reads the corresponding Snapshot
+// field.
+
+// MaxJobs returns the client's concurrent-job bound.
+//
+// Deprecated: read Snapshot().Jobs.Max.
+func (c *Client) MaxJobs() int { return cap(c.sem) }
+
+// InFlight returns the number of simulation jobs currently holding a slot.
+//
+// Deprecated: read Snapshot().Jobs.InFlight.
+func (c *Client) InFlight() int { return len(c.sem) }
+
+// StoreLen returns the number of measurements in the result store (0
+// without one).
+//
+// Deprecated: read Snapshot().Store.Len.
+func (c *Client) StoreLen() int { return c.storeSnapshot().Len }
+
+// StoreEngineStats returns a snapshot of the result store's LSM engine
+// counters (zero without a CacheDir).
+//
+// Deprecated: read Snapshot().Store.Engine.
+func (c *Client) StoreEngineStats() lsm.Stats { return c.storeSnapshot().Engine }
+
+// StoreReadOnly reports whether the result store was opened read-only.
+//
+// Deprecated: read Snapshot().Store.ReadOnly.
+func (c *Client) StoreReadOnly() bool { return c.storeSnapshot().ReadOnly }
+
+// StoreConfig returns the result store's effective engine sizing.
+//
+// Deprecated: read Snapshot().Store.MemtableBytes / BlockCacheBytes.
+func (c *Client) StoreConfig() (memtableBytes int64, blockCacheBytes int64) {
+	s := c.storeSnapshot()
+	return s.MemtableBytes, s.BlockCacheBytes
+}
+
+// ArtifactsEnabled reports whether the client holds an artifact cache.
+//
+// Deprecated: read Snapshot().Artifacts.Enabled.
+func (c *Client) ArtifactsEnabled() bool { return c.art != nil }
+
+// ArtifactStats returns a snapshot of the artifact-cache counters (zero
+// with NoArtifacts).
+//
+// Deprecated: read Snapshot().Artifacts.Stats.
+func (c *Client) ArtifactStats() store.ArtifactStats { return c.artifactsSnapshot().Stats }
+
+// ArtifactErr returns the first artifact blob I/O error the cache
+// swallowed.
+//
+// Deprecated: read Snapshot().Artifacts.Err.
+func (c *Client) ArtifactErr() error {
+	if c.art == nil {
+		return nil
+	}
+	return c.art.Err()
+}
+
+// ReplayDefaults returns the client's normalized default replay
+// configuration.
+//
+// Deprecated: read Snapshot().Replay.
+func (c *Client) ReplayDefaults() (ranks []int, network string, disabled bool) {
+	r := c.replaySnapshot()
+	return r.Ranks, r.Network, r.Disabled
+}
