@@ -43,8 +43,8 @@ func TestSweepColdVsWarmArtifacts(t *testing.T) {
 		t.Fatal(err)
 	}
 	cs := cold.Snapshot().Artifacts.Stats
-	if cs.Annotations.Misses == 0 || cs.Annotations.Puts == 0 {
-		t.Fatalf("cold run did not build and persist annotations: %+v", cs)
+	if cs.HitRates.Misses == 0 || cs.HitRates.Puts == 0 {
+		t.Fatalf("cold run did not build and persist hit-rate tables: %+v", cs)
 	}
 	if cs.Entries == 0 || cs.BytesWritten == 0 {
 		t.Fatalf("cold run persisted nothing: %+v", cs)
@@ -75,8 +75,8 @@ func TestSweepColdVsWarmArtifacts(t *testing.T) {
 		t.Fatalf("warm dataset differs from cold:\n%s\nvs\n%s", got, want)
 	}
 	ws := warm.Snapshot().Artifacts.Stats
-	if ws.Annotations.Misses != 0 || ws.Annotations.Hits == 0 {
-		t.Fatalf("warm run rebuilt annotations: %+v", ws.Annotations)
+	if ws.HitRates.Misses != 0 || ws.HitRates.Hits == 0 {
+		t.Fatalf("warm run rebuilt hit-rate tables: %+v", ws.HitRates)
 	}
 	if ws.LatencyModels.Misses != 0 || ws.Bursts.Misses != 0 {
 		t.Fatalf("warm run rebuilt latency models or bursts: %+v", ws)

@@ -161,8 +161,8 @@ func BenchmarkClientSweepWarmArtifacts(b *testing.B) {
 			b.Fatalf("%d measurements", len(res.Sweep.Measurements))
 		}
 	}
-	if st := client.Snapshot().Artifacts.Stats; st.Annotations.Misses != 0 {
-		b.Fatalf("warm benchmark rebuilt %d annotations", st.Annotations.Misses)
+	if st := client.Snapshot().Artifacts.Stats; st.HitRates.Misses != 0 {
+		b.Fatalf("warm benchmark rebuilt %d hit-rate tables", st.HitRates.Misses)
 	}
 }
 

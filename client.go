@@ -877,7 +877,7 @@ func (c *Client) RegisterMetrics(reg *obs.Registry) {
 		kind string
 		get  func(ArtifactStats) store.ArtifactKindStats
 	}{
-		{string(dse.ArtifactAnnotation), func(s ArtifactStats) store.ArtifactKindStats { return s.Annotations }},
+		{string(dse.ArtifactHitRates), func(s ArtifactStats) store.ArtifactKindStats { return s.HitRates }},
 		{string(dse.ArtifactLatencyModel), func(s ArtifactStats) store.ArtifactKindStats { return s.LatencyModels }},
 		{string(dse.ArtifactBurst), func(s ArtifactStats) store.ArtifactKindStats { return s.Bursts }},
 	}

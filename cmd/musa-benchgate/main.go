@@ -6,8 +6,9 @@
 //	go test -run '^$' -bench 'ClientSweepReduced|SweepReplayOverhead' -benchtime 1x . | tee bench.txt
 //	musa-benchgate -in bench.txt -out BENCH_4.json -baseline bench/BENCH_baseline.json
 //
-// The tool parses the standard benchmark lines (name, iterations, ns/op),
-// writes them as a JSON document, and — when a baseline is given — fails
+// The tool parses the standard benchmark lines (name, iterations, ns/op,
+// plus -benchmem's B/op and allocs/op when present), writes them as a JSON
+// document, and — when a baseline is given — fails
 // with exit status 1 if any benchmark regressed by more than -max-regress
 // (default 0.25, i.e. >25% slower than the checked-in baseline) or
 // disappeared. Benchmarks absent from the baseline (newly added ones) are
@@ -36,15 +37,20 @@ type BenchFile struct {
 	Benchmarks []Bench `json:"benchmarks"`
 }
 
-// Bench is one parsed benchmark result. Extra carries any custom
-// b.ReportMetric pairs trailing the ns/op column (unit -> value), e.g. the
-// optimizer's probe-cost-ratio; extras ride along in the artifact and the
-// report but are never gated.
+// Bench is one parsed benchmark result. BytesPerOp and AllocsPerOp are
+// filled when the run used -benchmem; they appear in the artifact and the
+// report as allocation-trajectory columns but are never gated (allocation
+// counts shift with compiler versions in ways wall time does not). Extra
+// carries any further custom b.ReportMetric pairs trailing the ns/op column
+// (unit -> value), e.g. the optimizer's probe-cost-ratio; extras ride along
+// in the artifact and the report but are never gated either.
 type Bench struct {
-	Name    string             `json:"name"`
-	Iters   int64              `json:"iters"`
-	NsPerOp float64            `json:"nsPerOp"`
-	Extra   map[string]float64 `json:"extra,omitempty"`
+	Name        string             `json:"name"`
+	Iters       int64              `json:"iters"`
+	NsPerOp     float64            `json:"nsPerOp"`
+	BytesPerOp  float64            `json:"bytesPerOp,omitempty"`
+	AllocsPerOp float64            `json:"allocsPerOp,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // benchLine matches `BenchmarkName-8   12   3456 ns/op [...]`; the GOMAXPROCS
@@ -128,16 +134,25 @@ func Parse(r io.Reader) (*BenchFile, error) {
 		b := Bench{Name: m[1], Iters: iters, NsPerOp: ns}
 		// Trailing `value unit` pairs: testing's standard extras (B/op,
 		// allocs/op, MB/s) and anything a benchmark adds via b.ReportMetric.
+		// The -benchmem pair gets first-class columns; the rest lands in
+		// Extra.
 		fields := strings.Fields(m[4])
 		for i := 0; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
 				return nil, fmt.Errorf("bad metric value in %q: %v", sc.Text(), err)
 			}
-			if b.Extra == nil {
-				b.Extra = map[string]float64{}
+			switch fields[i+1] {
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			default:
+				if b.Extra == nil {
+					b.Extra = map[string]float64{}
+				}
+				b.Extra[fields[i+1]] = v
 			}
-			b.Extra[fields[i+1]] = v
 		}
 		out.Benchmarks = append(out.Benchmarks, b)
 	}
@@ -194,15 +209,20 @@ func Gate(base, cur *BenchFile, maxRegress float64) (report []string, failed boo
 	return report, failed
 }
 
-// extraLines renders a benchmark's custom metrics (probe-cost-ratio and
-// friends) as informational report lines; they never gate.
+// extraLines renders a benchmark's non-time metrics — the -benchmem columns
+// and custom b.ReportMetric pairs (probe-cost-ratio and friends) — as
+// informational report lines; they never gate.
 func extraLines(b Bench) []string {
+	var out []string
+	if b.BytesPerOp != 0 || b.AllocsPerOp != 0 {
+		out = append(out, fmt.Sprintf("info %s: %.0f B/op, %.0f allocs/op (reported, not gated)",
+			b.Name, b.BytesPerOp, b.AllocsPerOp))
+	}
 	units := make([]string, 0, len(b.Extra))
 	for u := range b.Extra {
 		units = append(units, u)
 	}
 	sort.Strings(units)
-	out := make([]string, 0, len(units))
 	for _, u := range units {
 		out = append(out, fmt.Sprintf("info %s: %g %s (reported, not gated)", b.Name, b.Extra[u], u))
 	}

@@ -34,10 +34,12 @@ func TestParse(t *testing.T) {
 		// keeps sub-benchmark parameters out of its way.
 		{Name: "BenchmarkAblationFusionWindow/minrun=16", Iters: 1, NsPerOp: 8399523},
 		{Name: "BenchmarkClientSweepReduced", Iters: 1, NsPerOp: 2045670000},
-		// Trailing `value unit` pairs — testing's standard extras and
-		// b.ReportMetric outputs — land in Extra.
+		// Trailing `value unit` pairs: -benchmem's B/op and allocs/op get
+		// the first-class columns, custom b.ReportMetric outputs land in
+		// Extra.
 		{Name: "BenchmarkOptimizeReference", Iters: 1, NsPerOp: 432100000,
-			Extra: map[string]float64{"probe-cost-ratio": 0.199, "B/op": 2048, "allocs/op": 7}},
+			BytesPerOp: 2048, AllocsPerOp: 7,
+			Extra: map[string]float64{"probe-cost-ratio": 0.199}},
 		{Name: "BenchmarkSweepReplayOverhead/node-only", Iters: 1, NsPerOp: 901000000},
 		{Name: "BenchmarkSweepReplayOverhead/replay", Iters: 2, NsPerOp: 1202000000},
 		{Name: "BenchmarkTable1DesignSpace", Iters: 1, NsPerOp: 164989},
@@ -59,9 +61,11 @@ func TestGate(t *testing.T) {
 		{Name: "Gone", NsPerOp: 1000},
 	}}
 	cur := &BenchFile{Benchmarks: []Bench{
-		// +24.9%: inside the gate. Its custom metric is reported but can
-		// never fail the gate, whatever its value does vs the baseline.
-		{Name: "A", NsPerOp: 1249, Extra: map[string]float64{"probe-cost-ratio": 0.199}},
+		// +24.9%: inside the gate. Its custom metric and -benchmem columns
+		// are reported but can never fail the gate, whatever their values do
+		// vs the baseline.
+		{Name: "A", NsPerOp: 1249, BytesPerOp: 4096, AllocsPerOp: 12,
+			Extra: map[string]float64{"probe-cost-ratio": 0.199}},
 		{Name: "B", NsPerOp: 1251}, // +25.1%: regression
 		{Name: "New", NsPerOp: 5},  // not in baseline: reported only
 	}}
@@ -71,6 +75,7 @@ func TestGate(t *testing.T) {
 	}
 	joined := strings.Join(report, "\n")
 	for _, want := range []string{"ok   A", "FAIL B", "FAIL Gone", "new  New",
+		"info A: 4096 B/op, 12 allocs/op (reported, not gated)",
 		"info A: 0.199 probe-cost-ratio (reported, not gated)"} {
 		if !strings.Contains(joined, want) {
 			t.Errorf("report missing %q:\n%s", want, joined)

@@ -138,9 +138,9 @@ func main() {
 				st.Requests, st.StoreHits, st.Simulated)
 			as := snap.Artifacts.Stats
 			fmt.Fprintf(os.Stderr,
-				"artifacts: %d entries; ann %d/%d hit/miss, latency %d/%d, burst %d/%d; %d B read, %d B written\n",
+				"artifacts: %d entries; hit-rates %d/%d hit/miss, latency %d/%d, burst %d/%d; %d B read, %d B written\n",
 				as.Entries,
-				as.Annotations.Hits, as.Annotations.Misses,
+				as.HitRates.Hits, as.HitRates.Misses,
 				as.LatencyModels.Hits, as.LatencyModels.Misses,
 				as.Bursts.Hits, as.Bursts.Misses,
 				as.BytesRead, as.BytesWritten)

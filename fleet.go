@@ -285,7 +285,7 @@ func planShards(appNames []string, remaining map[string][]int, keyOf func(app st
 }
 
 // shardArtifactKeys lists the content addresses of every artifact a shard's
-// worker would otherwise build: the group's shared annotation, one DRAM
+// worker would otherwise build: the group's shared hit-rate table, one DRAM
 // latency curve per distinct channel count, and the burst trace of each
 // replayed rank count. The keys match what dse.Run derives on the worker —
 // fidelity is normalized identically on both sides.
@@ -297,7 +297,7 @@ func shardArtifactKeys(ne Experiment, j *shardJob) []string {
 	hash := dse.AppHash(app)
 	grid := tableIGrid()
 	g := grid[j.indices[0]].AnnGroup()
-	keys := []string{dse.AnnotationKey(hash, g, ne.Sample, ne.Warmup, ne.Seed)}
+	keys := []string{dse.HitRateKey(hash, g.CacheGroup(), ne.Sample, ne.Warmup, ne.Seed)}
 	chSeen := map[int]bool{}
 	for _, i := range j.indices {
 		if ch := grid[i].Channels; !chSeen[ch] {

@@ -407,11 +407,11 @@ func TestFleetWorkerReusesCoordinatorArtifacts(t *testing.T) {
 		t.Fatal("coordinator pushed no artifacts")
 	}
 	ws := workerClient.Snapshot().Artifacts.Stats
-	if ws.Annotations.Misses != 0 {
-		t.Fatalf("worker rebuilt %d annotations despite coordinator pushes: %+v", ws.Annotations.Misses, ws)
+	if ws.HitRates.Misses != 0 {
+		t.Fatalf("worker rebuilt %d hit-rate tables despite coordinator pushes: %+v", ws.HitRates.Misses, ws)
 	}
-	if ws.Annotations.Hits == 0 || ws.Annotations.Puts == 0 {
-		t.Fatalf("worker did not receive/reuse pushed annotations: %+v", ws.Annotations)
+	if ws.HitRates.Hits == 0 || ws.HitRates.Puts == 0 {
+		t.Fatalf("worker did not receive/reuse pushed hit-rate tables: %+v", ws.HitRates)
 	}
 	if ws.LatencyModels.Misses != 0 || ws.Bursts.Misses != 0 {
 		t.Fatalf("worker rebuilt latency models or bursts: %+v", ws)

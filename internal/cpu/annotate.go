@@ -6,62 +6,148 @@ import (
 	"musa/internal/xrand"
 )
 
-// Annotated is one instruction with its cache behavior resolved. Cache
-// behavior is independent of core timing and memory latency, so an annotated
-// trace can be replayed through the timing model many times — across the
+// The annotated trace is stored struct-of-arrays: producer distances in two
+// int32 columns and everything else — class, lanes, cache level, flags —
+// packed into one uint32 meta word per instruction. Cache behavior is
+// independent of core timing and memory latency, so an annotated trace can
+// be replayed through the timing model many times — across the
 // bandwidth-contention fixed point and across core/frequency configurations
 // that share the same cache configuration — without re-simulating the cache
 // hierarchy. This mirrors MUSA's split between trace generation and timing
-// simulation and is what makes the 864-point sweep cheap.
-type Annotated struct {
-	Dep1, Dep2 int32
-	Class      isa.Class
-	Lanes      uint8
-	Level      uint8 // cache.Level for memory ops; 0 otherwise
-	Flags      uint8 // bit 0: branch mispredict
+// simulation and is what makes the 864-point sweep cheap; the columnar
+// layout keeps the replay loop streaming three dense arrays instead of
+// loading 12-byte structs.
+
+// Meta word layout. Level holds a cache.Level for memory ops (0 otherwise);
+// Flags is the FlagMispredict bit set.
+const (
+	MetaLanesShift = 8
+	MetaLevelShift = 16
+	MetaFlagsShift = 24
+)
+
+// PackMeta builds one meta word. The FlagFP bit is derived from the class
+// here so the timing loop tests one precomputed bit instead of a class-range
+// comparison per instruction.
+func PackMeta(class isa.Class, lanes, level, flags uint8) uint32 {
+	if class >= isa.FPAdd && class <= isa.FPFMA {
+		flags |= FlagFP
+	}
+	return uint32(class) | uint32(lanes)<<MetaLanesShift |
+		uint32(level)<<MetaLevelShift | uint32(flags)<<MetaFlagsShift
 }
 
-// Flag bits in Annotated.Flags.
-const FlagMispredict = 1
+// MetaClass, MetaLanes, MetaLevel and MetaFlags unpack one meta word.
+func MetaClass(m uint32) isa.Class { return isa.Class(m) }
+func MetaLanes(m uint32) uint8     { return uint8(m >> MetaLanesShift) }
+func MetaLevel(m uint32) uint8     { return uint8(m >> MetaLevelShift) }
+func MetaFlags(m uint32) uint8     { return uint8(m >> MetaFlagsShift) }
 
-// AnnotateResult bundles the annotated trace with the cache statistics of
-// the measured window.
+// Flag bits in the meta word's flags byte. FlagMispredict marks a branch
+// drawn as mispredicted; FlagFP marks a floating-point class (precomputed by
+// PackMeta for the timing loop).
+const (
+	FlagMispredict = 1
+	FlagFP         = 2
+)
+
+// PackDeps folds both producer distances of the instruction at position i
+// into one word (Dep1 in the low half, Dep2 in the high half), resolving
+// the timing model's validity conditions — a producer exists (d > 0), is
+// inside the trace (d <= i) and inside the completion window (d <
+// depWindow) — to zero at build time. The replay loop then tests one word
+// against zero instead of three conditions per distance.
+func PackDeps(i int64, d1, d2 int32) uint32 {
+	var v uint32
+	if d1 > 0 && int64(d1) <= i && d1 < depWindow {
+		v = uint32(d1)
+	}
+	if d2 > 0 && int64(d2) <= i && d2 < depWindow {
+		v |= uint32(d2) << 16
+	}
+	return v
+}
+
+// TraceCounts are the timing-independent aggregates of an annotated trace:
+// pure functions of the meta column, identical for every timing replay of
+// the trace, so they are counted once at build time instead of
+// re-accumulated inside every RunTiming call.
+type TraceCounts struct {
+	Instructions int64 // dynamic ops (after fusion)
+	LaneWork     int64 // total scalar elements
+	Mispredicts  int64
+	ClassOps     [isa.NumClasses]int64
+	ClassLanes   [isa.NumClasses]int64
+}
+
+// CountMeta accumulates the trace aggregates of one meta column.
+func CountMeta(meta []uint32) TraceCounts {
+	var c TraceCounts
+	for _, m := range meta {
+		class := isa.Class(m & 0xff)
+		lanes := int64(uint8(m >> MetaLanesShift))
+		c.Instructions++
+		c.LaneWork += lanes
+		c.ClassOps[class]++
+		c.ClassLanes[class] += lanes
+		if m&(FlagMispredict<<MetaFlagsShift) != 0 {
+			c.Mispredicts++
+		}
+	}
+	return c
+}
+
+// AnnotateResult bundles the annotated trace (struct-of-arrays: Deps and
+// Meta are parallel columns, one entry per fused instruction) with the
+// trace aggregates and the cache statistics of the measured window. Columns
+// may be shared between results (a fused trace overlaid with different
+// cache levels aliases its dependence column), so they must be treated as
+// immutable.
 type AnnotateResult struct {
-	Instrs              []Annotated
+	Deps                []uint32 // PackDeps words
+	Meta                []uint32
+	Counts              TraceCounts
 	L1, L2, L3          cache.Stats
 	MemReads, MemWrites int64
 }
 
+// Len returns the annotated instruction count.
+func (a *AnnotateResult) Len() int { return len(a.Meta) }
+
 // Annotate resolves the cache level of every memory access in the stream
 // and pre-draws branch misprediction outcomes. The hierarchy should already
 // be warm (see Warm); its statistics are reset at the start of annotation so
-// the returned stats cover exactly the annotated window.
-func Annotate(stream isa.Stream, hier *cache.Hierarchy, mispredictRate float64, seed uint64) AnnotateResult {
+// the returned stats cover exactly the annotated window. sizeHint, when
+// positive, preallocates the columns (an upper bound is fine — the caller
+// usually knows the scalar budget the stream was built from, and fusion only
+// shrinks it).
+func Annotate(stream isa.Stream, hier *cache.Hierarchy, mispredictRate float64, seed uint64, sizeHint int) AnnotateResult {
 	hier.ResetStats()
 	rng := xrand.New(seed)
-	var out []Annotated
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	deps := make([]uint32, 0, sizeHint)
+	meta := make([]uint32, 0, sizeHint)
 	for {
 		in, ok := stream.Next()
 		if !ok {
 			break
 		}
-		a := Annotated{
-			Dep1:  in.Dep1,
-			Dep2:  in.Dep2,
-			Class: in.Class,
-			Lanes: in.Lanes,
-		}
+		var level, flags uint8
 		if in.Class.IsMem() {
 			lvl, _ := hier.Access(in.Addr, int(in.Size), in.Class == isa.Store)
-			a.Level = uint8(lvl)
+			level = uint8(lvl)
 		}
 		if in.Class == isa.Branch && mispredictRate > 0 && rng.Bernoulli(mispredictRate) {
-			a.Flags |= FlagMispredict
+			flags |= FlagMispredict
 		}
-		out = append(out, a)
+		deps = append(deps, PackDeps(int64(len(meta)), in.Dep1, in.Dep2))
+		meta = append(meta, PackMeta(in.Class, in.Lanes, level, flags))
 	}
 	return AnnotateResult{
-		Instrs:    out,
+		Deps: deps, Meta: meta,
+		Counts:    CountMeta(meta),
 		L1:        hier.L1Stats(),
 		L2:        hier.L2Stats(),
 		L3:        hier.L3Stats(),
@@ -103,6 +189,12 @@ func (l LevelLatencies) Latency(level uint8) int64 {
 		return l.Mem
 	}
 	return l.L1
+}
+
+// table expands the latencies into a direct-indexed array over cache.Level
+// values (level 0, "not a memory op", maps to L1 like Latency does).
+func (l LevelLatencies) table() [cache.LevelMem + 1]int64 {
+	return [cache.LevelMem + 1]int64{l.L1, l.L1, l.L2, l.L3, l.Mem}
 }
 
 // LatenciesFor derives the level latencies from a hierarchy configuration

@@ -70,18 +70,39 @@ func (r Result) MemRequestsPerCycle() float64 {
 }
 
 // depWindow is the history length for producer lookups. Producer distances
-// beyond this are treated as long-resolved.
+// beyond this are treated as long-resolved. It must stay a power of two:
+// the completion ring is indexed with a mask.
 const depWindow = 512
+
+// levelIndex extracts a meta word's cache level as an index into a
+// LevelLatencies table, mapping out-of-range values (a corrupt artifact) to
+// 0 — the same L1 fallback LevelLatencies.Latency applies.
+func levelIndex(m uint32) uint8 {
+	lvl := uint8(m >> MetaLevelShift)
+	if lvl > uint8(cache.LevelMem) {
+		return 0
+	}
+	return lvl
+}
 
 // RunTiming replays an annotated trace through the one-pass out-of-order
 // timing model (see the package comment) and returns the result. Cache
 // statistics are copied from the annotation. It panics on an invalid
 // configuration.
+//
+// This is the hottest loop of a sweep (it runs once per fixed-point
+// iteration of every point), so it is written allocation-free and
+// division-free: the ROB/store-buffer/register-file rings are indexed by
+// increment-and-wrap cursors instead of runtime modulo (ring sizes are not
+// powers of two), level latencies come from a direct-indexed table, and the
+// trace is consumed as three dense struct-of-arrays columns.
 func RunTiming(cfg Config, ann AnnotateResult, lat LevelLatencies) Result {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	var res Result
+
+	latTab := lat.table()
 
 	// Completion cycles of the last depWindow instructions (ring buffer).
 	var complete [depWindow]int64
@@ -93,6 +114,8 @@ func RunTiming(cfg Config, ann AnnotateResult, lat LevelLatencies) Result {
 	intRF := make([]int64, cfg.IntRF)
 	fpRF := make([]int64, cfg.FPRF)
 	var nInt, nFP, nStores int64
+	// Ring cursors, each maintained as counter-mod-length by wrap-on-equal.
+	var robIdx, sbIdx, intIdx, fpIdx int
 
 	// Port next-free times.
 	aluFree := make([]int64, cfg.ALUs)
@@ -103,98 +126,134 @@ func RunTiming(cfg Config, ann AnnotateResult, lat LevelLatencies) Result {
 	var lastCommit int64    // last in-order commit cycle
 	var commitsInCycle int
 
-	for i64, in := range ann.Instrs {
+	rob := int64(cfg.ROB)
+	sbCap, fpCap, intCap := int64(cfg.StoreBuffer), int64(cfg.FPRF), int64(cfg.IntRF)
+	metas := ann.Meta
+	if len(ann.Deps) < len(metas) {
+		panic("cpu: annotation dep column shorter than meta column")
+	}
+	deps := ann.Deps[:len(metas)] // bounds-check elimination for deps[i64]
+
+	// Stall and occupancy accumulators stay in locals for the duration of
+	// the loop so they can live in registers instead of result-struct
+	// memory.
+	var stallROB, stallSB, stallRF, robOcc int64
+
+	for i64, m := range metas {
 		i := int64(i64)
+		class := isa.Class(m & 0xff)
+		isFP := m&(FlagFP<<MetaFlagsShift) != 0
 
 		// --- Dispatch: in-order, IssueWidth per cycle. ---
 		if inCycle >= cfg.IssueWidth {
 			dispatchCycle++
 			inCycle = 0
 		}
-		// Structural stalls push the dispatch cycle forward.
-		if i >= int64(cfg.ROB) {
-			if free := commitAt[i%int64(cfg.ROB)]; free > dispatchCycle {
-				res.StallROB += free - dispatchCycle
-				dispatchCycle = free
+		// Structural stalls push the dispatch cycle forward. Whether a
+		// resource actually stalls is data-dependent and unpredictable, so
+		// each check is written as max + conditional-move instead of a
+		// branch; the outer saturation conditions are monotone (the
+		// counters never decrease) and predict perfectly.
+		if i >= rob {
+			free := commitAt[robIdx]
+			nd := max(dispatchCycle, free)
+			stallROB += nd - dispatchCycle
+			if nd != dispatchCycle {
 				inCycle = 0
 			}
+			dispatchCycle = nd
 		}
 		switch {
-		case in.Class == isa.Store:
-			if nStores >= int64(cfg.StoreBuffer) {
-				if free := sbFree[nStores%int64(cfg.StoreBuffer)]; free > dispatchCycle {
-					res.StallSB += free - dispatchCycle
-					dispatchCycle = free
+		case class == isa.Store:
+			if nStores >= sbCap {
+				free := sbFree[sbIdx]
+				nd := max(dispatchCycle, free)
+				stallSB += nd - dispatchCycle
+				if nd != dispatchCycle {
 					inCycle = 0
 				}
+				dispatchCycle = nd
 			}
-		case in.Class.IsFP():
-			if nFP >= int64(cfg.FPRF) {
-				if free := fpRF[nFP%int64(cfg.FPRF)]; free > dispatchCycle {
-					res.StallRF += free - dispatchCycle
-					dispatchCycle = free
+		case isFP:
+			if nFP >= fpCap {
+				free := fpRF[fpIdx]
+				nd := max(dispatchCycle, free)
+				stallRF += nd - dispatchCycle
+				if nd != dispatchCycle {
 					inCycle = 0
 				}
+				dispatchCycle = nd
 			}
 		default:
-			if nInt >= int64(cfg.IntRF) {
-				if free := intRF[nInt%int64(cfg.IntRF)]; free > dispatchCycle {
-					res.StallRF += free - dispatchCycle
-					dispatchCycle = free
+			if nInt >= intCap {
+				free := intRF[intIdx]
+				nd := max(dispatchCycle, free)
+				stallRF += nd - dispatchCycle
+				if nd != dispatchCycle {
 					inCycle = 0
 				}
+				dispatchCycle = nd
 			}
 		}
 		disp := dispatchCycle
 		inCycle++
 
-		// --- Ready: wait for producers. ---
-		ready := disp
-		if in.Dep1 > 0 && int64(in.Dep1) <= i && int64(in.Dep1) < depWindow {
-			if t := complete[(i-int64(in.Dep1))%depWindow]; t > ready {
-				ready = t
-			}
+		// --- Ready: wait for producers (validity pre-resolved by PackDeps). ---
+		// Branchless: producer presence is data-dependent and defeats the
+		// branch predictor, so both ring slots are loaded unconditionally
+		// (d == 0 reads the instruction's own slot — a stale value that the
+		// conditional move below discards) and folded in with selects.
+		dp := deps[i64]
+		d1 := int64(dp & 0xffff)
+		d2 := int64(dp >> 16)
+		v1 := complete[(i-d1)&(depWindow-1)]
+		v2 := complete[(i-d2)&(depWindow-1)]
+		if d1 == 0 {
+			v1 = 0
 		}
-		if in.Dep2 > 0 && int64(in.Dep2) <= i && int64(in.Dep2) < depWindow {
-			if t := complete[(i-int64(in.Dep2))%depWindow]; t > ready {
-				ready = t
-			}
+		if d2 == 0 {
+			v2 = 0
 		}
+		ready := max(disp, max(v1, v2))
 
 		// --- Issue to a port. ---
 		var ports []int64
-		if in.Class.IsFP() {
+		if isFP {
 			ports = fpuFree
 		} else {
 			ports = aluFree
 		}
-		unit := 0
+		// Min-scan with the best value in a register: no dependent
+		// ports[unit] reload inside the loop.
+		unit, best := 0, ports[0]
 		for u := 1; u < len(ports); u++ {
-			if ports[u] < ports[unit] {
-				unit = u
+			if v := ports[u]; v < best {
+				unit, best = u, v
 			}
 		}
-		start := ready
-		if ports[unit] > start {
-			start = ports[unit]
-		}
-		ports[unit] = start + occupancy[in.Class]
+		start := max(ready, best)
+		ports[unit] = start + occupancy[class]
 
 		// --- Execute. ---
-		latency := execLatency[in.Class]
-		switch in.Class {
-		case isa.Load:
-			latency = lat.Latency(in.Level)
-		case isa.Store:
+		// The memory-level latency is computed unconditionally (a shift and
+		// a table load) so the load case is a select, not a branch.
+		memLat := latTab[levelIndex(m)]
+		latency := execLatency[class]
+		if class == isa.Load {
+			latency = memLat
+		}
+		if class == isa.Store {
 			// Stores retire into the store buffer quickly; the drain time
 			// (write latency at the annotated level) holds the SB entry.
-			sbFree[nStores%int64(cfg.StoreBuffer)] = start + lat.Latency(in.Level)
+			sbFree[sbIdx] = start + memLat
 			nStores++
+			if sbIdx++; sbIdx == cfg.StoreBuffer {
+				sbIdx = 0
+			}
 		}
 		fin := start + latency
 
-		if in.Flags&FlagMispredict != 0 {
-			res.Mispredicts++
+		if m&(FlagMispredict<<MetaFlagsShift) != 0 {
 			// Pipeline flush: dispatch resumes after resolution + refill.
 			if fin+mispredictPenalty > dispatchCycle {
 				dispatchCycle = fin + mispredictPenalty
@@ -207,33 +266,43 @@ func RunTiming(cfg Config, ann AnnotateResult, lat LevelLatencies) Result {
 			lastCommit++
 			commitsInCycle = 0
 		}
-		cm := fin
-		if cm < lastCommit {
-			cm = lastCommit
-		}
-		if cm > lastCommit {
+		cm := max(fin, lastCommit)
+		if cm != lastCommit {
 			commitsInCycle = 0
 		}
 		lastCommit = cm
 		commitsInCycle++
 
 		// --- Bookkeeping. ---
-		complete[i%depWindow] = fin
-		commitAt[i%int64(cfg.ROB)] = cm
-		if in.Class.IsFP() {
-			fpRF[nFP%int64(cfg.FPRF)] = fin
-			nFP++
-		} else if in.Class != isa.Store {
-			intRF[nInt%int64(cfg.IntRF)] = fin
-			nInt++
+		complete[i&(depWindow-1)] = fin
+		commitAt[robIdx] = cm
+		if robIdx++; robIdx == cfg.ROB {
+			robIdx = 0
 		}
-		res.ROBOccupancySum += cm - disp
-		res.Instructions++
-		res.LaneWork += int64(in.Lanes)
-		res.ClassOps[in.Class]++
-		res.ClassLanes[in.Class] += int64(in.Lanes)
+		if isFP {
+			fpRF[fpIdx] = fin
+			nFP++
+			if fpIdx++; fpIdx == cfg.FPRF {
+				fpIdx = 0
+			}
+		} else if class != isa.Store {
+			intRF[intIdx] = fin
+			nInt++
+			if intIdx++; intIdx == cfg.IntRF {
+				intIdx = 0
+			}
+		}
+		robOcc += cm - disp
 	}
+	res.StallROB, res.StallSB, res.StallRF = stallROB, stallSB, stallRF
+	res.ROBOccupancySum = robOcc
 
+	// Timing-independent aggregates were counted once at trace build.
+	res.Instructions = ann.Counts.Instructions
+	res.LaneWork = ann.Counts.LaneWork
+	res.Mispredicts = ann.Counts.Mispredicts
+	res.ClassOps = ann.Counts.ClassOps
+	res.ClassLanes = ann.Counts.ClassLanes
 	if res.Instructions > 0 {
 		res.Cycles = lastCommit + 1
 	}
@@ -275,7 +344,7 @@ func (c *Core) Config() Config { return c.cfg }
 // through the timing model. Memory latency comes from the hierarchy's
 // configured MemLatencyCycle.
 func (c *Core) Run(stream isa.Stream) Result {
-	ann := Annotate(stream, c.hier, c.BranchMispredictRate, c.seed)
+	ann := Annotate(stream, c.hier, c.BranchMispredictRate, c.seed, 0)
 	h := c.hier.Config()
 	lat := LevelLatencies{
 		L1:  int64(h.L1.LatencyCycle),

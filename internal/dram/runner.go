@@ -48,17 +48,30 @@ func RunOpenLoop(cfg Config, policy SchedPolicy, offeredBW float64, src AddrSour
 	lineBytes := 64.0
 	meanGap := lineBytes * burst / offeredBW // seconds between bursts
 
+	// Requests come from one slab and each burst shares one completion
+	// closure (all its requests arrive at the same instant) and one engine
+	// event that submits the burst in order. The engine fires same-time
+	// events FIFO, so one event doing four Submits is behaviorally identical
+	// to four same-time events doing one each — it just costs a quarter of
+	// the heap traffic and closures.
+	reqs := make([]Request, n)
 	latencies := make([]sim.Time, 0, n)
 	t := sim.Time(0)
 	for i := 0; i < n; i += burst {
 		t += sim.FromSeconds(rng.Exponential(meanGap))
-		for j := 0; j < burst && i+j < n; j++ {
+		hi := min(i+burst, n)
+		arrive := t
+		done := func(at sim.Time) { latencies = append(latencies, at-arrive) }
+		for j := i; j < hi; j++ {
 			addr, write := src.Next()
-			req := &Request{Addr: addr, Write: write, Arrive: t}
-			arrive := t
-			req.Done = func(at sim.Time) { latencies = append(latencies, at-arrive) }
-			eng.At(t, func(sim.Time) { ctl.Submit(req) })
+			reqs[j] = Request{Addr: addr, Write: write, Arrive: arrive, Done: done}
 		}
+		b := reqs[i:hi]
+		eng.At(t, func(sim.Time) {
+			for k := range b {
+				ctl.Submit(&b[k])
+			}
+		})
 	}
 	eng.Run()
 

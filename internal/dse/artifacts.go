@@ -17,29 +17,44 @@ import (
 )
 
 // This file is the artifact layer of the sweep runner: the expensive
-// intermediates a sweep builds on the way to its measurements — annotated
-// detailed samples, fitted DRAM load-latency curves, synthesized burst
-// traces — addressed by content so they can be cached across runs, served
-// over HTTP and shipped to fleet workers. The paper's central economy is
-// reuse (one traced execution feeds burst-mode scaling and detailed node
-// simulation, §II); the artifact layer makes that reuse durable and
-// process-spanning instead of per-Run.
+// intermediates a sweep builds on the way to its measurements, addressed by
+// content so they can be cached across runs, served over HTTP and shipped
+// to fleet workers. The per-point pipeline is factored into staged
+// sub-results, each keyed by exactly the inputs that can change it:
+//
+//	fused trace      (app, vector width, fidelity, seed)        run-local
+//	hit-rate table   (app, cores, vector width, cache, fidelity, seed)
+//	DRAM curve       (app, channels, memory kind, seed)
+//	burst trace      (app, rank count, seed)
+//
+// so an 864-point sweep computes each stage once per distinct stage-key
+// instead of once per point. The paper's central economy is reuse (one
+// traced execution feeds burst-mode scaling and detailed node simulation,
+// §II); the artifact layer makes that reuse durable and process-spanning.
+// Fused traces stay run-local: they are the bulkiest stage and the cheapest
+// to rebuild per byte, so persisting them would spend store and replication
+// bandwidth to save the least time — the persistent kinds are the compact
+// derived tables.
 
 // ArtifactSchemaVersion identifies the artifact key derivation and the
 // serialized artifact encodings. It is bumped whenever a key document, the
 // application-profile encoding or an artifact wire format changes shape, so
 // stale caches are refused rather than silently misread (see
-// store.ArtifactCache).
-const ArtifactSchemaVersion = 1
+// store.ArtifactCache). v2 replaced the full-annotation artifact with the
+// per-(app, cache-config) hit-rate table.
+const ArtifactSchemaVersion = 2
 
 // ArtifactKind names one cached intermediate in key documents, wire
 // envelopes and per-kind statistics.
 type ArtifactKind string
 
 const (
-	// ArtifactAnnotation is a node.Annotation: one warmed, cache-annotated
-	// detailed sample shared by every timing variant of an annotation group.
-	ArtifactAnnotation ArtifactKind = "annotation"
+	// ArtifactHitRates is a node.HitRateTable: the resolved cache level of
+	// every sample memory access of one (application, cores, vector width,
+	// cache configuration). Overlaid on the run-local fused trace it
+	// reconstructs the shared annotation of an annotation group bit-for-bit
+	// — every timing and memory variant of the group reuses it.
+	ArtifactHitRates ArtifactKind = "hit-rates"
 	// ArtifactLatencyModel is a dram.LatencyModel: the fitted load-latency
 	// curve of one (application, channels, memory kind).
 	ArtifactLatencyModel ArtifactKind = "latency-model"
@@ -57,10 +72,10 @@ const (
 // Reusing a provided artifact is bitwise-equivalent to rebuilding it — the
 // keys encode every build input, including the application profile by
 // content — so a warm run produces measurements byte-identical to a cold
-// one.
+// one (pinned by the golden-dataset digest test).
 type ArtifactProvider interface {
-	Annotation(key string) (node.Annotation, bool)
-	PutAnnotation(key string, a node.Annotation)
+	HitRates(key string) (node.HitRateTable, bool)
+	PutHitRates(key string, t node.HitRateTable)
 	LatencyModel(key string) (dram.LatencyModel, bool)
 	PutLatencyModel(key string, m dram.LatencyModel)
 	Burst(key string) (*trace.Burst, bool)
@@ -82,6 +97,25 @@ func AppHash(app *apps.Profile) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// CacheGroup identifies configurations whose cache behavior is identical:
+// same core count (L3 partition), vector width (fused footprints) and cache
+// configuration. It is AnnGroup without the memory kind — memory latency
+// enters the pipeline only at timing replay, after the hierarchy walk — so
+// annotation groups that differ only in memory share one hit-rate table.
+type CacheGroup struct {
+	Cores int
+	Vec   int
+	Cache string
+}
+
+// CacheGroup returns the group's cache-behavior signature.
+func (g AnnGroup) CacheGroup() CacheGroup {
+	return CacheGroup{Cores: g.Cores, Vec: g.Vec, Cache: g.Cache}
+}
+
+// CacheGroup returns the point's cache-behavior signature.
+func (p ArchPoint) CacheGroup() CacheGroup { return p.AnnGroup().CacheGroup() }
+
 // artifactKeyDoc is the canonical key document of one artifact; its JSON
 // encoding is hashed into the artifact key. Field order is fixed and the
 // schema version is embedded, mirroring the canonical-experiment encoding
@@ -90,7 +124,7 @@ type artifactKeyDoc struct {
 	V        int          `json:"v"`
 	Kind     ArtifactKind `json:"kind"`
 	App      string       `json:"app"` // AppHash, not the name
-	Group    *AnnGroup    `json:"group,omitempty"`
+	Group    *CacheGroup  `json:"group,omitempty"`
 	Channels int          `json:"channels,omitempty"`
 	Mem      string       `json:"mem,omitempty"`
 	Policy   string       `json:"policy,omitempty"`
@@ -109,17 +143,17 @@ func (d artifactKeyDoc) key() string {
 	return hex.EncodeToString(sum[:])
 }
 
-// AnnotationKey returns the content address of the shared annotation of one
-// (application, annotation group) at the given fidelity and seed. appHash
-// is AppHash of the profile. Implicit fidelity is resolved through
-// apps.EffectiveFidelity — the same rule node.BuildAnnotation simulates
+// HitRateKey returns the content address of the hit-rate table of one
+// (application, cache group) at the given fidelity and seed. appHash is
+// AppHash of the profile. Implicit fidelity is resolved through
+// apps.EffectiveFidelity — the same rule node.BuildFusedTrace simulates
 // with and shardExperiment materializes on the fleet wire — so a run that
 // leaves fidelity implicit and one that spells out the defaults address
 // the same artifact.
-func AnnotationKey(appHash string, g AnnGroup, sample, warmup int64, seed uint64) string {
+func HitRateKey(appHash string, g CacheGroup, sample, warmup int64, seed uint64) string {
 	sample, warmup = apps.EffectiveFidelity(sample, warmup)
 	return artifactKeyDoc{
-		V: ArtifactSchemaVersion, Kind: ArtifactAnnotation, App: appHash,
+		V: ArtifactSchemaVersion, Kind: ArtifactHitRates, App: appHash,
 		Group: &g, Sample: sample, Warmup: warmup, Seed: seed,
 	}.key()
 }
@@ -145,12 +179,26 @@ func BurstKey(appHash string, ranks int, seed uint64) string {
 	}.key()
 }
 
-// runArtifacts is the run-local artifact front of one dse.Run: the
-// in-memory per-kind maps earlier revisions captured in closures, made
-// explicit and layered over the optional cross-run ArtifactProvider.
-// Latency models and burst traces are built at most once per run whatever
-// the provider does; annotations are never duplicated within a run because
-// each annotation group is walked by exactly one worker.
+// Residency bounds of the run-local stage fronts. Fused traces are the
+// bulkiest stage (tens of MB at full fidelity), but only the current
+// application's vector widths — at most three — are live at once, plus a
+// straggling worker on the previous application near a sort boundary.
+// Combined annotations are bounded above by one application's cache groups
+// (27 on the Table I grid) — groups are dispatched in sorted order, so by
+// the time an entry falls this far behind the FIFO head no group can need
+// it again. Evicting early is safe either way: a re-request rebuilds (or
+// re-fetches) the stage, trading time, never bytes.
+const (
+	maxRunScalarTraces = 2
+	maxRunFusedTraces  = 8
+	maxRunAnnotations  = 32
+)
+
+// runArtifacts is the run-local artifact front of one dse.Run: bounded
+// in-memory per-stage maps layered over the optional cross-run
+// ArtifactProvider. Each stage is built at most once per distinct stage-key
+// per run (a per-key sync.Once), whatever the provider does and however
+// many groups or points share the key.
 type runArtifacts struct {
 	backing        ArtifactProvider // nil = run-local only
 	seed           uint64
@@ -165,15 +213,53 @@ type runArtifacts struct {
 	lat     map[string]*dram.LatencyModel // artifact key -> fitted curve
 	burstMu sync.Mutex
 	bursts  map[string]*trace.Burst // artifact key -> parsed trace
+
+	scalMu    sync.Mutex
+	scalars   map[string]*scalarEntry // app name -> scalar window
+	scalOrder []string
+	fuseMu    sync.Mutex
+	fused     map[fusedKey]*fusedEntry
+	fuseOrder []fusedKey
+	annMu     sync.Mutex
+	anns      map[string]*annEntry // hit-rate key -> combined annotation
+	annOrder  []string
+}
+
+// fusedKey addresses a run-local fused trace. The application is identified
+// by name: within one run a name maps to one profile.
+type fusedKey struct {
+	app string
+	vec int
+}
+
+// fusedEntry / annEntry are once-guarded slots: the map insert under the
+// kind mutex is cheap, the build runs outside it, and concurrent requests
+// for the same key block on the once instead of duplicating work.
+type fusedEntry struct {
+	once sync.Once
+	ft   *node.FusedTrace
+}
+
+type scalarEntry struct {
+	once sync.Once
+	st   node.ScalarTrace
+}
+
+type annEntry struct {
+	once sync.Once
+	ann  *node.Annotation
 }
 
 func newRunArtifacts(o Options) *runArtifacts {
 	return &runArtifacts{
 		backing: o.Artifacts,
 		seed:    o.Seed, sample: o.SampleInstrs, warmup: o.WarmupInstrs,
-		hashes: map[string]string{},
-		lat:    map[string]*dram.LatencyModel{},
-		bursts: map[string]*trace.Burst{},
+		hashes:  map[string]string{},
+		lat:     map[string]*dram.LatencyModel{},
+		bursts:  map[string]*trace.Burst{},
+		scalars: map[string]*scalarEntry{},
+		fused:   map[fusedKey]*fusedEntry{},
+		anns:    map[string]*annEntry{},
 	}
 }
 
@@ -254,32 +340,104 @@ func (r *runArtifacts) burst(ctx context.Context, app *apps.Profile, ranks int) 
 	return b
 }
 
-// annotation returns the shared annotation of one (app, group), consulting
-// the provider before building. build runs without any lock held —
-// annotating a sample is the most expensive artifact, and within a run
-// each group is walked by exactly one worker, so duplicate builds cannot
-// happen. The stage span covers the cache decode or the build, whichever
-// ran; the stage histogram counts only real builds, so its observation
-// count reads as "annotation passes executed" — a cache or ring-peer hit
-// leaves it untouched.
-func (r *runArtifacts) annotation(ctx context.Context, app *apps.Profile, g AnnGroup, build func() node.Annotation) *node.Annotation {
-	_, span := obs.StartSpan(ctx, "dse.annotate", obs.A("app", app.Name))
-	start := time.Now()
-	defer span.End()
-	if r.backing == nil {
+// fusedTrace returns the run-local fused trace of (app, vector width),
+// building it at most once per key. Fused traces are never persisted (see
+// the file comment); the stage histogram counts real stream generations,
+// so its observation count reads as "fused traces built".
+func (r *runArtifacts) fusedTrace(ctx context.Context, app *apps.Profile, vec int) *node.FusedTrace {
+	k := fusedKey{app.Name, vec}
+	r.fuseMu.Lock()
+	e := r.fused[k]
+	if e == nil {
+		e = &fusedEntry{}
+		r.fused[k] = e
+		r.fuseOrder = append(r.fuseOrder, k)
+		for len(r.fuseOrder) > maxRunFusedTraces {
+			delete(r.fused, r.fuseOrder[0])
+			r.fuseOrder = r.fuseOrder[1:]
+		}
+	}
+	r.fuseMu.Unlock()
+	e.once.Do(func() {
+		_, span := obs.StartSpan(ctx, "dse.fuse",
+			obs.A("app", app.Name), obs.AInt("vec", vec))
+		defer span.End()
+		start := time.Now()
+		e.ft = node.FuseScalarTrace(r.scalarTrace(app), app, vec, r.seed)
+		observeStage(StageFuse, start)
+	})
+	return e.ft
+}
+
+// scalarTrace returns the run-local scalar instruction window of one
+// application (fidelity and seed are fixed per run). Every vector width
+// fuses the identical scalar sequence, so generating it once per
+// application removes the generator from all but the first fuse. The bound
+// is small — groups are dispatched sorted by application, so older windows
+// cannot be needed again.
+func (r *runArtifacts) scalarTrace(app *apps.Profile) node.ScalarTrace {
+	r.scalMu.Lock()
+	e := r.scalars[app.Name]
+	if e == nil {
+		e = &scalarEntry{}
+		r.scalars[app.Name] = e
+		r.scalOrder = append(r.scalOrder, app.Name)
+		for len(r.scalOrder) > maxRunScalarTraces {
+			delete(r.scalars, r.scalOrder[0])
+			r.scalOrder = r.scalOrder[1:]
+		}
+	}
+	r.scalMu.Unlock()
+	e.once.Do(func() {
+		e.st = node.BuildScalarTrace(app, r.sample, r.warmup, r.seed)
+	})
+	return e.st
+}
+
+// annotation returns the shared annotation of one (app, group): the fused
+// trace overlaid with the group's hit-rate table, consulting the provider
+// for the table before walking the caches. Each hit-rate key is resolved at
+// most once per run — annotation groups that differ only in memory kind
+// block on the same once instead of re-walking. The stage histogram counts
+// only real cache walks, so its observation count reads as "hit-rate tables
+// built" — a run-front, cache or ring-peer hit leaves it untouched.
+func (r *runArtifacts) annotation(ctx context.Context, app *apps.Profile, g AnnGroup, cfg node.Config) *node.Annotation {
+	key := HitRateKey(r.appHash(app), g.CacheGroup(), r.sample, r.warmup, r.seed)
+	r.annMu.Lock()
+	e := r.anns[key]
+	if e == nil {
+		e = &annEntry{}
+		r.anns[key] = e
+		r.annOrder = append(r.annOrder, key)
+		for len(r.annOrder) > maxRunAnnotations {
+			delete(r.anns, r.annOrder[0])
+			r.annOrder = r.annOrder[1:]
+		}
+	}
+	r.annMu.Unlock()
+	e.once.Do(func() {
+		_, span := obs.StartSpan(ctx, "dse.annotate", obs.A("app", app.Name))
+		defer span.End()
+		ft := r.fusedTrace(ctx, app, g.Vec)
+		if r.backing != nil {
+			if hrt, ok := r.backing.HitRates(key); ok {
+				if ann, match := node.CombineAnnotation(ft, hrt); match {
+					span.SetAttr("source", "cache")
+					ann.Memo = node.NewTimingMemo()
+					e.ann = &ann
+					return
+				}
+			}
+		}
 		span.SetAttr("source", "built")
-		a := build()
+		start := time.Now()
+		ann, hrt := node.AnnotateTrace(ft, cfg)
 		observeStage(StageAnnotate, start)
-		return &a
-	}
-	key := AnnotationKey(r.appHash(app), g, r.sample, r.warmup, r.seed)
-	if a, ok := r.backing.Annotation(key); ok {
-		span.SetAttr("source", "cache")
-		return &a
-	}
-	span.SetAttr("source", "built")
-	a := build()
-	observeStage(StageAnnotate, start)
-	r.backing.PutAnnotation(key, a)
-	return &a
+		ann.Memo = node.NewTimingMemo()
+		e.ann = &ann
+		if r.backing != nil {
+			r.backing.PutHitRates(key, hrt)
+		}
+	})
+	return e.ann
 }

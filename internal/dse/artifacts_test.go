@@ -21,19 +21,19 @@ func TestArtifactKeyGolden(t *testing.T) {
 		t.Fatalf("AppHash drifted: got %s want %s", hash, wantHash)
 	}
 
-	g := AnnGroup{Cores: 64, Vec: 128, Cache: "64M:512K", Mem: DDR4}
+	g := CacheGroup{Cores: 64, Vec: 128, Cache: "64M:512K"}
 	golden := []struct {
 		name string
 		key  string
 		want string
 	}{
-		{"annotation", AnnotationKey(hash, g, 20000, 40000, 1), "a1c803633bb66cfe2735c0a5dac6b2eff8ff12b50d4b428043209995b5d10bc1"},
+		{"hit-rates", HitRateKey(hash, g, 20000, 40000, 1), "0d1531fab98c5181f3a7ab988cbbb5022182ba38e8e4931eafd2df76c597792a"},
 		// Implicit fidelity normalizes to the package defaults, so the
 		// explicit spelling shares the key.
-		{"annotation-defaults", AnnotationKey(hash, g, 0, 0, 1),
-			AnnotationKey(hash, g, apps.SampleSize, 2*apps.SampleSize, 1)},
-		{"latency-model", LatencyModelKey(hash, 4, DDR4, 1), "2741e03a20f3dc0ed947eb3540fdffb2783f41cafb5149ae4c98ee2fd5980c54"},
-		{"burst", BurstKey(hash, 64, 1), "dadfdfe04f30495d69e5f7ddd81a7bce43ddb59d3c3128abfff6dd2d36c1821e"},
+		{"hit-rates-defaults", HitRateKey(hash, g, 0, 0, 1),
+			HitRateKey(hash, g, apps.SampleSize, 2*apps.SampleSize, 1)},
+		{"latency-model", LatencyModelKey(hash, 4, DDR4, 1), "7de2c36a39c8a94122a5d489cbf41cc2585b4e82fa09a2e4c32a90f47ba98b33"},
+		{"burst", BurstKey(hash, 64, 1), "8ca5866e7887075a9854289aec7e641c9cd3ae6b0c36b735f4635d0599ce9bad"},
 	}
 	for _, c := range golden {
 		if c.key != c.want {
@@ -44,16 +44,18 @@ func TestArtifactKeyGolden(t *testing.T) {
 	// The key docs behind the hashes are pinned too: field order and
 	// defaults-made-explicit are the schema.
 	doc := artifactKeyDoc{
-		V: ArtifactSchemaVersion, Kind: ArtifactAnnotation, App: hash,
+		V: ArtifactSchemaVersion, Kind: ArtifactHitRates, App: hash,
 		Group: &g, Sample: 20000, Warmup: 40000, Seed: 1,
 	}
 	if doc.key() != golden[0].key {
-		t.Fatal("AnnotationKey diverges from its documented key doc")
+		t.Fatal("HitRateKey diverges from its documented key doc")
 	}
 }
 
 // TestArtifactKeyDiscriminates checks that every build input an artifact
-// depends on flows into its address.
+// depends on flows into its address — and that the one deliberately
+// excluded input, the memory kind, does not: annotation groups that differ
+// only in memory share a hit-rate table.
 func TestArtifactKeyDiscriminates(t *testing.T) {
 	h1 := AppHash(apps.LULESH())
 	h2 := AppHash(apps.Hydro())
@@ -63,19 +65,25 @@ func TestArtifactKeyDiscriminates(t *testing.T) {
 	if len(h1) != 64 || strings.ToLower(h1) != h1 {
 		t.Fatalf("AppHash %q is not lowercase hex sha-256", h1)
 	}
-	g := AnnGroup{Cores: 64, Vec: 128, Cache: "64M:512K", Mem: DDR4}
+	g := CacheGroup{Cores: 64, Vec: 128, Cache: "64M:512K"}
 	g2 := g
 	g2.Vec = 256
-	base := AnnotationKey(h1, g, 0, 0, 1)
+	base := HitRateKey(h1, g, 0, 0, 1)
 	for name, other := range map[string]string{
-		"app":    AnnotationKey(h2, g, 0, 0, 1),
-		"group":  AnnotationKey(h1, g2, 0, 0, 1),
-		"sample": AnnotationKey(h1, g, 1000, 0, 1),
-		"seed":   AnnotationKey(h1, g, 0, 0, 2),
+		"app":    HitRateKey(h2, g, 0, 0, 1),
+		"group":  HitRateKey(h1, g2, 0, 0, 1),
+		"sample": HitRateKey(h1, g, 1000, 0, 1),
+		"seed":   HitRateKey(h1, g, 0, 0, 2),
 		"kind":   LatencyModelKey(h1, 4, DDR4, 1),
 	} {
 		if other == base {
-			t.Errorf("annotation key ignores %s", name)
+			t.Errorf("hit-rate key ignores %s", name)
+		}
+	}
+	for _, mem := range []MemKind{DDR4, HBM} {
+		ag := AnnGroup{Cores: g.Cores, Vec: g.Vec, Cache: g.Cache, Mem: mem}
+		if got := HitRateKey(h1, ag.CacheGroup(), 0, 0, 1); got != base {
+			t.Errorf("hit-rate key depends on memory kind %s", mem)
 		}
 	}
 	if LatencyModelKey(h1, 4, DDR4, 1) == LatencyModelKey(h1, 8, DDR4, 1) {

@@ -11,8 +11,13 @@ import (
 // the dashboards scraping /metrics: every expensive phase of a sweep point
 // shows up under exactly one of these.
 const (
-	// StageAnnotate is the shared cache-annotation pass of an annotation
-	// group (one warmed detailed sample per group).
+	// StageFuse is the fused-trace build of one (application, vector width):
+	// detailed stream generation plus macro-op fusion for the warmup and
+	// sample windows.
+	StageFuse = "fuse"
+	// StageAnnotate is the shared cache-hierarchy walk of a cache group (one
+	// warmed hit-rate table per distinct (application, cores, vector width,
+	// cache configuration)).
 	StageAnnotate = "annotate"
 	// StageLatencyFit is the DRAM load-latency curve fit of one
 	// (application, channels, memory kind).

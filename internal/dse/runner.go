@@ -147,7 +147,7 @@ type Options struct {
 	OnMeasurement func(m Measurement)
 
 	// Artifacts, if non-nil, backs the run's expensive intermediates
-	// (annotations, DRAM latency models, burst traces): the runner consults
+	// (hit-rate tables, DRAM latency models, burst traces): the runner consults
 	// it before building each one and hands freshly built ones back, so
 	// artifacts persist across runs and processes. Reuse is bitwise
 	// equivalent to rebuilding — a warm run's measurements are
@@ -368,9 +368,7 @@ func Run(ctx context.Context, opts Options) *Dataset {
 				}
 				cfg := p.NodeConfig(opts.SampleInstrs, opts.WarmupInstrs, opts.Seed)
 				if ann == nil {
-					ann = art.annotation(pctx, app, k.AnnGroup, func() node.Annotation {
-						return node.BuildAnnotation(app, cfg)
-					})
+					ann = art.annotation(pctx, app, k.AnnGroup, cfg)
 				}
 				cfg.LatModel = art.latencyModel(pctx, app, p.Channels, p.Mem)
 				_, simSpan := obs.StartSpan(pctx, "dse.node-sim")

@@ -81,6 +81,8 @@ func DefaultFuserConfig(widthBits int) FuserConfig {
 type Fuser struct {
 	cfg   FuserConfig
 	s     Stream
+	src   []Instr // devirtualized slice source when s is a *SliceStream
+	spos  int
 	out   []Instr // fused ops ready for delivery
 	opos  int
 	buf   []Instr // lookahead: buffered raw micro-ops
@@ -96,7 +98,9 @@ type FuserStats struct {
 	Blocks int64 // basic-block runs processed
 }
 
-// NewFuser returns a fusing stream over s.
+// NewFuser returns a fusing stream over s. The fuser takes ownership of s:
+// it may consume the stream through a devirtualized fast path that leaves
+// s's own cursor untouched.
 func NewFuser(s Stream, cfg FuserConfig) *Fuser {
 	if cfg.WidthBits < ElemBits {
 		cfg.WidthBits = ElemBits
@@ -107,7 +111,14 @@ func NewFuser(s Stream, cfg FuserConfig) *Fuser {
 	if cfg.MaxBlock <= 0 {
 		cfg.MaxBlock = 4096
 	}
-	return &Fuser{cfg: cfg, s: s}
+	f := &Fuser{cfg: cfg, s: s}
+	if ss, ok := s.(*SliceStream); ok {
+		// Pull straight from the slice: one dynamic dispatch and a 32-byte
+		// return copy per instruction is real money on multi-million
+		// instruction windows.
+		f.src, f.spos = ss.Instrs, ss.pos
+	}
+	return f
 }
 
 // Stats returns the fusion counters accumulated so far.
@@ -132,6 +143,16 @@ func (f *Fuser) Next() (Instr, bool) {
 func (f *Fuser) fetch() bool {
 	if f.eof {
 		return false
+	}
+	if f.src != nil {
+		if f.spos >= len(f.src) {
+			f.eof = true
+			return false
+		}
+		f.stats.In++
+		f.buf = append(f.buf, f.src[f.spos])
+		f.spos++
+		return true
 	}
 	in, ok := f.s.Next()
 	if !ok {

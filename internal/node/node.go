@@ -15,6 +15,7 @@ package node
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"musa/internal/apps"
 	"musa/internal/cache"
@@ -183,23 +184,260 @@ func (r Result) MPKI() (l1, l2, l3 float64) {
 
 // Annotation bundles a reusable annotated sample with the hierarchy
 // configuration it was produced under. The DSE runner shares one Annotation
-// across every (OoO, frequency, channel) variant of the same (application,
-// cores, vector width, cache) group — cache behavior does not depend on
-// timing.
+// across every (OoO, frequency, channel, memory) variant of the same
+// (application, cores, vector width, cache) group — cache behavior does not
+// depend on timing.
 type Annotation struct {
 	Ann     cpu.AnnotateResult
 	HierCfg cache.HierarchyConfig
+
+	// Memo, when set, caches timing replays across every simulation sharing
+	// this annotation (see TimingMemo). The sweep runner sets it on the
+	// annotations it shares between points.
+	Memo *TimingMemo
+}
+
+// TimingMemo caches timing-replay results across the simulations that share
+// one annotation. RunTiming is a pure function of (core config, annotation,
+// level latencies); points of one annotation group frequently replay
+// identical triples — for example, memory variants that only differ in
+// channel count start their bandwidth fixed point from the same unloaded
+// latency — so the replay is done once and the result is reused verbatim.
+type TimingMemo struct {
+	mu sync.Mutex
+	m  map[timingKey]cpu.Result
+}
+
+type timingKey struct {
+	core cpu.Config
+	lat  cpu.LevelLatencies
+}
+
+// NewTimingMemo returns an empty memo.
+func NewTimingMemo() *TimingMemo {
+	return &TimingMemo{m: make(map[timingKey]cpu.Result)}
+}
+
+func (tm *TimingMemo) get(core cpu.Config, lat cpu.LevelLatencies) (cpu.Result, bool) {
+	tm.mu.Lock()
+	r, ok := tm.m[timingKey{core, lat}]
+	tm.mu.Unlock()
+	return r, ok
+}
+
+func (tm *TimingMemo) put(core cpu.Config, lat cpu.LevelLatencies, r cpu.Result) {
+	tm.mu.Lock()
+	tm.m[timingKey{core, lat}] = r
+	tm.mu.Unlock()
+}
+
+// FusedTrace is the cache-independent stage of annotation building: the
+// fused detailed-sample stream with branch-mispredict outcomes pre-drawn,
+// plus the warm window's memory accesses. It depends only on (application,
+// vector width, fidelity, seed) — every cache configuration of an
+// application at one vector width replays the same trace — so the sweep
+// runner builds it once per such key instead of once per annotation group.
+// All slices are immutable once built and may be aliased by the annotations
+// derived from it.
+type FusedTrace struct {
+	// WarmOps is the warm window's fused memory accesses in stream order.
+	WarmOps []WarmOp
+	// SampleOps is the sample window's fused memory accesses in stream
+	// order; Idx locates each in the timing columns below.
+	SampleOps []SampleOp
+	// Deps/Meta are the sample's timing columns in the cpu.AnnotateResult
+	// layout with cache levels still zero: overlaying a hit-rate table's
+	// levels yields a complete annotated trace without revisiting the
+	// instruction stream.
+	Deps []uint32
+	Meta []uint32
+	// Counts are the trace's timing-independent aggregates, counted once
+	// here and copied into every derived annotation.
+	Counts cpu.TraceCounts
+}
+
+// WarmOp is one memory access of the warm window.
+type WarmOp struct {
+	Addr  uint64
+	Size  uint16
+	Write bool
+}
+
+// SampleOp is one memory access of the sample window.
+type SampleOp struct {
+	Addr  uint64
+	Idx   int32 // position in the trace's timing columns
+	Size  uint16
+	Write bool
+}
+
+// HitRateTable is the cache-dependent stage of annotation building: the
+// resolved hierarchy level of every sample memory access plus the window's
+// cache statistics, for one (application, cores, vector width, cache
+// configuration) — notably independent of the memory kind, whose latency
+// enters only at timing replay. Overlaid on the matching FusedTrace it
+// reconstructs the full Annotation bit-for-bit; at one byte per sample
+// instruction it is the compact persistent form of an annotation.
+type HitRateTable struct {
+	Levels              []uint8 // cache.Level per sample instruction; 0 for non-memory ops
+	L1, L2, L3          cache.Stats
+	MemReads, MemWrites int64
+	HierCfg             cache.HierarchyConfig
+}
+
+// ScalarTrace is the raw detailed scalar instruction window of one
+// (application, fidelity, seed): the warm window followed by the sample
+// window, before any width fusion. Every vector width of an application
+// fuses the identical scalar sequence — only the fuser differs — so the
+// sweep runner generates the scalar trace once and replays it per width.
+type ScalarTrace struct {
+	Instrs []isa.Instr
+	// Warm is the number of leading instructions belonging to the warm
+	// window; the rest are the sample window.
+	Warm int64
+}
+
+// BuildScalarTrace generates the scalar warm+sample window of one
+// (application, fidelity, seed).
+func BuildScalarTrace(app *apps.Profile, sampleInstrs, warmupInstrs int64, seed uint64) ScalarTrace {
+	sampleInstrs, warmupInstrs = apps.EffectiveFidelity(sampleInstrs, warmupInstrs)
+	gen := apps.NewDetailedStream(app, seed)
+	total := warmupInstrs + sampleInstrs
+	instrs := make([]isa.Instr, 0, total)
+	for int64(len(instrs)) < total {
+		in, ok := gen.Next()
+		if !ok {
+			break
+		}
+		instrs = append(instrs, in)
+	}
+	return ScalarTrace{Instrs: instrs, Warm: min(warmupInstrs, int64(len(instrs)))}
+}
+
+// BuildFusedTrace generates and fuses the detailed instruction stream of one
+// (application, vector width) at the given fidelity and seed. Branch
+// mispredict outcomes are drawn here — they consume the same seed-derived
+// random sequence whatever the cache configuration — so the cache walk
+// (AnnotateTrace) is purely deterministic replay.
+func BuildFusedTrace(app *apps.Profile, vectorBits int, sampleInstrs, warmupInstrs int64, seed uint64) *FusedTrace {
+	return FuseScalarTrace(BuildScalarTrace(app, sampleInstrs, warmupInstrs, seed), app, vectorBits, seed)
+}
+
+// FuseScalarTrace fuses a scalar trace at one vector width. Consuming a
+// prebuilt scalar window through slice streams is instruction-for-
+// instruction identical to fusing the generator directly (BuildFusedTrace);
+// it exists so the sweep runner can amortize generation across widths.
+func FuseScalarTrace(st ScalarTrace, app *apps.Profile, vectorBits int, seed uint64) *FusedTrace {
+	warmupInstrs := st.Warm
+	sampleInstrs := int64(len(st.Instrs)) - warmupInstrs
+	// The scalar budgets upper-bound the fused counts (fusion only shrinks a
+	// stream), so the columns can be sized once instead of grown.
+	ft := &FusedTrace{
+		WarmOps:   make([]WarmOp, 0, warmupInstrs/2),
+		SampleOps: make([]SampleOp, 0, sampleInstrs/2),
+		Deps:      make([]uint32, 0, sampleInstrs),
+		Meta:      make([]uint32, 0, sampleInstrs),
+	}
+	warm := isa.NewFuser(isa.NewSliceStream(st.Instrs[:warmupInstrs]), isa.DefaultFuserConfig(vectorBits))
+	for {
+		in, ok := warm.Next()
+		if !ok {
+			break
+		}
+		if in.Class.IsMem() {
+			ft.WarmOps = append(ft.WarmOps, WarmOp{Addr: in.Addr, Size: in.Size, Write: in.Class == isa.Store})
+		}
+	}
+	fu := isa.NewFuser(isa.NewSliceStream(st.Instrs[warmupInstrs:]), isa.DefaultFuserConfig(vectorBits))
+	rng := xrand.New(seed ^ 0x5eed)
+	rate := app.MispredictRate
+	for {
+		in, ok := fu.Next()
+		if !ok {
+			break
+		}
+		var flags uint8
+		if in.Class == isa.Branch && rate > 0 && rng.Bernoulli(rate) {
+			flags = cpu.FlagMispredict
+		}
+		if in.Class.IsMem() {
+			ft.SampleOps = append(ft.SampleOps, SampleOp{
+				Addr: in.Addr, Idx: int32(len(ft.Meta)), Size: in.Size, Write: in.Class == isa.Store,
+			})
+		}
+		ft.Deps = append(ft.Deps, cpu.PackDeps(int64(len(ft.Meta)), in.Dep1, in.Dep2))
+		ft.Meta = append(ft.Meta, cpu.PackMeta(in.Class, in.Lanes, 0, flags))
+	}
+	ft.Counts = cpu.CountMeta(ft.Meta)
+	return ft
+}
+
+// AnnotateTrace replays a fused trace through cfg's cache hierarchy: the
+// warm ops populate the caches, then each sample access resolves to its
+// level. It returns both the combined annotation (ready for timing replay)
+// and the hit-rate table that, overlaid on the same trace, reproduces it.
+func AnnotateTrace(ft *FusedTrace, cfg Config) (Annotation, HitRateTable) {
+	hier := cfg.hierarchy(0)
+	for _, op := range ft.WarmOps {
+		hier.Access(op.Addr, int(op.Size), op.Write)
+	}
+	hier.ResetStats()
+	levels := make([]uint8, len(ft.Meta))
+	meta := make([]uint32, len(ft.Meta))
+	copy(meta, ft.Meta)
+	for _, op := range ft.SampleOps {
+		lvl, _ := hier.Access(op.Addr, int(op.Size), op.Write)
+		levels[op.Idx] = uint8(lvl)
+		meta[op.Idx] |= uint32(lvl) << cpu.MetaLevelShift
+	}
+	hrt := HitRateTable{
+		Levels: levels,
+		L1:     hier.L1Stats(), L2: hier.L2Stats(), L3: hier.L3Stats(),
+		MemReads: hier.MemReads, MemWrites: hier.MemWrites,
+		HierCfg: hier.Config(),
+	}
+	return combine(ft, meta, hrt), hrt
+}
+
+// CombineAnnotation overlays a hit-rate table on the fused trace it was
+// built from, reconstructing the annotation without a cache walk — the
+// warm-artifact path. It reports false on a length mismatch (a table from a
+// different trace), which callers treat as a cache miss.
+func CombineAnnotation(ft *FusedTrace, hrt HitRateTable) (Annotation, bool) {
+	if len(hrt.Levels) != len(ft.Meta) {
+		return Annotation{}, false
+	}
+	meta := make([]uint32, len(ft.Meta))
+	for i, m := range ft.Meta {
+		meta[i] = m | uint32(hrt.Levels[i])<<cpu.MetaLevelShift
+	}
+	return combine(ft, meta, hrt), true
+}
+
+// combine assembles the annotation from a trace's dependence column, the
+// level-overlaid meta column and a hit-rate table's statistics. The
+// dependence column and counts alias/copy the trace (immutable by
+// contract); the level overlay never touches the class, lane or flag bytes,
+// so the trace counts hold for the overlaid column too.
+func combine(ft *FusedTrace, meta []uint32, hrt HitRateTable) Annotation {
+	return Annotation{
+		Ann: cpu.AnnotateResult{
+			Deps: ft.Deps, Meta: meta, Counts: ft.Counts,
+			L1: hrt.L1, L2: hrt.L2, L3: hrt.L3,
+			MemReads: hrt.MemReads, MemWrites: hrt.MemWrites,
+		},
+		HierCfg: hrt.HierCfg,
+	}
 }
 
 // BuildAnnotation warms the caches and annotates one detailed sample for
 // the configuration's cache-relevant parameters (cores, vector width, cache
-// sizes, sample sizes, seed).
+// sizes, sample sizes, seed) — the single-shot path; sweeps stage it
+// through BuildFusedTrace + AnnotateTrace to share work across points.
 func BuildAnnotation(app *apps.Profile, cfg Config) Annotation {
-	cfg.SampleInstrs, cfg.WarmupInstrs = apps.EffectiveFidelity(cfg.SampleInstrs, cfg.WarmupInstrs)
-	return Annotation{
-		Ann:     annotateSample(app, cfg),
-		HierCfg: cfg.hierarchy(0).Config(),
-	}
+	ft := BuildFusedTrace(app, cfg.VectorBits, cfg.SampleInstrs, cfg.WarmupInstrs, cfg.Seed)
+	ann, _ := AnnotateTrace(ft, cfg)
+	return ann
 }
 
 // Simulate runs the detailed node simulation of app on cfg.
@@ -231,10 +469,29 @@ func SimulateAnnotated(app *apps.Profile, cfg Config, annotation Annotation) Res
 	memLatNs := latModel.LatencyNs(0) // unloaded latency
 	var res Result
 	var coreRes cpu.Result
+	var lastLat cpu.LevelLatencies
+	haveRun := false
 	activeCores := float64(cfg.Cores)
 	for iter := 0; iter < 6; iter++ {
 		res.Iterations = iter + 1
-		coreRes = cpu.RunTiming(cfg.Core, ann, cpu.LatenciesFor(hcfg, memLatNs, cfg.FreqGHz))
+		// The timing replay is a pure function of (core config, annotation,
+		// level latencies), and within this loop only the latencies vary —
+		// through the cycle-quantized memory term. Near convergence
+		// successive iterations often quantize to the same table, so the
+		// previous result is reused verbatim instead of replayed.
+		lat := cpu.LatenciesFor(hcfg, memLatNs, cfg.FreqGHz)
+		if !haveRun || lat != lastLat {
+			if memo := annotation.Memo; memo != nil {
+				var ok bool
+				if coreRes, ok = memo.get(cfg.Core, lat); !ok {
+					coreRes = cpu.RunTiming(cfg.Core, ann, lat)
+					memo.put(cfg.Core, lat, coreRes)
+				}
+			} else {
+				coreRes = cpu.RunTiming(cfg.Core, ann, lat)
+			}
+			lastLat, haveRun = lat, true
+		}
 		cyclesPerSec := cfg.FreqGHz * 1e9
 		secs := float64(coreRes.Cycles) / cyclesPerSec
 		perCoreBW := float64(coreRes.MemReads+coreRes.MemWrites) * cache.LineBytes / secs
@@ -276,17 +533,6 @@ func SimulateAnnotated(app *apps.Profile, cfg Config, annotation Annotation) Res
 
 	res.Power, res.EnergyJ = estimatePower(app, cfg, coreRes, res)
 	return res
-}
-
-// annotateSample warms the hierarchy and annotates one detailed sample.
-func annotateSample(app *apps.Profile, cfg Config) cpu.AnnotateResult {
-	hier := cfg.hierarchy(0)
-	gen := apps.NewDetailedStream(app, cfg.Seed)
-	warm := &isa.LimitStream{S: gen, N: cfg.WarmupInstrs}
-	cpu.Warm(isa.NewFuser(warm, isa.DefaultFuserConfig(cfg.VectorBits)), hier)
-	src := &isa.LimitStream{S: gen, N: cfg.SampleInstrs}
-	fu := isa.NewFuser(src, isa.DefaultFuserConfig(cfg.VectorBits))
-	return cpu.Annotate(fu, hier, app.MispredictRate, cfg.Seed^0x5eed)
 }
 
 // replayRegions rescales the burst task durations with the measured lane

@@ -5,8 +5,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
+	"os"
 	"regexp"
 	"strconv"
 	"strings"
@@ -473,5 +475,52 @@ func TestConcurrentSeriesCreation(t *testing.T) {
 		if got := reg.Histogram("musa_req_seconds", "h", nil, L("route", route)).Count(); got != 200 {
 			t.Errorf("route %s histogram count = %d, want 200", route, got)
 		}
+	}
+}
+
+// TestRegisterFlagsProfiles drives the pprof flag surface: -cpuprofile
+// starts profiling at parse time and the dump closure stops it and writes
+// both profile files.
+func TestRegisterFlagsProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := dir + "/cpu.pb.gz"
+	mem := dir + "/mem.pb.gz"
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	dump := RegisterFlags(fs)
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to say.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := dump(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+	// A second dump is a no-op for the CPU profile (already stopped).
+	if err := dump(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegisterFlagsCPUProfileBadPath pins the error surface: an unwritable
+// profile path fails at flag parse, not deep into the run.
+func TestRegisterFlagsCPUProfileBadPath(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	_ = RegisterFlags(fs)
+	if err := fs.Parse([]string{"-cpuprofile", t.TempDir() + "/no/such/dir/cpu.pb"}); err == nil {
+		t.Fatal("unwritable cpu profile path accepted")
 	}
 }

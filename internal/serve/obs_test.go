@@ -125,7 +125,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		`musa_store_hits_total`,
 		`musa_store_entries`,
 		`musa_http_requests_in_flight`,
-		`musa_artifact_hits_total{kind="annotation"}`,
+		`musa_artifact_hits_total{kind="hit-rates"}`,
 		`musa_artifact_bytes_total{direction="written"}`,
 	} {
 		if _, ok := samples[name]; !ok {

@@ -7,8 +7,6 @@
 // sub-nanosecond cycle times without rounding drift across frequencies.
 package sim
 
-import "container/heap"
-
 // Time is a simulation timestamp in picoseconds.
 type Time int64
 
@@ -49,7 +47,17 @@ type Engine struct {
 	now    Time
 	nextSq uint64
 	queue  eventHeap
+	// arena is the tail of the current event allocation chunk. Events are
+	// carved out of fixed-size chunks instead of allocated one by one: the
+	// DRAM and replay models schedule hundreds of thousands of short-lived
+	// events per run, and chunking turns that into a handful of
+	// allocations. Events are never recycled, so a caller-held *Event stays
+	// valid (Cancel on a fired event is still a safe no-op).
+	arena []Event
 }
+
+// arenaChunk is the number of events carved per allocation chunk.
+const arenaChunk = 256
 
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
@@ -64,9 +72,14 @@ func (e *Engine) At(t Time, fn func(now Time)) *Event {
 	if t < e.now {
 		panic("sim: event scheduled in the past")
 	}
-	ev := &Event{when: t, seq: e.nextSq, fn: fn}
+	if len(e.arena) == 0 {
+		e.arena = make([]Event, arenaChunk)
+	}
+	ev := &e.arena[0]
+	e.arena = e.arena[1:]
+	*ev = Event{when: t, seq: e.nextSq, fn: fn}
 	e.nextSq++
-	heap.Push(&e.queue, ev)
+	e.queue.push(ev)
 	return ev
 }
 
@@ -81,8 +94,7 @@ func (e *Engine) Cancel(ev *Event) bool {
 	if ev == nil || ev.idx < 0 {
 		return false
 	}
-	heap.Remove(&e.queue, ev.idx)
-	ev.idx = -1
+	e.queue.remove(ev.idx)
 	return true
 }
 
@@ -91,8 +103,7 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
-	ev.idx = -1
+	ev := e.queue.pop()
 	e.now = ev.when
 	ev.fn(e.now)
 	return true
@@ -116,31 +127,85 @@ func (e *Engine) RunUntil(deadline Time) {
 	}
 }
 
-// eventHeap orders by (when, seq) so same-time events fire FIFO.
+// eventHeap is a binary min-heap over (when, seq), so same-time events fire
+// FIFO. It is implemented concretely rather than through container/heap: the
+// queue is the hottest structure of the event kernel, and the interface
+// indirection (Less/Swap dispatch, any boxing) costs real time there. The
+// ordering key is a strict total order — seq is unique per engine — so pop
+// order is identical to any other correct heap over the same key.
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
-	}
-	return h[i].seq < h[j].seq
+func (h eventHeap) less(i, j int) bool {
+	a, b := h[i], h[j]
+	return a.when < b.when || (a.when == b.when && a.seq < b.seq)
 }
-func (h eventHeap) Swap(i, j int) {
+
+func (h eventHeap) swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].idx = i
 	h[j].idx = j
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
+
+func (h eventHeap) up(j int) {
+	for j > 0 {
+		i := (j - 1) / 2
+		if !h.less(j, i) {
+			break
+		}
+		h.swap(i, j)
+		j = i
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if r := j + 1; r < n && h.less(r, j) {
+			j = r
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h.swap(i, j)
+		i = j
+	}
+}
+
+func (h *eventHeap) push(ev *Event) {
 	ev.idx = len(*h)
 	*h = append(*h, ev)
+	h.up(ev.idx)
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+
+func (h *eventHeap) pop() *Event {
+	q := *h
+	ev := q[0]
+	n := len(q) - 1
+	q.swap(0, n)
+	q[n] = nil
+	*h = q[:n]
+	if n > 0 {
+		(*h).down(0)
+	}
+	ev.idx = -1
 	return ev
+}
+
+func (h *eventHeap) remove(i int) {
+	q := *h
+	n := len(q) - 1
+	if i != n {
+		q.swap(i, n)
+	}
+	q[n].idx = -1
+	q[n] = nil
+	*h = q[:n]
+	if i < n {
+		(*h).down(i)
+		(*h).up(i)
+	}
 }

@@ -1,7 +1,6 @@
 package store
 
 import (
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -11,20 +10,18 @@ import (
 	"sync"
 
 	"musa/internal/cache"
-	"musa/internal/cpu"
 	"musa/internal/dram"
 	"musa/internal/dse"
-	"musa/internal/isa"
 	"musa/internal/node"
 	"musa/internal/store/lsm"
 	"musa/internal/trace"
 )
 
 // This file is the artifact namespace of the store: a content-addressed
-// cache of the sweep runner's expensive intermediates (node annotations,
-// DRAM latency models, burst traces), sitting alongside the measurement
-// log. Keys are the canonical artifact addresses of internal/dse
-// (AnnotationKey, LatencyModelKey, BurstKey); blobs are self-describing
+// cache of the sweep runner's expensive intermediates (cache hit-rate
+// tables, DRAM latency models, burst traces), sitting alongside the
+// measurement log. Keys are the canonical artifact addresses of internal/dse
+// (HitRateKey, LatencyModelKey, BurstKey); blobs are self-describing
 // JSON envelopes, so they can travel over HTTP (musa-serve's
 // GET/PUT /artifact/{key}) byte-for-byte.
 //
@@ -39,18 +36,19 @@ import (
 // directory (the marker value is dse.ArtifactSchemaVersion).
 const artifactSchemaName = "schema"
 
-// In-memory bounds of the decoded front and the raw-blob map. Annotations
-// dominate memory (the packed sample is a few MB each); the other kinds
-// are small. Eviction is FIFO — an artifact cache only ever changes how
-// fast results arrive, never what they are.
+// In-memory bounds of the decoded front and the raw-blob map. Hit-rate
+// tables dominate memory (one byte per sample instruction, a few hundred KB
+// each at default fidelity); the other kinds are small. Eviction is FIFO —
+// an artifact cache only ever changes how fast results arrive, never what
+// they are.
 const (
-	maxResidentAnnotations = 32
-	maxResidentLatency     = 4096
-	maxResidentBursts      = 128
-	maxResidentRawBlobs    = 128
+	maxResidentHitRates = 128
+	maxResidentLatency  = 4096
+	maxResidentBursts   = 128
+	maxResidentRawBlobs = 256
 	// maxResidentRawBytes additionally bounds the memory-only raw map by
-	// size: default-fidelity annotations encode to a few MB each, so a
-	// count bound alone could pin hundreds of MB in a long-lived client.
+	// size, so a long-lived client cannot pin hundreds of MB of encoded
+	// blobs.
 	maxResidentRawBytes = 256 << 20
 )
 
@@ -63,7 +61,7 @@ type ArtifactKindStats struct {
 
 // ArtifactStats is a snapshot of an ArtifactCache's counters.
 type ArtifactStats struct {
-	Annotations   ArtifactKindStats `json:"annotations"`
+	HitRates      ArtifactKindStats `json:"hitRates"`
 	LatencyModels ArtifactKindStats `json:"latencyModels"`
 	Bursts        ArtifactKindStats `json:"bursts"`
 	// BytesRead / BytesWritten count encoded blob traffic (disk or the
@@ -89,55 +87,18 @@ type artifactEnvelope struct {
 	Data   json.RawMessage  `json:"data"`
 }
 
-// annotationWire is the payload of an ArtifactAnnotation blob. The
-// annotated instruction stream — the bulk of the artifact — is packed into
-// 12-byte fixed records (base64 on the wire via encoding/json), an exact
-// encoding: decode(encode(a)) is bitwise a, which the warm-equals-cold
-// dataset guarantee rests on.
-type annotationWire struct {
-	Instrs    []byte                `json:"instrs"`
+// hitRatesWire is the payload of an ArtifactHitRates blob. Levels — the
+// bulk of the artifact, one cache.Level byte per sample instruction — rides
+// as base64 via encoding/json. The encoding is exact: decode(encode(t)) is
+// bitwise t, which the warm-equals-cold dataset guarantee rests on.
+type hitRatesWire struct {
+	Levels    []byte                `json:"levels"`
 	L1        cache.Stats           `json:"l1"`
 	L2        cache.Stats           `json:"l2"`
 	L3        cache.Stats           `json:"l3"`
 	MemReads  int64                 `json:"memReads"`
 	MemWrites int64                 `json:"memWrites"`
 	HierCfg   cache.HierarchyConfig `json:"hierCfg"`
-}
-
-const packedInstrBytes = 12
-
-func packInstrs(in []cpu.Annotated) []byte {
-	out := make([]byte, len(in)*packedInstrBytes)
-	for i, a := range in {
-		p := out[i*packedInstrBytes:]
-		binary.LittleEndian.PutUint32(p[0:], uint32(a.Dep1))
-		binary.LittleEndian.PutUint32(p[4:], uint32(a.Dep2))
-		p[8] = byte(a.Class)
-		p[9] = a.Lanes
-		p[10] = a.Level
-		p[11] = a.Flags
-	}
-	return out
-}
-
-func unpackInstrs(in []byte) ([]cpu.Annotated, error) {
-	if len(in)%packedInstrBytes != 0 {
-		return nil, fmt.Errorf("store: packed annotation stream is %d bytes (not a multiple of %d)",
-			len(in), packedInstrBytes)
-	}
-	out := make([]cpu.Annotated, len(in)/packedInstrBytes)
-	for i := range out {
-		p := in[i*packedInstrBytes:]
-		out[i] = cpu.Annotated{
-			Dep1:  int32(binary.LittleEndian.Uint32(p[0:])),
-			Dep2:  int32(binary.LittleEndian.Uint32(p[4:])),
-			Class: isa.Class(p[8]),
-			Lanes: p[9],
-			Level: p[10],
-			Flags: p[11],
-		}
-	}
-	return out, nil
 }
 
 // ArtifactCache is the process-wide artifact cache: a bounded in-memory
@@ -154,8 +115,8 @@ type ArtifactCache struct {
 	raw      map[string][]byte // memory-only blob storage (dir == "")
 	rawOrder []string
 	rawBytes int64
-	ann      map[string]node.Annotation
-	annOrder []string
+	hit      map[string]node.HitRateTable
+	hitOrder []string
 	lat      map[string]dram.LatencyModel
 	latOrder []string
 	burst    map[string]*trace.Burst
@@ -174,7 +135,7 @@ func OpenArtifacts(dir string) (*ArtifactCache, error) {
 	c := &ArtifactCache{
 		dir:   dir,
 		keys:  map[string]bool{},
-		ann:   map[string]node.Annotation{},
+		hit:   map[string]node.HitRateTable{},
 		lat:   map[string]dram.LatencyModel{},
 		burst: map[string]*trace.Burst{},
 	}
@@ -369,18 +330,18 @@ func (c *ArtifactCache) PutBlob(key string, blob []byte) error {
 	if err != nil {
 		return err
 	}
-	// Decode the payload fully before taking the lock — a multi-MB
-	// annotation decode must not stall concurrent sweep-worker lookups —
-	// and populate the decoded front with the result, so a pushed artifact
-	// is served without a second decode.
+	// Decode the payload fully before taking the lock — a bulky decode must
+	// not stall concurrent sweep-worker lookups — and populate the decoded
+	// front with the result, so a pushed artifact is served without a second
+	// decode.
 	var insert func()
 	switch env.Kind {
-	case dse.ArtifactAnnotation:
-		a, err := decodeAnnotation(env.Data)
+	case dse.ArtifactHitRates:
+		t, err := decodeHitRates(env.Data)
 		if err != nil {
 			return err
 		}
-		insert = func() { c.frontAnnotation(key, a); c.stats.Annotations.Puts++ }
+		insert = func() { c.frontHitRates(key, t); c.stats.HitRates.Puts++ }
 	case dse.ArtifactLatencyModel:
 		var m dram.LatencyModel
 		if err := json.Unmarshal(env.Data, &m); err != nil {
@@ -438,45 +399,44 @@ func encodeEnvelope(key string, kind dse.ArtifactKind, payload any) []byte {
 	return blob
 }
 
-func decodeAnnotation(data []byte) (node.Annotation, error) {
-	var w annotationWire
+func decodeHitRates(data []byte) (node.HitRateTable, error) {
+	var w hitRatesWire
 	if err := json.Unmarshal(data, &w); err != nil {
-		return node.Annotation{}, fmt.Errorf("store: artifacts: annotation payload: %w", err)
+		return node.HitRateTable{}, fmt.Errorf("store: artifacts: hit-rate payload: %w", err)
 	}
-	instrs, err := unpackInstrs(w.Instrs)
-	if err != nil {
-		return node.Annotation{}, err
+	for i, lvl := range w.Levels {
+		if lvl > uint8(cache.LevelMem) {
+			return node.HitRateTable{}, fmt.Errorf("store: artifacts: hit-rate level %d at instr %d out of range", lvl, i)
+		}
 	}
-	return node.Annotation{
-		Ann: cpu.AnnotateResult{
-			Instrs: instrs,
-			L1:     w.L1, L2: w.L2, L3: w.L3,
-			MemReads: w.MemReads, MemWrites: w.MemWrites,
-		},
+	return node.HitRateTable{
+		Levels: w.Levels,
+		L1:     w.L1, L2: w.L2, L3: w.L3,
+		MemReads: w.MemReads, MemWrites: w.MemWrites,
 		HierCfg: w.HierCfg,
 	}, nil
 }
 
-func encodeAnnotation(key string, a node.Annotation) []byte {
-	return encodeEnvelope(key, dse.ArtifactAnnotation, annotationWire{
-		Instrs: packInstrs(a.Ann.Instrs),
-		L1:     a.Ann.L1, L2: a.Ann.L2, L3: a.Ann.L3,
-		MemReads: a.Ann.MemReads, MemWrites: a.Ann.MemWrites,
-		HierCfg: a.HierCfg,
+func encodeHitRates(key string, t node.HitRateTable) []byte {
+	return encodeEnvelope(key, dse.ArtifactHitRates, hitRatesWire{
+		Levels: t.Levels,
+		L1:     t.L1, L2: t.L2, L3: t.L3,
+		MemReads: t.MemReads, MemWrites: t.MemWrites,
+		HierCfg: t.HierCfg,
 	})
 }
 
-// frontAnnotation/frontLatency/frontBurst insert into the decoded FIFO
+// frontHitRates/frontLatency/frontBurst insert into the decoded FIFO
 // fronts. Caller holds c.mu.
-func (c *ArtifactCache) frontAnnotation(key string, a node.Annotation) {
-	if _, ok := c.ann[key]; !ok {
-		c.annOrder = append(c.annOrder, key)
-		for len(c.annOrder) > maxResidentAnnotations {
-			delete(c.ann, c.annOrder[0])
-			c.annOrder = c.annOrder[1:]
+func (c *ArtifactCache) frontHitRates(key string, t node.HitRateTable) {
+	if _, ok := c.hit[key]; !ok {
+		c.hitOrder = append(c.hitOrder, key)
+		for len(c.hitOrder) > maxResidentHitRates {
+			delete(c.hit, c.hitOrder[0])
+			c.hitOrder = c.hitOrder[1:]
 		}
 	}
-	c.ann[key] = a
+	c.hit[key] = t
 }
 
 func (c *ArtifactCache) frontLatency(key string, m dram.LatencyModel) {
@@ -525,28 +485,28 @@ func (c *ArtifactCache) miss(k *ArtifactKindStats) {
 	c.mu.Unlock()
 }
 
-// Annotation implements dse.ArtifactProvider.
-func (c *ArtifactCache) Annotation(key string) (node.Annotation, bool) {
+// HitRates implements dse.ArtifactProvider.
+func (c *ArtifactCache) HitRates(key string) (node.HitRateTable, bool) {
 	c.mu.Lock()
-	if a, ok := c.ann[key]; ok {
-		c.stats.Annotations.Hits++
+	if t, ok := c.hit[key]; ok {
+		c.stats.HitRates.Hits++
 		c.mu.Unlock()
-		return a, true
+		return t, true
 	}
 	c.mu.Unlock()
 	blob, ok := c.blobFor(key)
 	if ok {
-		// Decode outside the lock: annotations are multi-MB and concurrent
-		// sweep workers must not serialize behind the unpack.
+		// Decode outside the lock: tables are hundreds of KB and concurrent
+		// sweep workers must not serialize behind the decode.
 		env, err := decodeEnvelope(key, blob)
-		if err == nil && env.Kind == dse.ArtifactAnnotation {
-			a, derr := decodeAnnotation(env.Data)
+		if err == nil && env.Kind == dse.ArtifactHitRates {
+			t, derr := decodeHitRates(env.Data)
 			if derr == nil {
 				c.mu.Lock()
-				c.frontAnnotation(key, a)
-				c.stats.Annotations.Hits++
+				c.frontHitRates(key, t)
+				c.stats.HitRates.Hits++
 				c.mu.Unlock()
-				return a, true
+				return t, true
 			}
 			err = derr
 		}
@@ -554,18 +514,18 @@ func (c *ArtifactCache) Annotation(key string) (node.Annotation, bool) {
 			c.dropCorrupt(key, err)
 		}
 	}
-	c.miss(&c.stats.Annotations)
-	return node.Annotation{}, false
+	c.miss(&c.stats.HitRates)
+	return node.HitRateTable{}, false
 }
 
-// PutAnnotation implements dse.ArtifactProvider.
-func (c *ArtifactCache) PutAnnotation(key string, a node.Annotation) {
-	blob := encodeAnnotation(key, a)
+// PutHitRates implements dse.ArtifactProvider.
+func (c *ArtifactCache) PutHitRates(key string, t node.HitRateTable) {
+	blob := encodeHitRates(key, t)
 	c.persistBlob(key, blob)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.frontAnnotation(key, a)
-	c.stats.Annotations.Puts++
+	c.frontHitRates(key, t)
+	c.stats.HitRates.Puts++
 }
 
 // LatencyModel implements dse.ArtifactProvider.

@@ -12,50 +12,52 @@ import (
 
 	"musa/internal/apps"
 	"musa/internal/cache"
-	"musa/internal/cpu"
 	"musa/internal/dram"
 	"musa/internal/dse"
-	"musa/internal/isa"
 	"musa/internal/node"
 )
 
-// testAnnotation builds a small but structurally real annotation.
-func testAnnotation(t *testing.T) node.Annotation {
+// testHitRates builds a small but structurally real hit-rate table,
+// together with the fused trace it was derived from (for reconstruction
+// checks).
+func testHitRates(t *testing.T) (*node.FusedTrace, node.HitRateTable) {
 	t.Helper()
 	app := apps.LULESH()
 	p := dse.Enumerate()[0]
 	cfg := p.NodeConfig(2000, 4000, 1)
-	return node.BuildAnnotation(app, cfg)
+	ft := node.BuildFusedTrace(app, cfg.VectorBits, cfg.SampleInstrs, cfg.WarmupInstrs, cfg.Seed)
+	_, hrt := node.AnnotateTrace(ft, cfg)
+	return ft, hrt
 }
 
-// TestAnnotationRoundTrip is the bitwise-fidelity contract the
-// warm-equals-cold guarantee rests on: decode(encode(a)) must reproduce
-// the annotation exactly, including every packed instruction record.
-func TestAnnotationRoundTrip(t *testing.T) {
-	a := testAnnotation(t)
+// TestHitRatesRoundTrip is the bitwise-fidelity contract the
+// warm-equals-cold guarantee rests on: decode(encode(t)) must reproduce the
+// hit-rate table exactly, and overlaying the decoded table on the fused
+// trace must reconstruct the same annotation a direct cache walk produces.
+func TestHitRatesRoundTrip(t *testing.T) {
+	ft, hrt := testHitRates(t)
 	key := fmt.Sprintf("%064x", 99)
-	got, err := decodeAnnotation(mustData(t, key, encodeAnnotation(key, a)))
+	got, err := decodeHitRates(mustData(t, key, encodeHitRates(key, hrt)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(a, got) {
-		t.Fatal("annotation round trip is lossy")
+	if !reflect.DeepEqual(hrt, got) {
+		t.Fatal("hit-rate table round trip is lossy")
 	}
-	// Exercise every field of the packed record explicitly, including
-	// negative dependency distances.
-	in := []cpu.Annotated{
-		{Dep1: -1, Dep2: 1 << 30, Class: isa.Store, Lanes: 255, Level: 3, Flags: cpu.FlagMispredict},
-		{Dep1: 0, Dep2: -12345, Class: isa.Branch},
+	direct, _ := node.AnnotateTrace(ft, dse.Enumerate()[0].NodeConfig(2000, 4000, 1))
+	combined, ok := node.CombineAnnotation(ft, got)
+	if !ok {
+		t.Fatal("decoded table does not combine with its trace")
 	}
-	out, err := unpackInstrs(packInstrs(in))
-	if err != nil {
-		t.Fatal(err)
+	if !reflect.DeepEqual(direct, combined) {
+		t.Fatal("decoded table does not reconstruct the annotation bit-for-bit")
 	}
-	if !reflect.DeepEqual(in, out) {
-		t.Fatalf("packed instruction round trip: %+v vs %+v", out, in)
-	}
-	if _, err := unpackInstrs(make([]byte, packedInstrBytes+1)); err == nil {
-		t.Fatal("truncated packed stream accepted")
+	// Out-of-range levels — a corrupt or adversarial blob — are refused.
+	bad := hrt
+	bad.Levels = append([]uint8(nil), hrt.Levels...)
+	bad.Levels[0] = uint8(cache.LevelMem) + 1
+	if _, err := decodeHitRates(mustData(t, key, encodeHitRates(key, bad))); err == nil {
+		t.Fatal("out-of-range cache level accepted")
 	}
 }
 
@@ -77,10 +79,10 @@ func TestArtifactCachePersistence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ann := testAnnotation(t)
+	_, hrt := testHitRates(t)
 	lm := dram.LatencyModel{PeakBW: 1e9, Points: []float64{0.05, 1}, LatenciesNs: []float64{80.5, 120.25}, SatBW: 9e8}
 	b := apps.BurstTrace(apps.LULESH(), 4, 1)
-	c1.PutAnnotation("a"+strings.Repeat("0", 63), ann)
+	c1.PutHitRates("a"+strings.Repeat("0", 63), hrt)
 	c1.PutLatencyModel("b"+strings.Repeat("0", 63), lm)
 	c1.PutBurst("c"+strings.Repeat("0", 63), b)
 	if c1.Err() != nil {
@@ -94,9 +96,9 @@ func TestArtifactCachePersistence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ga, ok := c2.Annotation("a" + strings.Repeat("0", 63))
-	if !ok || !reflect.DeepEqual(ga, ann) {
-		t.Fatal("annotation not served byte-identically from disk")
+	gh, ok := c2.HitRates("a" + strings.Repeat("0", 63))
+	if !ok || !reflect.DeepEqual(gh, hrt) {
+		t.Fatal("hit-rate table not served byte-identically from disk")
 	}
 	gl, ok := c2.LatencyModel("b" + strings.Repeat("0", 63))
 	if !ok || !reflect.DeepEqual(gl, lm) {
@@ -107,16 +109,16 @@ func TestArtifactCachePersistence(t *testing.T) {
 		t.Fatal("burst not served from disk")
 	}
 	st := c2.Stats()
-	if st.Annotations.Hits != 1 || st.LatencyModels.Hits != 1 || st.Bursts.Hits != 1 {
+	if st.HitRates.Hits != 1 || st.LatencyModels.Hits != 1 || st.Bursts.Hits != 1 {
 		t.Fatalf("hit counters: %+v", st)
 	}
 	if st.BytesRead == 0 {
 		t.Fatal("no bytes counted on the read path")
 	}
-	if _, ok := c2.Annotation("f" + strings.Repeat("0", 63)); ok {
+	if _, ok := c2.HitRates("f" + strings.Repeat("0", 63)); ok {
 		t.Fatal("absent key served")
 	}
-	if c2.Stats().Annotations.Misses != 1 {
+	if c2.Stats().HitRates.Misses != 1 {
 		t.Fatal("miss not counted")
 	}
 
@@ -162,17 +164,17 @@ func TestArtifactPutBlobValidates(t *testing.T) {
 	if err := c.PutBlob(key, []byte("not json")); err == nil {
 		t.Fatal("bad envelope accepted")
 	}
-	stale, _ := json.Marshal(map[string]any{"schema": 999, "kind": "annotation", "data": map[string]any{}})
+	stale, _ := json.Marshal(map[string]any{"schema": 999, "kind": "hit-rates", "data": map[string]any{}})
 	if err := c.PutBlob(key, stale); err == nil {
 		t.Fatal("stale schema accepted")
 	}
-	wrong, _ := json.Marshal(map[string]any{"schema": dse.ArtifactSchemaVersion, "kind": "annotation", "data": "x"})
+	wrong, _ := json.Marshal(map[string]any{"schema": dse.ArtifactSchemaVersion, "kind": "hit-rates", "data": "x"})
 	if err := c.PutBlob(key, wrong); err == nil {
 		t.Fatal("undecodable payload accepted")
 	}
 
-	ann := testAnnotation(t)
-	blob := encodeAnnotation(key, ann)
+	_, hrt := testHitRates(t)
+	blob := encodeHitRates(key, hrt)
 	if err := c.PutBlob(key, blob); err != nil {
 		t.Fatal(err)
 	}
@@ -182,9 +184,9 @@ func TestArtifactPutBlobValidates(t *testing.T) {
 	if err := c.PutBlob("e"+strings.Repeat("2", 63), blob); err == nil {
 		t.Fatal("blob accepted under a key it was not built for")
 	}
-	got, ok := c.Annotation(key)
-	if !ok || !reflect.DeepEqual(got, ann) {
-		t.Fatal("pushed annotation not served")
+	got, ok := c.HitRates(key)
+	if !ok || !reflect.DeepEqual(got, hrt) {
+		t.Fatal("pushed hit-rate table not served")
 	}
 	raw, ok := c.Blob(key)
 	if !ok || !bytes.Equal(raw, blob) {
@@ -203,11 +205,12 @@ func TestArtifactCorruptBlobEvicted(t *testing.T) {
 		t.Fatal(err)
 	}
 	key := fmt.Sprintf("%064x", 7)
-	c.PutAnnotation(key, testAnnotation(t))
+	_, hrt := testHitRates(t)
+	c.PutHitRates(key, hrt)
 	// Corrupt the payload on disk while keeping a valid envelope.
 	blob, _ := json.Marshal(map[string]any{
-		"schema": dse.ArtifactSchemaVersion, "key": key, "kind": "annotation",
-		"data": map[string]any{"instrs": "x x x"},
+		"schema": dse.ArtifactSchemaVersion, "key": key, "kind": "hit-rates",
+		"data": map[string]any{"levels": "x x x"},
 	})
 	if err := os.WriteFile(filepath.Join(dir, key+".json"), blob, 0o644); err != nil {
 		t.Fatal(err)
@@ -216,8 +219,8 @@ func TestArtifactCorruptBlobEvicted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := c2.Annotation(key); ok {
-		t.Fatal("corrupt annotation served")
+	if _, ok := c2.HitRates(key); ok {
+		t.Fatal("corrupt hit-rate table served")
 	}
 	if c2.Err() == nil {
 		t.Fatal("corrupt blob not reported through Err")
@@ -226,42 +229,41 @@ func TestArtifactCorruptBlobEvicted(t *testing.T) {
 		t.Fatalf("corrupt key still indexed: %d entries", c2.Len())
 	}
 	// Rewriting the key recovers.
-	ann := testAnnotation(t)
-	c2.PutAnnotation(key, ann)
-	if got, ok := c2.Annotation(key); !ok || !reflect.DeepEqual(got, ann) {
+	c2.PutHitRates(key, hrt)
+	if got, ok := c2.HitRates(key); !ok || !reflect.DeepEqual(got, hrt) {
 		t.Fatal("rewritten key not served")
 	}
 }
 
-// TestArtifactFrontEviction keeps the decoded annotation front bounded:
-// old entries are evicted from memory but stay reachable on disk.
+// TestArtifactFrontEviction keeps the decoded hit-rate front bounded: old
+// entries are evicted from memory but stay reachable on disk.
 func TestArtifactFrontEviction(t *testing.T) {
 	dir := t.TempDir()
 	c, err := OpenArtifacts(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ann := testAnnotation(t)
-	keys := make([]string, maxResidentAnnotations+4)
+	_, hrt := testHitRates(t)
+	keys := make([]string, maxResidentHitRates+4)
 	for i := range keys {
 		keys[i] = fmt.Sprintf("%064x", i+1)
-		c.PutAnnotation(keys[i], ann)
+		c.PutHitRates(keys[i], hrt)
 	}
 	c.mu.Lock()
-	resident := len(c.ann)
+	resident := len(c.hit)
 	c.mu.Unlock()
-	if resident > maxResidentAnnotations {
-		t.Fatalf("%d resident annotations, cap %d", resident, maxResidentAnnotations)
+	if resident > maxResidentHitRates {
+		t.Fatalf("%d resident hit-rate tables, cap %d", resident, maxResidentHitRates)
 	}
 	// The evicted first key still decodes from disk.
-	if got, ok := c.Annotation(keys[0]); !ok || !reflect.DeepEqual(got, ann) {
-		t.Fatal("evicted annotation lost from disk")
+	if got, ok := c.HitRates(keys[0]); !ok || !reflect.DeepEqual(got, hrt) {
+		t.Fatal("evicted hit-rate table lost from disk")
 	}
 
 	// cache.Stats/HierarchyConfig zero-value sanity: envelope kinds refuse
 	// cross-kind typed reads.
 	if _, ok := c.LatencyModel(keys[0]); ok {
-		t.Fatal("annotation blob served as a latency model")
+		t.Fatal("hit-rate blob served as a latency model")
 	}
 	_ = cache.Stats{}
 }

@@ -183,18 +183,18 @@ func (c *Client) replicateArtifact(key string) {
 // running sweep; peers only ever supply validated encoded blobs.
 type ringArtifacts struct{ c *Client }
 
-func (p ringArtifacts) Annotation(key string) (node.Annotation, bool) {
-	if a, ok := p.c.art.Annotation(key); ok {
-		return a, true
+func (p ringArtifacts) HitRates(key string) (node.HitRateTable, bool) {
+	if t, ok := p.c.art.HitRates(key); ok {
+		return t, true
 	}
 	if p.c.peerFetchArtifact(key) {
-		return p.c.art.Annotation(key)
+		return p.c.art.HitRates(key)
 	}
-	return node.Annotation{}, false
+	return node.HitRateTable{}, false
 }
 
-func (p ringArtifacts) PutAnnotation(key string, a node.Annotation) {
-	p.c.art.PutAnnotation(key, a)
+func (p ringArtifacts) PutHitRates(key string, t node.HitRateTable) {
+	p.c.art.PutHitRates(key, t)
 	p.c.replicateArtifact(key)
 }
 
